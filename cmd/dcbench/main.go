@@ -1,0 +1,114 @@
+// Command dcbench regenerates the figures of the DC-tree paper's
+// evaluation (§5) on synthetic TPC-D data.
+//
+// Usage:
+//
+//	dcbench [flags]
+//
+//	-exp string     experiment to run: all, fig11a, fig11b, fig12a,
+//	                fig12b, fig12c, fig12d, fig13, speedups, ablation
+//	                (default "all")
+//	-n string       comma-separated data-set sizes (default "10000,20000,30000";
+//	                the paper uses 100000,200000,300000)
+//	-queries int    random queries averaged per size (default 100)
+//	-seed int       workload seed (default 1)
+//	-verify         cross-check all systems' answers on every query
+//	-csv            emit CSV instead of aligned tables
+//
+// Example (the paper's full sweep — takes a while):
+//
+//	dcbench -exp all -n 100000,200000,300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/dcindex/dctree/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig11a, fig11b, fig12a, fig12b, fig12c, fig12d, fig13, rollup, bitmap, views, speedups, ablation")
+	sizes := flag.String("n", "10000,20000,30000", "comma-separated data-set sizes")
+	queries := flag.Int("queries", 100, "random queries averaged per size")
+	seed := flag.Int64("seed", 1, "workload seed")
+	verify := flag.Bool("verify", false, "cross-check all systems' answers on every query")
+	csv := flag.Bool("csv", false, "emit CSV")
+	skipAblation := flag.Bool("skip-ablation", false, "omit the ablation table from -exp all")
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	opt.QueriesPerPoint = *queries
+	opt.Seed = *seed
+	opt.Verify = *verify
+	opt.SkipAblation = *skipAblation
+
+	var ns []int
+	for _, part := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "dcbench: bad size %q\n", part)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+	opt.Sizes = ns
+
+	type driver func(bench.Options) (*bench.Table, error)
+	drivers := map[string]driver{
+		"fig11a":   bench.Fig11aInsert,
+		"fig11b":   bench.Fig11bInsertPerRecord,
+		"fig12a":   func(o bench.Options) (*bench.Table, error) { return bench.Fig12Query(o, 0.01, "a") },
+		"fig12b":   func(o bench.Options) (*bench.Table, error) { return bench.Fig12Query(o, 0.05, "b") },
+		"fig12c":   func(o bench.Options) (*bench.Table, error) { return bench.Fig12Query(o, 0.25, "c") },
+		"fig12d":   bench.Fig12dSeqScan,
+		"fig13":    bench.Fig13NodeSizes,
+		"rollup":   bench.Rollup,
+		"bitmap":   bench.Bitmap,
+		"views":    bench.Views,
+		"speedups": bench.Speedups,
+		"ablation": bench.Ablation,
+	}
+
+	var tables []*bench.Table
+	if *exp == "all" {
+		ts, err := bench.All(opt)
+		if err != nil {
+			fatal(err)
+		}
+		tables = ts
+	} else {
+		d, ok := drivers[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		t, err := d(opt)
+		if err != nil {
+			fatal(err)
+		}
+		tables = []*bench.Table{t}
+	}
+
+	for i, t := range tables {
+		if *csv {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+	os.Exit(1)
+}

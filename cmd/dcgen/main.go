@@ -1,0 +1,162 @@
+// Command dcgen emits the paper's TPC-D-like evaluation workload as CSV
+// (plus the matching schema JSON), so the full pipeline can be driven
+// through dctool:
+//
+//	dcgen -n 50000 -out data.csv -schema schema.json
+//	dctool build -schema schema.json -csv data.csv -index tpcd.dc
+//	dctool query -index tpcd.dc -where 'Customer.Region=EUROPE' -op SUM
+//
+// The generator is deterministic for a given -seed and scales its
+// dimension tables with -n the way TPC-D's scale factor does.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/tpcd"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of fact records")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "tpcd.csv", "output CSV path")
+	schemaOut := flag.String("schema", "", "also write the matching dctool schema JSON here")
+	flag.Parse()
+
+	if err := run(*n, *seed, *out, *schemaOut); err != nil {
+		fmt.Fprintf(os.Stderr, "dcgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, out, schemaOut string) error {
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive")
+	}
+	gen, err := tpcd.New(seed, tpcd.ScaleFor(n))
+	if err != nil {
+		return err
+	}
+	schema := gen.Schema()
+
+	if schemaOut != "" {
+		if err := writeSchema(schema, schemaOut); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := csv.NewWriter(bw)
+
+	// Header: Dim.Level columns (top-down per dimension), then measures.
+	var header []string
+	for d := 0; d < schema.Dims(); d++ {
+		h, err := schema.Dim(d)
+		if err != nil {
+			return err
+		}
+		for level := h.TopLevel(); level >= 0; level-- {
+			name, err := h.LevelName(level)
+			if err != nil {
+				return err
+			}
+			header = append(header, h.Name()+"."+name)
+		}
+	}
+	for j := 0; j < schema.Measures(); j++ {
+		name, err := schema.MeasureName(j)
+		if err != nil {
+			return err
+		}
+		header = append(header, name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+
+	row := make([]string, 0, len(header))
+	for i := 0; i < n; i++ {
+		rec := gen.Record()
+		row = row[:0]
+		for d := 0; d < schema.Dims(); d++ {
+			h, _ := schema.Dim(d)
+			for level := h.TopLevel(); level >= 0; level-- {
+				anc, err := h.AncestorAt(rec.Coords[d], level)
+				if err != nil {
+					return err
+				}
+				name, err := h.ValueName(anc)
+				if err != nil {
+					return err
+				}
+				row = append(row, name)
+			}
+		}
+		for _, m := range rec.Measures {
+			row = append(row, strconv.FormatFloat(m, 'f', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", n, out)
+	return nil
+}
+
+// writeSchema emits the dctool schema JSON for the generator's cube.
+func writeSchema(schema *cube.Schema, path string) error {
+	type dimSpec struct {
+		Name   string   `json:"name"`
+		Levels []string `json:"levels"`
+	}
+	var spec struct {
+		Dimensions []dimSpec `json:"dimensions"`
+		Measures   []string  `json:"measures"`
+	}
+	for d := 0; d < schema.Dims(); d++ {
+		h, err := schema.Dim(d)
+		if err != nil {
+			return err
+		}
+		ds := dimSpec{Name: h.Name()}
+		for level := 0; level < h.Depth(); level++ {
+			name, err := h.LevelName(level)
+			if err != nil {
+				return err
+			}
+			ds.Levels = append(ds.Levels, name)
+		}
+		spec.Dimensions = append(spec.Dimensions, ds)
+	}
+	for j := 0; j < schema.Measures(); j++ {
+		name, err := schema.MeasureName(j)
+		if err != nil {
+			return err
+		}
+		spec.Measures = append(spec.Measures, name)
+	}
+	raw, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,461 @@
+// Command dctool builds, queries and checks persistent DC-tree indexes
+// from CSV data.
+//
+// Subcommands:
+//
+//	dctool build -schema schema.json -csv data.csv -index out.dc
+//	dctool query -index out.dc -where 'Customer.Region=EUROPE|ASIA' \
+//	             -where 'Time.Year=1996' -op SUM -measure ExtendedPrice
+//	dctool stats -index out.dc
+//	dctool fsck  -index out.dc
+//
+// The schema file declares dimensions (leaf level first) and measures:
+//
+//	{
+//	  "dimensions": [
+//	    {"name": "Customer", "levels": ["Customer", "Nation", "Region"]},
+//	    {"name": "Time",     "levels": ["Month", "Year"]}
+//	  ],
+//	  "measures": ["ExtendedPrice"]
+//	}
+//
+// The CSV must carry one column per dimension level named "Dim.Level"
+// plus one column per measure; rows become data records.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	dctree "github.com/dcindex/dctree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "fsck":
+		err = runFsck(os.Args[2:])
+	case "export":
+		err = runExport(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dctool %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|export} [flags]")
+	os.Exit(2)
+}
+
+// schemaSpec is the JSON schema declaration.
+type schemaSpec struct {
+	Dimensions []struct {
+		Name   string   `json:"name"`
+		Levels []string `json:"levels"` // leaf level first
+	} `json:"dimensions"`
+	Measures []string `json:"measures"`
+}
+
+func loadSchema(path string) (*dctree.Schema, *schemaSpec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var spec schemaSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var dims []*dctree.Hierarchy
+	for _, d := range spec.Dimensions {
+		h, err := dctree.NewHierarchy(d.Name, d.Levels...)
+		if err != nil {
+			return nil, nil, err
+		}
+		dims = append(dims, h)
+	}
+	schema, err := dctree.NewSchema(dims, spec.Measures...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, &spec, nil
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "schema JSON file")
+	csvPath := fs.String("csv", "", "input CSV file")
+	indexPath := fs.String("index", "index.dc", "output index file")
+	fs.Parse(args)
+	if *schemaPath == "" || *csvPath == "" {
+		return fmt.Errorf("-schema and -csv are required")
+	}
+
+	schema, spec, err := loadSchema(*schemaPath)
+	if err != nil {
+		return err
+	}
+	cfg := dctree.DefaultConfig()
+	store, err := dctree.OpenFileStore(*indexPath, cfg.BlockSize, 0)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	tree, err := dctree.New(store, schema, cfg)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+
+	// Resolve the column index of every dimension level (top-down) and
+	// measure up front.
+	type dimCols struct{ topDown []int }
+	var dims []dimCols
+	for _, d := range spec.Dimensions {
+		dc := dimCols{}
+		for i := len(d.Levels) - 1; i >= 0; i-- { // top level first
+			name := d.Name + "." + d.Levels[i]
+			idx, ok := col[name]
+			if !ok {
+				return fmt.Errorf("CSV missing column %q", name)
+			}
+			dc.topDown = append(dc.topDown, idx)
+		}
+		dims = append(dims, dc)
+	}
+	var measureCols []int
+	for _, m := range spec.Measures {
+		idx, ok := col[m]
+		if !ok {
+			return fmt.Errorf("CSV missing measure column %q", m)
+		}
+		measureCols = append(measureCols, idx)
+	}
+
+	n := 0
+	for {
+		row, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("row %d: %w", n+2, err)
+		}
+		paths := make([][]string, len(dims))
+		for d, dc := range dims {
+			path := make([]string, len(dc.topDown))
+			for i, c := range dc.topDown {
+				path[i] = row[c]
+			}
+			paths[d] = path
+		}
+		measures := make([]float64, len(measureCols))
+		for j, c := range measureCols {
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[c]), 64)
+			if err != nil {
+				return fmt.Errorf("row %d: measure %q: %w", n+2, row[c], err)
+			}
+			measures[j] = v
+		}
+		rec, err := schema.InternRecord(paths, measures)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", n+2, err)
+		}
+		if err := tree.Insert(rec); err != nil {
+			return fmt.Errorf("row %d: %w", n+2, err)
+		}
+		n++
+	}
+	if err := tree.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d records into %s (height %d)\n", n, *indexPath, tree.Height())
+	return nil
+}
+
+// parseWhere parses 'Dim.Level=V1|V2|V3'.
+func parseWhere(expr string) (dim, level string, values []string, err error) {
+	eq := strings.IndexByte(expr, '=')
+	if eq < 0 {
+		return "", "", nil, fmt.Errorf("bad -where %q: want Dim.Level=V1|V2", expr)
+	}
+	lhs, rhs := expr[:eq], expr[eq+1:]
+	dot := strings.IndexByte(lhs, '.')
+	if dot < 0 {
+		return "", "", nil, fmt.Errorf("bad -where %q: want Dim.Level=...", expr)
+	}
+	values = strings.Split(rhs, "|")
+	if len(values) == 0 || rhs == "" {
+		return "", "", nil, fmt.Errorf("bad -where %q: empty value list", expr)
+	}
+	return lhs[:dot], lhs[dot+1:], values, nil
+}
+
+// multiFlag collects repeated -where flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func openTree(indexPath string) (*dctree.Tree, dctree.Store, error) {
+	cfg := dctree.DefaultConfig()
+	store, err := dctree.OpenFileStore(indexPath, cfg.BlockSize, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := dctree.Open(store)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return tree, store, nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	indexPath := fs.String("index", "index.dc", "index file")
+	opName := fs.String("op", "SUM", "aggregation: SUM, COUNT, AVG, MIN, MAX")
+	measure := fs.String("measure", "", "measure name (default: first)")
+	var wheres multiFlag
+	fs.Var(&wheres, "where", "constraint Dim.Level=V1|V2 (repeatable)")
+	fs.Parse(args)
+
+	tree, store, err := openTree(*indexPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	schema := tree.Schema()
+
+	b := dctree.NewQuery(schema)
+	for _, w := range wheres {
+		dim, level, values, err := parseWhere(w)
+		if err != nil {
+			return err
+		}
+		b = b.Where(dim, level, values...)
+	}
+	q, err := b.Build()
+	if err != nil {
+		return err
+	}
+
+	j := 0
+	if *measure != "" {
+		j, err = schema.MeasureIndex(*measure)
+		if err != nil {
+			return err
+		}
+	}
+	op, err := parseOp(*opName)
+	if err != nil {
+		return err
+	}
+	v, st, err := tree.RangeQueryStats(q, op, j)
+	if err != nil {
+		return err
+	}
+	name, _ := schema.MeasureName(j)
+	fmt.Printf("%s(%s) = %g\n", op, name, v)
+	fmt.Printf("nodes visited: %d, entries scanned: %d, materialized hits: %d, records matched: %d\n",
+		st.NodesVisited, st.EntriesScanned, st.MaterializedHits, st.RecordsMatched)
+	return nil
+}
+
+func parseOp(s string) (dctree.Op, error) {
+	switch strings.ToUpper(s) {
+	case "SUM":
+		return dctree.Sum, nil
+	case "COUNT":
+		return dctree.Count, nil
+	case "AVG":
+		return dctree.Avg, nil
+	case "MIN":
+		return dctree.Min, nil
+	case "MAX":
+		return dctree.Max, nil
+	}
+	return 0, fmt.Errorf("unknown op %q", s)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	indexPath := fs.String("index", "index.dc", "index file")
+	fs.Parse(args)
+
+	tree, store, err := openTree(*indexPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	fmt.Printf("records: %d\nheight:  %d\n", tree.Count(), tree.Height())
+	levels, err := tree.LevelStats()
+	if err != nil {
+		return err
+	}
+	fmt.Println("level  nodes  supernodes  avg_entries  avg_blocks")
+	for _, l := range levels {
+		fmt.Printf("%5d  %5d  %10d  %11.1f  %10.2f\n",
+			l.Level, l.Nodes, l.Supernodes, l.AvgEntries, l.AvgBlocks)
+	}
+	return nil
+}
+
+// runExport dumps every indexed record back to CSV in the same column
+// convention `build` consumes, so an index round-trips:
+// build → export → build yields an equivalent index.
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	indexPath := fs.String("index", "index.dc", "index file")
+	outPath := fs.String("out", "", "output CSV (default stdout)")
+	fs.Parse(args)
+
+	tree, store, err := openTree(*indexPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	schema := tree.Schema()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := csv.NewWriter(out)
+
+	var header []string
+	for d := 0; d < schema.Dims(); d++ {
+		h, err := schema.Dim(d)
+		if err != nil {
+			return err
+		}
+		for level := h.TopLevel(); level >= 0; level-- {
+			name, err := h.LevelName(level)
+			if err != nil {
+				return err
+			}
+			header = append(header, h.Name()+"."+name)
+		}
+	}
+	for j := 0; j < schema.Measures(); j++ {
+		name, err := schema.MeasureName(j)
+		if err != nil {
+			return err
+		}
+		header = append(header, name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+
+	var scanErr error
+	n := 0
+	err = tree.Scan(func(rec dctree.Record) bool {
+		row := make([]string, 0, len(header))
+		for d := 0; d < schema.Dims(); d++ {
+			h, err := schema.Dim(d)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			for level := h.TopLevel(); level >= 0; level-- {
+				anc, err := h.AncestorAt(rec.Coords[d], level)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				name, err := h.ValueName(anc)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				row = append(row, name)
+			}
+		}
+		for _, m := range rec.Measures {
+			row = append(row, strconv.FormatFloat(m, 'f', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			scanErr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported %d records\n", n)
+	return nil
+}
+
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	indexPath := fs.String("index", "index.dc", "index file")
+	fs.Parse(args)
+
+	tree, store, err := openTree(*indexPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if err := tree.Validate(); err != nil {
+		return err
+	}
+	for d := 0; d < tree.Schema().Dims(); d++ {
+		h, err := tree.Schema().Dim(d)
+		if err != nil {
+			return err
+		}
+		if err := h.Validate(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: OK (%d records, height %d)\n", *indexPath, tree.Count(), tree.Height())
+	return nil
+}

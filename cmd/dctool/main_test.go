@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseWhere(t *testing.T) {
+	dim, level, values, err := parseWhere("Customer.Region=EUROPE|ASIA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != "Customer" || level != "Region" || len(values) != 2 || values[1] != "ASIA" {
+		t.Fatalf("parsed %q %q %v", dim, level, values)
+	}
+	for _, bad := range []string{"CustomerRegion=EUROPE", "Customer.Region", "Customer.Region=", "=X"} {
+		if _, _, _, err := parseWhere(bad); err == nil {
+			t.Errorf("parseWhere(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"SUM", "sum", "Count", "AVG", "min", "MAX"} {
+		if _, err := parseOp(s); err != nil {
+			t.Errorf("parseOp(%q): %v", s, err)
+		}
+	}
+	if _, err := parseOp("MEDIAN"); err == nil {
+		t.Error("parseOp(MEDIAN) accepted")
+	}
+}
+
+func TestLoadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.json")
+	spec := `{
+	  "dimensions": [
+	    {"name": "Customer", "levels": ["Customer", "Nation", "Region"]},
+	    {"name": "Time", "levels": ["Month", "Year"]}
+	  ],
+	  "measures": ["Revenue", "Quantity"]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema, raw, err := loadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Dims() != 2 || schema.Measures() != 2 {
+		t.Fatalf("schema shape %d/%d", schema.Dims(), schema.Measures())
+	}
+	if len(raw.Dimensions) != 2 || raw.Dimensions[1].Name != "Time" {
+		t.Fatalf("spec mismatch: %+v", raw)
+	}
+	if _, _, err := loadSchema(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, _, err := loadSchema(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestBuildQueryRoundtrip drives the full build → query → stats → fsck
+// pipeline through the exported command helpers.
+func TestBuildQueryRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.json")
+	csvPath := filepath.Join(dir, "data.csv")
+	indexPath := filepath.Join(dir, "idx.dc")
+	os.WriteFile(schemaPath, []byte(`{
+	  "dimensions": [
+	    {"name": "Customer", "levels": ["Customer", "Nation", "Region"]},
+	    {"name": "Time", "levels": ["Month", "Year"]}
+	  ],
+	  "measures": ["Revenue"]
+	}`), 0o644)
+	os.WriteFile(csvPath, []byte(
+		"Customer.Region,Customer.Nation,Customer.Customer,Time.Year,Time.Month,Revenue\n"+
+			"EUROPE,GERMANY,C1,1996,1996-01,100.5\n"+
+			"EUROPE,FRANCE,C2,1996,1996-02,50\n"+
+			"ASIA,JAPAN,C3,1997,1997-01,400\n"), 0o644)
+
+	if err := runBuild([]string{"-schema", schemaPath, "-csv", csvPath, "-index", indexPath}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := runQuery([]string{"-index", indexPath, "-where", "Customer.Region=EUROPE", "-op", "SUM"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := runStats([]string{"-index", indexPath}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := runFsck([]string{"-index", indexPath}); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	// Export round-trips: the exported CSV rebuilds an equivalent index.
+	exported := filepath.Join(dir, "export.csv")
+	if err := runExport([]string{"-index", indexPath, "-out", exported}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	index2 := filepath.Join(dir, "idx2.dc")
+	if err := runBuild([]string{"-schema", schemaPath, "-csv", exported, "-index", index2}); err != nil {
+		t.Fatalf("rebuild from export: %v", err)
+	}
+	if err := runQuery([]string{"-index", index2, "-where", "Customer.Region=EUROPE", "-op", "SUM"}); err != nil {
+		t.Fatalf("query on rebuilt index: %v", err)
+	}
+	if err := runExport([]string{"-index", filepath.Join(dir, "missing.dc")}); err == nil {
+		t.Fatal("export of missing index accepted")
+	}
+
+	// Error paths.
+	if err := runBuild([]string{"-schema", schemaPath, "-csv", filepath.Join(dir, "nope.csv"), "-index", indexPath}); err == nil {
+		t.Fatal("missing CSV accepted")
+	}
+	if err := runQuery([]string{"-index", indexPath, "-where", "bogus"}); err == nil {
+		t.Fatal("bogus -where accepted")
+	}
+	if err := runQuery([]string{"-index", indexPath, "-where", "Customer.Region=ATLANTIS"}); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if err := runQuery([]string{"-index", filepath.Join(dir, "missing.dc")}); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}
+
+// TestBuildRejectsBadCSV covers the CSV validation paths.
+func TestBuildRejectsBadCSV(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.json")
+	os.WriteFile(schemaPath, []byte(`{
+	  "dimensions": [{"name": "D", "levels": ["Leaf", "Top"]}],
+	  "measures": ["M"]
+	}`), 0o644)
+
+	cases := map[string]string{
+		"missing column": "D.Top,M\nA,1\n",
+		"bad measure":    "D.Top,D.Leaf,M\nA,x,notanumber\n",
+	}
+	for name, csv := range cases {
+		csvPath := filepath.Join(dir, name+".csv")
+		os.WriteFile(csvPath, []byte(csv), 0o644)
+		if err := runBuild([]string{"-schema", schemaPath, "-csv", csvPath,
+			"-index", filepath.Join(dir, name+".dc")}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := runBuild([]string{"-csv", "x.csv"}); err == nil {
+		t.Error("missing -schema accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Package dctree is the public API of this DC-tree implementation — a
+// fully dynamic index structure for data warehouses modeled as data cubes,
+// after Ester, Kohlhammer and Kriegel, "The DC-Tree: A Fully Dynamic Index
+// Structure for Data Warehouses" (ICDE 2000).
+//
+// A DC-tree indexes the data records of a data cube whose dimensions carry
+// concept hierarchies (e.g. ALL > Region > Nation > Customer). Unlike
+// bitmap indices or bulk-loaded cube materializations, the DC-tree is kept
+// consistent by single-record Insert and Delete calls, so the warehouse
+// never needs an update window; and unlike R-tree-family indexes over an
+// artificial total ordering, it describes directory regions by minimum
+// describing sequences (sets of attribute values at one hierarchy level
+// per dimension) and materializes aggregated measure values in every
+// directory entry, so range queries can be answered without descending
+// into fully covered subtrees.
+//
+// # Quick start
+//
+//	customer, _ := dctree.NewHierarchy("Customer", "Customer", "Nation", "Region")
+//	product, _ := dctree.NewHierarchy("Product", "Product", "Category")
+//	schema, _ := dctree.NewSchema([]*dctree.Hierarchy{customer, product}, "Revenue")
+//	tree, _ := dctree.NewInMemory(schema)
+//
+//	rec, _ := schema.InternRecord([][]string{
+//	    {"EUROPE", "GERMANY", "Customer#1"},
+//	    {"Electronics", "TV#42"},
+//	}, []float64{1999.90})
+//	_ = tree.Insert(rec)
+//
+//	q, _ := dctree.NewQuery(schema).
+//	    Where("Customer", "Region", "EUROPE").
+//	    Build()
+//	total, _ := tree.RangeQuery(q, dctree.Sum, 0)
+//
+// The subpackages under internal implement the machinery: concept
+// hierarchies and dictionaries, MDS algebra, the tree itself, the paged
+// storage substrate, and the X-tree / sequential-scan baselines used by
+// the paper's experiments.
+package dctree
+
+import (
+	"github.com/dcindex/dctree/internal/core"
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// Re-exported core types. The aliases keep one importable surface while
+// the implementation lives in internal packages.
+type (
+	// Tree is the DC-tree index. Safe for concurrent use: queries run
+	// under a read lock while single-record updates take the write lock.
+	Tree = core.Tree
+	// Config carries the tree's tuning knobs; see DefaultConfig.
+	Config = core.Config
+	// QueryStats reports the work a range query performed.
+	QueryStats = core.QueryStats
+	// LevelStat aggregates node statistics for one tree level.
+	LevelStat = core.LevelStat
+
+	// Schema declares a data cube: dimensions with concept hierarchies
+	// plus measure names.
+	Schema = cube.Schema
+	// Record is one data record: leaf-level coordinates and measures.
+	Record = cube.Record
+	// Agg is the materialized aggregate (sum, count, min, max) of a
+	// measure over a set of records.
+	Agg = cube.Agg
+	// Op selects the aggregation operator of a range query.
+	Op = cube.Op
+
+	// Hierarchy is one dimension's concept hierarchy and dictionary.
+	Hierarchy = hierarchy.Hierarchy
+	// ID is an interned attribute value (4-bit level tag + 28-bit code).
+	ID = hierarchy.ID
+
+	// MDS is a minimum describing sequence: one value set per dimension,
+	// each at one hierarchy level. Queries are expressed as MDSs.
+	MDS = mds.MDS
+	// DimSet is one dimension's entry of an MDS.
+	DimSet = mds.DimSet
+
+	// Store is the block-extent storage abstraction underneath a tree.
+	Store = storage.Store
+	// StoreStats counts logical I/O at the store interface.
+	StoreStats = storage.Stats
+)
+
+// Aggregation operators for RangeQuery.
+const (
+	Sum   = cube.Sum
+	Count = cube.Count
+	Avg   = cube.Avg
+	Min   = cube.Min
+	Max   = cube.Max
+)
+
+// DefaultConfig returns the configuration used throughout the paper
+// reproduction (4 KiB blocks, 24/48 directory/leaf capacity, 35 % minimum
+// fill, 20 % maximum split overlap).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewHierarchy declares a dimension's concept hierarchy. Level names are
+// ordered from the leaf upward:
+//
+//	NewHierarchy("Customer", "Customer", "Nation", "Region")
+func NewHierarchy(dimension string, levelNames ...string) (*Hierarchy, error) {
+	return hierarchy.New(dimension, levelNames...)
+}
+
+// NewSchema declares a data cube from dimension hierarchies and measures.
+func NewSchema(dims []*Hierarchy, measures ...string) (*Schema, error) {
+	return cube.NewSchema(dims, measures...)
+}
+
+// New creates an empty DC-tree on an explicit store (use NewMemStore or
+// OpenFileStore).
+func New(store Store, schema *Schema, cfg Config) (*Tree, error) {
+	return core.New(store, schema, cfg)
+}
+
+// NewInMemory creates an empty DC-tree on an in-memory store with the
+// default configuration — the setup of the paper's experiments.
+func NewInMemory(schema *Schema) (*Tree, error) {
+	cfg := DefaultConfig()
+	return core.New(storage.NewMemStore(cfg.BlockSize), schema, cfg)
+}
+
+// Open reopens a DC-tree persisted by Tree.Flush from its store.
+func Open(store Store) (*Tree, error) { return core.Open(store) }
+
+// NewMemStore creates an in-memory block store with full I/O accounting.
+func NewMemStore(blockSize int) Store { return storage.NewMemStore(blockSize) }
+
+// OpenFileStore opens (or creates) a file-backed block store with an LRU
+// buffer pool of poolBytes (≤ 0 selects a 4 MiB default).
+func OpenFileStore(path string, blockSize, poolBytes int) (Store, error) {
+	return storage.OpenPagedStore(path, blockSize, poolBytes)
+}
+
+// AllDim is the unconstrained query entry for one dimension ("every
+// value").
+func AllDim() DimSet { return mds.AllDim() }
+
+// QueryAll returns the query selecting the whole cube.
+func QueryAll(schema *Schema) MDS { return mds.Top(schema.Dims()) }

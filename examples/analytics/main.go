@@ -1,0 +1,170 @@
+// Analytics: bulk-load a quarter of web-shop orders and run a multi-
+// measure, multi-level report — exercising BulkLoad (the offline path),
+// RangeAggAll (all measures in one descent) and RangeAggParallel (worker
+// fan-out for the big scans).
+//
+// Run with:
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	dctree "github.com/dcindex/dctree"
+)
+
+var channels = map[string][]string{
+	"Web":    {"Desktop", "Mobile", "Tablet"},
+	"Retail": {"Flagship", "Outlet"},
+}
+
+var lines = map[string][]string{
+	"Apparel":     {"Shirts", "Shoes", "Jackets"},
+	"Electronics": {"Audio", "Computing"},
+	"Home":        {"Kitchen", "Garden"},
+}
+
+func main() {
+	channel, err := dctree.NewHierarchy("Channel", "Store", "Kind", "Channel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	product, err := dctree.NewHierarchy("Product", "SKU", "Line", "Division")
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeDim, err := dctree.NewHierarchy("Time", "Week", "Month")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := dctree.NewSchema(
+		[]*dctree.Hierarchy{channel, product, timeDim},
+		"Revenue", "Units", "Discount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := dctree.NewInMemory(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate one quarter of orders and bulk-load them (initial load of
+	// the warehouse; afterwards the index stays dynamic).
+	const orders = 30000
+	rng := rand.New(rand.NewSource(99))
+	months := []string{"April", "May", "June"}
+	recs := make([]dctree.Record, 0, orders)
+	for i := 0; i < orders; i++ {
+		ch := pick(rng, keys(channels))
+		kind := pick(rng, channels[ch])
+		div := pick(rng, keys(lines))
+		line := pick(rng, lines[div])
+		month := months[rng.Intn(len(months))]
+		units := float64(1 + rng.Intn(5))
+		price := 20 + rng.Float64()*180
+		discount := 0.0
+		if rng.Intn(4) == 0 {
+			discount = price * units * 0.1
+		}
+		rec, err := schema.InternRecord([][]string{
+			{ch, kind, fmt.Sprintf("%s-%s-%02d", ch, kind, rng.Intn(40))},
+			{div, line, fmt.Sprintf("SKU-%05d", rng.Intn(5000))},
+			{month, fmt.Sprintf("%s-W%d", month, 1+rng.Intn(4))},
+		}, []float64{price * units, units, discount})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	start := time.Now()
+	if err := tree.BulkLoad(recs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk-loaded %d orders in %v (height %d)\n\n",
+		tree.Count(), time.Since(start).Round(time.Millisecond), tree.Height())
+
+	// Division × month report, all three measures per cell in one descent.
+	fmt.Printf("%-13s %-7s %12s %8s %10s %8s\n",
+		"division", "month", "revenue", "units", "discount", "avg$")
+	for _, div := range keys(lines) {
+		for _, month := range months {
+			q, err := dctree.NewQuery(schema).
+				Where("Product", "Division", div).
+				Where("Time", "Month", month).
+				Build()
+			if err != nil {
+				log.Fatal(err)
+			}
+			aggs, _, err := tree.RangeAggAll(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			avg := 0.0
+			if aggs[0].Count > 0 {
+				avg = aggs[0].Sum / float64(aggs[0].Count)
+			}
+			fmt.Printf("%-13s %-7s %12.2f %8.0f %10.2f %8.2f\n",
+				div, month, aggs[0].Sum, aggs[1].Sum, aggs[2].Sum, avg)
+		}
+	}
+
+	// A big scan-heavy question, answered in parallel: total revenue of
+	// all Web orders.
+	q, err := dctree.NewQuery(schema).Where("Channel", "Channel", "Web").Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqStart := time.Now()
+	seq, err := tree.RangeQuery(q, dctree.Sum, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqDur := time.Since(seqStart)
+	parStart := time.Now()
+	par, err := tree.RangeAggParallel(q, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parDur := time.Since(parStart)
+	fmt.Printf("\nWeb revenue: %.2f (sequential %v, parallel %v, equal: %v)\n",
+		seq, seqDur.Round(time.Microsecond), parDur.Round(time.Microsecond),
+		almostEqual(seq, par.Sum))
+
+	// The warehouse stays dynamic after the bulk load: a late-arriving
+	// order and a same-day cancellation.
+	late := recs[0]
+	if err := tree.Insert(late); err != nil {
+		log.Fatal(err)
+	}
+	if err := tree.Delete(late); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("post-load insert+cancel kept %d orders indexed\n", tree.Count())
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func keys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6*(a+b+1)
+}

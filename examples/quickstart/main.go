@@ -1,0 +1,111 @@
+// Quickstart: build a tiny data cube, index it with a DC-tree, and answer
+// range queries at several levels of the concept hierarchies.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dctree "github.com/dcindex/dctree"
+)
+
+func main() {
+	// 1. Declare the cube: two dimensions with concept hierarchies
+	//    (leaf level first) and one measure.
+	customer, err := dctree.NewHierarchy("Customer", "Customer", "Nation", "Region")
+	if err != nil {
+		log.Fatal(err)
+	}
+	product, err := dctree.NewHierarchy("Product", "Product", "Category")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := dctree.NewSchema([]*dctree.Hierarchy{customer, product}, "Revenue")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Create the index (in-memory store; see examples/retail for a
+	//    file-backed one).
+	tree, err := dctree.NewInMemory(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Insert data records. Every insert keeps all directory MDSs and
+	//    materialized aggregates up to date — there is no bulk-load phase
+	//    and no nightly update window.
+	type sale struct {
+		region, nation, customer string
+		category, product        string
+		revenue                  float64
+	}
+	for _, s := range []sale{
+		{"EUROPE", "GERMANY", "Customer#1", "Electronics", "TV-1000", 1299},
+		{"EUROPE", "GERMANY", "Customer#2", "Electronics", "VCR-77", 349},
+		{"EUROPE", "FRANCE", "Customer#3", "Food", "Wine-Brut", 59},
+		{"ASIA", "JAPAN", "Customer#4", "Electronics", "TV-1000", 1399},
+		{"AMERICA", "USA", "Customer#5", "Food", "Cheese-Az", 25},
+		{"AMERICA", "USA", "Customer#6", "Electronics", "HiFi-X", 899},
+	} {
+		rec, err := schema.InternRecord(
+			[][]string{
+				{s.region, s.nation, s.customer},
+				{s.category, s.product},
+			},
+			[]float64{s.revenue},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.Insert(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Range queries: a contiguous range per dimension at any level of
+	//    its concept hierarchy, with any aggregation operator.
+	total, err := tree.RangeQuery(dctree.QueryAll(schema), dctree.Sum, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total revenue:                 %8.2f\n", total)
+
+	europe, err := dctree.NewQuery(schema).
+		Where("Customer", "Region", "EUROPE").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := tree.RangeQuery(europe, dctree.Sum, 0)
+	fmt.Printf("revenue in EUROPE:             %8.2f\n", v)
+
+	electronicsEU, err := dctree.NewQuery(schema).
+		Where("Customer", "Region", "EUROPE", "ASIA").
+		Where("Product", "Category", "Electronics").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ = tree.RangeQuery(electronicsEU, dctree.Sum, 0)
+	fmt.Printf("electronics in EUROPE+ASIA:    %8.2f\n", v)
+	avg, _ := tree.RangeQuery(electronicsEU, dctree.Avg, 0)
+	fmt.Printf("  average sale:                %8.2f\n", avg)
+	max, _ := tree.RangeQuery(electronicsEU, dctree.Max, 0)
+	fmt.Printf("  largest sale:                %8.2f\n", max)
+
+	// 5. Fully dynamic: deleting a record maintains everything too.
+	rec, _ := schema.InternRecord(
+		[][]string{{"ASIA", "JAPAN", "Customer#4"}, {"Electronics", "TV-1000"}},
+		[]float64{1399},
+	)
+	if err := tree.Delete(rec); err != nil {
+		log.Fatal(err)
+	}
+	v, _ = tree.RangeQuery(electronicsEU, dctree.Sum, 0)
+	fmt.Printf("after deleting the JP sale:    %8.2f\n", v)
+}

@@ -1,0 +1,199 @@
+// Retail: a persistent sales warehouse with OLAP-style roll-up and
+// drill-down over a DC-tree index.
+//
+// The example generates a season of synthetic point-of-sale records,
+// indexes them into a file-backed DC-tree, and then answers a typical
+// analyst session: total revenue, roll-up by region, drill-down into the
+// strongest region by nation, and a category × quarter cross view — every
+// answer a single range query against the same index. Finally the index is
+// flushed, reopened from disk, and queried again.
+//
+// Run with:
+//
+//	go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	dctree "github.com/dcindex/dctree"
+)
+
+var (
+	regions = map[string][]string{
+		"EUROPE":  {"GERMANY", "FRANCE", "UK", "ITALY"},
+		"AMERICA": {"USA", "CANADA", "BRAZIL"},
+		"ASIA":    {"JAPAN", "CHINA", "INDIA"},
+	}
+	categories = map[string][]string{
+		"Electronics": {"TV", "Laptop", "Phone", "Camera"},
+		"Home":        {"Sofa", "Lamp", "Desk"},
+		"Food":        {"Coffee", "Wine", "Chocolate"},
+	}
+	quarters = map[string][]string{
+		"Q1": {"Jan", "Feb", "Mar"},
+		"Q2": {"Apr", "May", "Jun"},
+		"Q3": {"Jul", "Aug", "Sep"},
+		"Q4": {"Oct", "Nov", "Dec"},
+	}
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dctree-retail")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	indexPath := filepath.Join(dir, "sales.dc")
+
+	schema := buildSchema()
+	cfg := dctree.DefaultConfig()
+	store, err := dctree.OpenFileStore(indexPath, cfg.BlockSize, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := dctree.New(store, schema, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a season of sales.
+	const nSales = 20000
+	rng := rand.New(rand.NewSource(2024))
+	regionNames := keys(regions)
+	categoryNames := keys(categories)
+	quarterNames := keys(quarters)
+	for i := 0; i < nSales; i++ {
+		region := regionNames[rng.Intn(len(regionNames))]
+		nation := regions[region][rng.Intn(len(regions[region]))]
+		category := categoryNames[rng.Intn(len(categoryNames))]
+		product := categories[category][rng.Intn(len(categories[category]))]
+		quarter := quarterNames[rng.Intn(len(quarterNames))]
+		month := quarters[quarter][rng.Intn(3)]
+		rec, err := schema.InternRecord([][]string{
+			{region, nation, fmt.Sprintf("Store#%03d", rng.Intn(200))},
+			{category, fmt.Sprintf("%s-%d", product, rng.Intn(40))},
+			{quarter, month},
+		}, []float64{10 + rng.Float64()*990})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.Insert(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d sales (tree height %d)\n\n", tree.Count(), tree.Height())
+
+	sum := func(b *dctree.QueryBuilder) float64 {
+		q, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := tree.RangeQuery(q, dctree.Sum, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+
+	// Roll-up: revenue by region.
+	total, _ := tree.RangeQuery(dctree.QueryAll(schema), dctree.Sum, 0)
+	fmt.Printf("total revenue: %12.2f\n\nby region:\n", total)
+	bestRegion, bestRevenue := "", 0.0
+	for _, region := range regionNames {
+		v := sum(dctree.NewQuery(schema).Where("Store", "Region", region))
+		fmt.Printf("  %-8s %12.2f\n", region, v)
+		if v > bestRevenue {
+			bestRegion, bestRevenue = region, v
+		}
+	}
+
+	// Drill-down into the strongest region.
+	fmt.Printf("\ndrill-down into %s:\n", bestRegion)
+	for _, nation := range regions[bestRegion] {
+		v := sum(dctree.NewQuery(schema).Where("Store", "Nation", nation))
+		fmt.Printf("  %-8s %12.2f\n", nation, v)
+	}
+
+	// Cross view: category × quarter.
+	fmt.Printf("\n%-12s", "")
+	for _, q := range quarterNames {
+		fmt.Printf("%12s", q)
+	}
+	fmt.Println()
+	for _, cat := range categoryNames {
+		fmt.Printf("%-12s", cat)
+		for _, quarter := range quarterNames {
+			v := sum(dctree.NewQuery(schema).
+				Where("Product", "Category", cat).
+				Where("Time", "Quarter", quarter))
+			fmt.Printf("%12.2f", v)
+		}
+		fmt.Println()
+	}
+
+	// Persist, reopen, re-query: the dictionaries travel with the index.
+	if err := tree.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	store2, err := dctree.OpenFileStore(indexPath, cfg.BlockSize, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store2.Close()
+	reopened, err := dctree.Open(store2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := dctree.NewQuery(reopened.Schema()).Where("Store", "Region", bestRegion).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := reopened.RangeQuery(q, dctree.Sum, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreopened from %s: %s revenue = %.2f (matches: %v)\n",
+		filepath.Base(indexPath), bestRegion, v, v == bestRevenue)
+}
+
+func buildSchema() *dctree.Schema {
+	store, err := dctree.NewHierarchy("Store", "Store", "Nation", "Region")
+	if err != nil {
+		log.Fatal(err)
+	}
+	product, err := dctree.NewHierarchy("Product", "Product", "Category")
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeDim, err := dctree.NewHierarchy("Time", "Month", "Quarter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := dctree.NewSchema([]*dctree.Hierarchy{store, product, timeDim}, "Revenue")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return schema
+}
+
+func keys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic order for reproducible output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Stockticker: the paper's motivating scenario for full dynamism (§1) —
+// "very dynamic applications such as stock markets" where the warehouse
+// cannot afford a nightly bulk-update window and must stay queryable 24/7.
+//
+// A writer goroutine streams trades into the DC-tree one record at a time
+// while several analyst goroutines continuously run aggregate range
+// queries against the live index. At the end the example verifies the
+// index against a sequential re-aggregation of everything the writer
+// inserted.
+//
+// Run with:
+//
+//	go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dctree "github.com/dcindex/dctree"
+)
+
+var exchanges = map[string]map[string][]string{
+	"NYSE": {
+		"Tech":   {"IBX", "HPQL", "ORCA"},
+		"Energy": {"XOMA", "CVXX"},
+	},
+	"NASDAQ": {
+		"Tech":    {"APLX", "MSFX", "NVDX", "GOOX"},
+		"Biotech": {"GILD", "AMGN"},
+	},
+	"LSE": {
+		"Energy":  {"BPX", "SHEL"},
+		"Finance": {"HSBA", "BARC"},
+	},
+}
+
+func main() {
+	// Dimensions: Security (Exchange > Sector > Ticker) and Time
+	// (Hour > Minute). Measure: traded value.
+	security, err := dctree.NewHierarchy("Security", "Ticker", "Sector", "Exchange")
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeDim, err := dctree.NewHierarchy("Time", "Minute", "Hour")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := dctree.NewSchema([]*dctree.Hierarchy{security, timeDim}, "Value")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := dctree.NewInMemory(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const trades = 30000
+	rng := rand.New(rand.NewSource(7))
+
+	// Pre-intern the records on the writer's side (interning mutates the
+	// dictionaries, which belongs to the single writer).
+	recs := make([]dctree.Record, trades)
+	var totalValue float64
+	for i := range recs {
+		var exch, sector, ticker string
+		ne := rng.Intn(len(exchanges))
+		for e := range exchanges {
+			if ne == 0 {
+				exch = e
+				break
+			}
+			ne--
+		}
+		ns := rng.Intn(len(exchanges[exch]))
+		for s := range exchanges[exch] {
+			if ns == 0 {
+				sector = s
+				break
+			}
+			ns--
+		}
+		tickers := exchanges[exch][sector]
+		ticker = tickers[rng.Intn(len(tickers))]
+		hour := 9 + rng.Intn(7)
+		minute := rng.Intn(60)
+		value := 100 + rng.Float64()*100000
+		rec, err := schema.InternRecord([][]string{
+			{exch, sector, ticker},
+			{fmt.Sprintf("%02dh", hour), fmt.Sprintf("%02d:%02d", hour, minute)},
+		}, []float64{value})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs[i] = rec
+		totalValue += value
+	}
+
+	// Analyst queries, prepared up front.
+	mkQuery := func(b *dctree.QueryBuilder) dctree.MDS {
+		q, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	queries := []dctree.MDS{
+		mkQuery(dctree.NewQuery(schema).Where("Security", "Exchange", "NASDAQ")),
+		mkQuery(dctree.NewQuery(schema).Where("Security", "Sector", "Tech")),
+		mkQuery(dctree.NewQuery(schema).Where("Security", "Sector", "Energy").Where("Time", "Hour", "09h", "10h")),
+		dctree.QueryAll(schema),
+	}
+
+	var (
+		wg         sync.WaitGroup
+		inserted   atomic.Int64
+		queriesRun atomic.Int64
+		stop       atomic.Bool
+	)
+
+	// The writer: one trade at a time, no batching, no downtime.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, rec := range recs {
+			if err := tree.Insert(rec); err != nil {
+				log.Fatal(err)
+			}
+			inserted.Add(1)
+		}
+		stop.Store(true)
+	}()
+
+	// The analysts: querying the index while it is being updated.
+	for a := 0; a < 4; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				q := queries[(i+a)%len(queries)]
+				if _, err := tree.RangeQuery(q, dctree.Sum, 0); err != nil {
+					log.Fatal(err)
+				}
+				queriesRun.Add(1)
+			}
+		}(a)
+	}
+
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("streamed %d trades in %v (%.0f trades/s)\n",
+		inserted.Load(), elapsed.Round(time.Millisecond),
+		float64(inserted.Load())/elapsed.Seconds())
+	fmt.Printf("answered %d live aggregate queries concurrently (%.0f queries/s)\n",
+		queriesRun.Load(), float64(queriesRun.Load())/elapsed.Seconds())
+
+	// Verify the final state against ground truth.
+	got, err := tree.RangeQuery(dctree.QueryAll(schema), dctree.Sum, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal SUM(Value) = %.2f (ground truth %.2f)\n", got, totalValue)
+	for _, name := range []string{"NYSE", "NASDAQ", "LSE"} {
+		q := mkQuery(dctree.NewQuery(schema).Where("Security", "Exchange", name))
+		v, err := tree.RangeQuery(q, dctree.Sum, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, _ := tree.RangeQuery(q, dctree.Count, 0)
+		fmt.Printf("  %-7s %14.2f across %6.0f trades\n", name, v, c)
+	}
+}

@@ -1,0 +1,85 @@
+// TPC-D: the paper's full evaluation workload end to end (§5) — the
+// simplified TPC-D cube of Fig. 8/9 (Customer, Supplier, Part, Time with
+// measure Extended Price), indexed by a DC-tree and queried with the
+// paper's random range-query generator at selectivities 1 %, 5 % and 25 %.
+//
+// This example drives the same internal workload generator the benchmark
+// harness uses; see cmd/dcbench for the figure-by-figure reproduction.
+//
+// Run with:
+//
+//	go run ./examples/tpcd [-n 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/dcindex/dctree/internal/core"
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/storage"
+	"github.com/dcindex/dctree/internal/tpcd"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "number of LINEITEM records")
+	flag.Parse()
+
+	gen, err := tpcd.New(1, tpcd.DefaultScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	tree, err := core.New(storage.NewMemStore(cfg.BlockSize), gen.Schema(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generating and inserting %d TPC-D records...\n", *n)
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		if err := tree.Insert(gen.Record()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insertTime := time.Since(start)
+	fmt.Printf("inserted in %v (%.3f ms/record)\n\n",
+		insertTime.Round(time.Millisecond),
+		insertTime.Seconds()*1000/float64(*n))
+
+	levels, err := tree.LevelStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tree shape (cf. Fig. 13):")
+	fmt.Println("level  nodes  supernodes  avg_entries")
+	for _, l := range levels {
+		fmt.Printf("%5d  %5d  %10d  %11.1f\n", l.Level, l.Nodes, l.Supernodes, l.AvgEntries)
+	}
+
+	fmt.Println("\nrandom range queries (100 per selectivity, cf. Fig. 12):")
+	for _, sel := range []float64{0.01, 0.05, 0.25} {
+		qg := gen.Queries(int64(sel * 1000))
+		var total time.Duration
+		var sum float64
+		var matHits int
+		for i := 0; i < 100; i++ {
+			q, err := qg.Query(sel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			qs := time.Now()
+			v, st, err := tree.RangeQueryStats(q.MDS, cube.Sum, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += time.Since(qs)
+			sum += v
+			matHits += st.MaterializedHits
+		}
+		fmt.Printf("  selectivity %4.0f%%: %8.3f ms/query  (%5d materialized directory hits)\n",
+			sel*100, total.Seconds()*1000/100, matHits)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/dcindex/dctree
+
+go 1.22

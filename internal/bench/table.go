@@ -1,0 +1,90 @@
+// Package bench contains the experiment drivers that regenerate every
+// figure of the DC-tree paper's evaluation (§5): insertion time (Fig. 11),
+// query time per selectivity against the X-tree and the sequential search
+// (Fig. 12), and node sizes per level (Fig. 13), plus the ablations called
+// out in DESIGN.md.
+//
+// The drivers print the same series the paper plots. Absolute seconds
+// differ from the 1999 HP C160 testbed; the comparisons of interest are
+// the shapes: who wins, by what factor, and where the selectivity
+// trade-off falls.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result: one figure's series.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f3(x float64) string   { return fmt.Sprintf("%.3f", x) }
+func f1(x float64) string   { return fmt.Sprintf("%.1f", x) }
+func d(x int) string        { return fmt.Sprintf("%d", x) }
+func fx(x float64) string   { return fmt.Sprintf("%.2fx", x) }
+func ms(sec float64) string { return fmt.Sprintf("%.3f", sec*1000) }
+
+func d64(x int64) string { return fmt.Sprintf("%d", x) }

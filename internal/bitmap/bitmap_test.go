@@ -1,0 +1,185 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := New()
+	if b.Count() != 0 || b.Contains(0) {
+		t.Fatal("fresh bitset not empty")
+	}
+	rows := []uint32{0, 1, 65535, 65536, 1 << 20, 42, 42}
+	for _, r := range rows {
+		b.Add(r)
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d, want 6 (duplicate collapsed)", b.Count())
+	}
+	for _, r := range rows {
+		if !b.Contains(r) {
+			t.Fatalf("missing %d", r)
+		}
+	}
+	for _, r := range []uint32{2, 65534, 1<<20 + 1} {
+		if b.Contains(r) {
+			t.Fatalf("phantom %d", r)
+		}
+	}
+	var got []uint32
+	b.ForEach(func(r uint32) bool { got = append(got, r); return true })
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("ForEach not ascending: %v", got)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("ForEach visited %d", len(got))
+	}
+	// Early stop.
+	n := 0
+	b.ForEach(func(uint32) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if b.String() == "" || b.MemoryBytes() <= 0 {
+		t.Fatal("diagnostics empty")
+	}
+}
+
+func TestContainerConversion(t *testing.T) {
+	b := New()
+	// Force an array→words conversion by exceeding arrayMax in one chunk.
+	for i := 0; i < arrayMax+10; i++ {
+		b.Add(uint32(i * 3 % containerBits))
+	}
+	want := map[uint32]bool{}
+	for i := 0; i < arrayMax+10; i++ {
+		want[uint32(i*3%containerBits)] = true
+	}
+	if b.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(want))
+	}
+	for r := range want {
+		if !b.Contains(r) {
+			t.Fatalf("missing %d after conversion", r)
+		}
+	}
+	// And back down via And with a sparse set.
+	sparse := New()
+	sparse.Add(3)
+	sparse.Add(9)
+	sparse.Add(999999)
+	b.And(sparse)
+	if b.Count() != 2 || !b.Contains(3) || !b.Contains(9) {
+		t.Fatalf("And result: %v", b)
+	}
+}
+
+// TestSetAlgebraAgainstMap drives random Or/And chains against a map oracle.
+func TestSetAlgebraAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 30; round++ {
+		mk := func(n int, span uint32) (*Bitset, map[uint32]bool) {
+			b, m := New(), map[uint32]bool{}
+			for i := 0; i < n; i++ {
+				r := rng.Uint32() % span
+				b.Add(r)
+				m[r] = true
+			}
+			return b, m
+		}
+		span := []uint32{1000, 70000, 1 << 21}[round%3]
+		a, am := mk(rng.Intn(8000), span)
+		c, cm := mk(rng.Intn(8000), span)
+
+		union := a.Clone()
+		union.Or(c)
+		wantUnion := map[uint32]bool{}
+		for r := range am {
+			wantUnion[r] = true
+		}
+		for r := range cm {
+			wantUnion[r] = true
+		}
+		if union.Count() != len(wantUnion) {
+			t.Fatalf("round %d: union count %d want %d", round, union.Count(), len(wantUnion))
+		}
+		union.ForEach(func(r uint32) bool {
+			if !wantUnion[r] {
+				t.Fatalf("round %d: phantom %d in union", round, r)
+			}
+			return true
+		})
+
+		inter := a.Clone()
+		inter.And(c)
+		wantInter := 0
+		for r := range am {
+			if cm[r] {
+				wantInter++
+				if !inter.Contains(r) {
+					t.Fatalf("round %d: missing %d in intersection", round, r)
+				}
+			}
+		}
+		if inter.Count() != wantInter {
+			t.Fatalf("round %d: inter count %d want %d", round, inter.Count(), wantInter)
+		}
+		// The original is untouched by Clone-based ops.
+		if a.Count() != len(am) {
+			t.Fatalf("round %d: source mutated", round)
+		}
+	}
+}
+
+func TestBitsetQuickAddContains(t *testing.T) {
+	f := func(rows []uint32) bool {
+		b := New()
+		seen := map[uint32]bool{}
+		for _, r := range rows {
+			b.Add(r)
+			seen[r] = true
+		}
+		if b.Count() != len(seen) {
+			return false
+		}
+		for r := range seen {
+			if !b.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBitsetAdd(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint32(i))
+	}
+}
+
+func BenchmarkBitsetAndDense(b *testing.B) {
+	x, y := New(), New()
+	for i := 0; i < 200000; i++ {
+		if i%2 == 0 {
+			x.Add(uint32(i))
+		}
+		if i%3 == 0 {
+			y.Add(uint32(i))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := x.Clone()
+		z.And(y)
+	}
+}

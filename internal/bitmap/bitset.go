@@ -1,0 +1,379 @@
+// Package bitmap implements the bitmap-index baseline of the DC-tree
+// paper's related work (§2): per-attribute-value bit vectors over the
+// fact records, with one index per hierarchy level of every dimension
+// (the "bitmap join index" of O'Neil/Graefe precomputes exactly these
+// dimension-table joins).
+//
+// The paper's two criticisms of bitmap indexes for dynamic warehouses are
+// both reproducible with this implementation:
+//
+//  1. they are effectively static — Append is cheap, but the index offers
+//     no record deletion short of a rebuild, and compressed runs degrade
+//     under random single-bit updates;
+//  2. they are secondary indexes: a multi-dimensional range query ANDs
+//     per-dimension ORs of bit vectors and then still has to fetch every
+//     qualifying record for the measure aggregation, so performance
+//     degrades toward a scan as selectivity grows.
+//
+// The bitmaps use a two-container compression scheme (sorted array for
+// sparse ranges, packed words for dense ranges) in the spirit of roaring
+// bitmaps, sized for fact tables in the hundreds of thousands of rows.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// containerBits is the number of row positions one container spans.
+	containerBits = 1 << 16
+	// arrayMax is the cardinality threshold above which an array
+	// container converts to a packed bitmap container.
+	arrayMax = 4096
+)
+
+// container holds one 2^16-row chunk either as a sorted uint16 array
+// (sparse) or as packed words (dense).
+type container struct {
+	array []uint16 // sorted, nil when words is used
+	words []uint64 // 1024 words, nil when array is used
+	n     int      // cardinality
+}
+
+// Bitset is a compressed set of row positions (uint32).
+type Bitset struct {
+	keys []uint32     // sorted container keys (row >> 16)
+	cs   []*container // parallel to keys
+}
+
+// New returns an empty bitset.
+func New() *Bitset { return &Bitset{} }
+
+// findContainer returns the index of the container with the given key, or
+// the insertion position with found=false.
+func (b *Bitset) findContainer(key uint32) (int, bool) {
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(b.keys) && b.keys[lo] == key
+}
+
+// Add inserts one row position.
+func (b *Bitset) Add(row uint32) {
+	key := row >> 16
+	low := uint16(row)
+	i, ok := b.findContainer(key)
+	if !ok {
+		c := &container{array: make([]uint16, 0, 8)}
+		b.keys = append(b.keys, 0)
+		b.cs = append(b.cs, nil)
+		copy(b.keys[i+1:], b.keys[i:])
+		copy(b.cs[i+1:], b.cs[i:])
+		b.keys[i] = key
+		b.cs[i] = c
+	}
+	b.cs[i].add(low)
+}
+
+func (c *container) add(v uint16) {
+	if c.words != nil {
+		w, bit := v>>6, uint64(1)<<(v&63)
+		if c.words[w]&bit == 0 {
+			c.words[w] |= bit
+			c.n++
+		}
+		return
+	}
+	lo, hi := 0, len(c.array)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.array[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.array) && c.array[lo] == v {
+		return
+	}
+	c.array = append(c.array, 0)
+	copy(c.array[lo+1:], c.array[lo:])
+	c.array[lo] = v
+	c.n++
+	if c.n > arrayMax {
+		c.toWords()
+	}
+}
+
+func (c *container) toWords() {
+	words := make([]uint64, containerBits/64)
+	for _, v := range c.array {
+		words[v>>6] |= uint64(1) << (v & 63)
+	}
+	c.words = words
+	c.array = nil
+}
+
+// Contains reports whether a row position is in the set.
+func (b *Bitset) Contains(row uint32) bool {
+	i, ok := b.findContainer(row >> 16)
+	if !ok {
+		return false
+	}
+	return b.cs[i].contains(uint16(row))
+}
+
+func (c *container) contains(v uint16) bool {
+	if c.words != nil {
+		return c.words[v>>6]&(uint64(1)<<(v&63)) != 0
+	}
+	lo, hi := 0, len(c.array)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.array[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.array) && c.array[lo] == v
+}
+
+// Count returns the set's cardinality.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, c := range b.cs {
+		n += c.n
+	}
+	return n
+}
+
+// Or folds another bitset into this one (in-place union).
+func (b *Bitset) Or(o *Bitset) {
+	for j, key := range o.keys {
+		i, ok := b.findContainer(key)
+		if !ok {
+			b.keys = append(b.keys, 0)
+			b.cs = append(b.cs, nil)
+			copy(b.keys[i+1:], b.keys[i:])
+			copy(b.cs[i+1:], b.cs[i:])
+			b.keys[i] = key
+			b.cs[i] = o.cs[j].clone()
+			continue
+		}
+		b.cs[i].or(o.cs[j])
+	}
+}
+
+func (c *container) clone() *container {
+	out := &container{n: c.n}
+	if c.words != nil {
+		out.words = append([]uint64(nil), c.words...)
+	} else {
+		out.array = append([]uint16(nil), c.array...)
+	}
+	return out
+}
+
+func (c *container) or(o *container) {
+	if c.words == nil && o.words == nil {
+		merged := make([]uint16, 0, len(c.array)+len(o.array))
+		i, j := 0, 0
+		for i < len(c.array) && j < len(o.array) {
+			switch {
+			case c.array[i] < o.array[j]:
+				merged = append(merged, c.array[i])
+				i++
+			case c.array[i] > o.array[j]:
+				merged = append(merged, o.array[j])
+				j++
+			default:
+				merged = append(merged, c.array[i])
+				i++
+				j++
+			}
+		}
+		merged = append(merged, c.array[i:]...)
+		merged = append(merged, o.array[j:]...)
+		c.array = merged
+		c.n = len(merged)
+		if c.n > arrayMax {
+			c.toWords()
+		}
+		return
+	}
+	if c.words == nil {
+		c.toWords()
+	}
+	if o.words != nil {
+		n := 0
+		for w := range c.words {
+			c.words[w] |= o.words[w]
+			n += popcount(c.words[w])
+		}
+		c.n = n
+		return
+	}
+	for _, v := range o.array {
+		w, bit := v>>6, uint64(1)<<(v&63)
+		if c.words[w]&bit == 0 {
+			c.words[w] |= bit
+			c.n++
+		}
+	}
+}
+
+// And intersects this bitset with another in place.
+func (b *Bitset) And(o *Bitset) {
+	outKeys := b.keys[:0]
+	outCs := b.cs[:0]
+	for i, key := range b.keys {
+		j, ok := o.findContainer(key)
+		if !ok {
+			continue
+		}
+		c := b.cs[i]
+		c.and(o.cs[j])
+		if c.n > 0 {
+			outKeys = append(outKeys, key)
+			outCs = append(outCs, c)
+		}
+	}
+	b.keys = outKeys
+	b.cs = outCs
+}
+
+func (c *container) and(o *container) {
+	switch {
+	case c.words != nil && o.words != nil:
+		n := 0
+		for w := range c.words {
+			c.words[w] &= o.words[w]
+			n += popcount(c.words[w])
+		}
+		c.n = n
+		if c.n <= arrayMax/2 {
+			c.toArray()
+		}
+	case c.words == nil && o.words == nil:
+		out := c.array[:0]
+		i, j := 0, 0
+		for i < len(c.array) && j < len(o.array) {
+			switch {
+			case c.array[i] < o.array[j]:
+				i++
+			case c.array[i] > o.array[j]:
+				j++
+			default:
+				out = append(out, c.array[i])
+				i++
+				j++
+			}
+		}
+		c.array = out
+		c.n = len(out)
+	case c.words == nil: // c array, o words
+		out := c.array[:0]
+		for _, v := range c.array {
+			if o.words[v>>6]&(uint64(1)<<(v&63)) != 0 {
+				out = append(out, v)
+			}
+		}
+		c.array = out
+		c.n = len(out)
+	default: // c words, o array
+		words := make([]uint64, len(c.words))
+		n := 0
+		for _, v := range o.array {
+			w, bit := v>>6, uint64(1)<<(v&63)
+			if c.words[w]&bit != 0 {
+				words[w] |= bit
+				n++
+			}
+		}
+		c.words = words
+		c.n = n
+		if c.n <= arrayMax/2 {
+			c.toArray()
+		}
+	}
+}
+
+func (c *container) toArray() {
+	arr := make([]uint16, 0, c.n)
+	for w, word := range c.words {
+		for word != 0 {
+			bit := trailingZeros(word)
+			arr = append(arr, uint16(w*64+bit))
+			word &= word - 1
+		}
+	}
+	c.array = arr
+	c.words = nil
+}
+
+// ForEach streams the row positions in ascending order; fn returning
+// false stops the iteration.
+func (b *Bitset) ForEach(fn func(row uint32) bool) {
+	for i, key := range b.keys {
+		base := key << 16
+		c := b.cs[i]
+		if c.words == nil {
+			for _, v := range c.array {
+				if !fn(base | uint32(v)) {
+					return
+				}
+			}
+			continue
+		}
+		for w, word := range c.words {
+			for word != 0 {
+				bit := trailingZeros(word)
+				if !fn(base | uint32(w*64+bit)) {
+					return
+				}
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{
+		keys: append([]uint32(nil), b.keys...),
+		cs:   make([]*container, len(b.cs)),
+	}
+	for i, c := range b.cs {
+		out.cs[i] = c.clone()
+	}
+	return out
+}
+
+// MemoryBytes estimates the compressed in-memory footprint.
+func (b *Bitset) MemoryBytes() int {
+	n := len(b.keys) * 12
+	for _, c := range b.cs {
+		if c.words != nil {
+			n += len(c.words) * 8
+		} else {
+			n += len(c.array) * 2
+		}
+	}
+	return n
+}
+
+// String renders a short summary.
+func (b *Bitset) String() string {
+	return fmt.Sprintf("Bitset{%d rows, %d containers, %dB}", b.Count(), len(b.cs), b.MemoryBytes())
+}
+
+func popcount(x uint64) int      { return bits.OnesCount64(x) }
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,167 @@
+package bitmap
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// Errors returned by the index.
+var (
+	ErrBadMeasure = errors.New("bitmap: measure index out of range")
+	ErrNoDelete   = errors.New("bitmap: deletion requires a rebuild (static index, §2 of the paper)")
+)
+
+// Index is a bitmap join index over a data cube: for every dimension and
+// every hierarchy level, one compressed bit vector per attribute value,
+// marking the fact rows whose coordinate rolls up to that value. Records
+// themselves live in a row-ordered arrary (the "fact table").
+//
+// Append maintains the index incrementally (setting one bit per level per
+// dimension); Delete is intentionally unsupported — a bitmap index is the
+// paper's example of a *static* derived structure that forces bulk
+// rebuild windows.
+type Index struct {
+	schema *cube.Schema
+	recs   []cube.Record
+	// bits[d][level][code] is the bit vector of attribute value
+	// MakeID(level, code) of dimension d.
+	bits [][][]*Bitset
+
+	// RowsFetched counts fact rows touched during query aggregation (the
+	// secondary-index penalty: bitmaps locate rows, measures still need
+	// fetching).
+	RowsFetched int64
+}
+
+// NewIndex creates an empty bitmap join index for the schema.
+func NewIndex(schema *cube.Schema) *Index {
+	bits := make([][][]*Bitset, schema.Dims())
+	for d := range bits {
+		h, _ := schema.Dim(d)
+		bits[d] = make([][]*Bitset, h.Depth())
+	}
+	return &Index{schema: schema, bits: bits}
+}
+
+// Schema returns the indexed cube's schema.
+func (ix *Index) Schema() *cube.Schema { return ix.schema }
+
+// Count returns the number of indexed fact rows.
+func (ix *Index) Count() int { return len(ix.recs) }
+
+// Append adds one record at the next row position.
+func (ix *Index) Append(rec cube.Record) error {
+	if err := ix.schema.ValidateRecord(rec); err != nil {
+		return err
+	}
+	row := uint32(len(ix.recs))
+	space := ix.schema.Space()
+	for d, h := range space {
+		cur := rec.Coords[d]
+		for level := 0; level < h.Depth(); level++ {
+			if level > 0 {
+				p, err := h.Parent(cur)
+				if err != nil {
+					return err
+				}
+				cur = p
+			}
+			ix.bit(d, level, cur.Code()).Add(row)
+		}
+	}
+	ix.recs = append(ix.recs, rec.Clone())
+	return nil
+}
+
+// bit returns (allocating as needed) the bit vector of one value.
+func (ix *Index) bit(d, level int, code uint32) *Bitset {
+	vectors := ix.bits[d][level]
+	for int(code) >= len(vectors) {
+		vectors = append(vectors, nil)
+	}
+	if vectors[code] == nil {
+		vectors[code] = New()
+	}
+	ix.bits[d][level] = vectors
+	return vectors[code]
+}
+
+// Delete always fails: the paper's point about bitmap indexes (§2).
+func (ix *Index) Delete(cube.Record) error { return ErrNoDelete }
+
+// RangeAgg answers a range query: per constrained dimension the value
+// bitmaps are ORed, the per-dimension results are ANDed, and the measure
+// is aggregated by fetching each qualifying fact row.
+func (ix *Index) RangeAgg(q mds.MDS, measure int) (cube.Agg, error) {
+	if measure < 0 || measure >= ix.schema.Measures() {
+		return cube.Agg{}, fmt.Errorf("%w: %d", ErrBadMeasure, measure)
+	}
+	if err := q.Validate(ix.schema.Space()); err != nil {
+		return cube.Agg{}, err
+	}
+	var acc *Bitset
+	for d := range q {
+		if q[d].Level == hierarchy.LevelALL {
+			continue
+		}
+		dim := New()
+		vectors := ix.bits[d][q[d].Level]
+		for _, id := range q[d].IDs {
+			if int(id.Code()) < len(vectors) && vectors[id.Code()] != nil {
+				dim.Or(vectors[id.Code()])
+			}
+		}
+		if acc == nil {
+			acc = dim
+		} else {
+			acc.And(dim)
+		}
+		if acc.Count() == 0 {
+			return cube.Agg{}, nil
+		}
+	}
+
+	var agg cube.Agg
+	if acc == nil {
+		// Fully unconstrained: aggregate the whole fact table.
+		for i := range ix.recs {
+			agg.Add(ix.recs[i].Measures[measure])
+		}
+		ix.RowsFetched += int64(len(ix.recs))
+		return agg, nil
+	}
+	acc.ForEach(func(row uint32) bool {
+		agg.Add(ix.recs[row].Measures[measure])
+		ix.RowsFetched++
+		return true
+	})
+	return agg, nil
+}
+
+// RangeQuery is RangeAgg narrowed to one operator.
+func (ix *Index) RangeQuery(q mds.MDS, op cube.Op, measure int) (float64, error) {
+	agg, err := ix.RangeAgg(q, measure)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Value(op), nil
+}
+
+// MemoryBytes estimates the total compressed size of all bit vectors.
+func (ix *Index) MemoryBytes() int {
+	n := 0
+	for _, dim := range ix.bits {
+		for _, level := range dim {
+			for _, b := range level {
+				if b != nil {
+					n += b.MemoryBytes()
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/seqscan"
+)
+
+func testSchema(t testing.TB) *cube.Schema {
+	t.Helper()
+	cust := hierarchy.MustNew("Customer", "Customer", "Nation", "Region")
+	part := hierarchy.MustNew("Part", "Part", "Brand")
+	tim := hierarchy.MustNew("Time", "Month", "Year")
+	return cube.MustNewSchema([]*hierarchy.Hierarchy{cust, part, tim}, "Price")
+}
+
+func genRecords(t testing.TB, s *cube.Schema, rng *rand.Rand, n int) []cube.Record {
+	t.Helper()
+	recs := make([]cube.Record, n)
+	for i := range recs {
+		r, err := s.InternRecord([][]string{
+			{fmt.Sprintf("R%d", rng.Intn(4)), fmt.Sprintf("N%d", rng.Intn(12)), fmt.Sprintf("C%d", rng.Intn(400))},
+			{fmt.Sprintf("B%d", rng.Intn(8)), fmt.Sprintf("P%d", rng.Intn(300))},
+			{fmt.Sprintf("Y%d", rng.Intn(5)), fmt.Sprintf("M%d", rng.Intn(60))},
+		}, []float64{float64(rng.Intn(1000))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// randomQuery mirrors the core test generator: per dimension a random
+// level and a random subset of its registered values.
+func randomQuery(rng *rand.Rand, s *cube.Schema, selectivity float64) mds.MDS {
+	space := s.Space()
+	q := make(mds.MDS, len(space))
+	for d, h := range space {
+		if rng.Intn(6) == 0 {
+			q[d] = mds.AllDim()
+			continue
+		}
+		level := rng.Intn(h.Depth())
+		vals, _ := h.ValuesAt(level)
+		if len(vals) == 0 {
+			q[d] = mds.AllDim()
+			continue
+		}
+		k := int(selectivity * float64(len(vals)))
+		if k < 1 {
+			k = 1
+		}
+		perm := rng.Perm(len(vals))[:k]
+		ids := make([]hierarchy.ID, k)
+		for i, p := range perm {
+			ids[i] = vals[p]
+		}
+		hierarchy.SortIDs(ids)
+		q[d] = mds.DimSet{Level: level, IDs: ids}
+	}
+	return q
+}
+
+// TestIndexAgainstSeqScan is the oracle: the bitmap index must return the
+// same aggregates as the sequential scan for every random query.
+func TestIndexAgainstSeqScan(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(7))
+	recs := genRecords(t, s, rng, 4000)
+
+	ix := NewIndex(s)
+	scan := seqscan.New(s)
+	for _, r := range recs {
+		if err := ix.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Count() != 4000 {
+		t.Fatalf("Count = %d", ix.Count())
+	}
+
+	for i := 0; i < 300; i++ {
+		q := randomQuery(rng, s, []float64{0.01, 0.05, 0.25}[i%3])
+		want, err := scan.RangeAgg(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.RangeAgg(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.Sum != want.Sum ||
+			(want.Count > 0 && (got.Min != want.Min || got.Max != want.Max)) {
+			t.Fatalf("query %d: bitmap %+v != scan %+v\nq=%v", i, got, want, q)
+		}
+	}
+	if ix.RowsFetched == 0 {
+		t.Fatal("row-fetch accounting missing")
+	}
+	if ix.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting missing")
+	}
+}
+
+func TestIndexSemantics(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(9))
+	recs := genRecords(t, s, rng, 200)
+	ix := NewIndex(s)
+	var total float64
+	for _, r := range recs {
+		if err := ix.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		total += r.Measures[0]
+	}
+
+	// Fully unconstrained query = whole fact table.
+	got, err := ix.RangeQuery(mds.Top(3), cube.Sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("ALL sum = %g want %g", got, total)
+	}
+	// Disjoint constraint yields the empty aggregate quickly.
+	q := mds.Top(3)
+	q[0] = mds.DimSet{Level: 0, IDs: []hierarchy.ID{recs[0].Coords[0]}}
+	q[1] = mds.DimSet{Level: 0, IDs: []hierarchy.ID{recs[1].Coords[1]}}
+	agg, err := ix.RangeAgg(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Not necessarily empty, but must match a manual check.)
+	var want cube.Agg
+	space := s.Space()
+	for _, r := range recs {
+		ok, _ := q.ContainsLeaves(space, r.Coords)
+		if ok {
+			want.Add(r.Measures[0])
+		}
+	}
+	if agg != want {
+		t.Fatalf("agg %+v want %+v", agg, want)
+	}
+
+	// The paper's point: no deletion without a rebuild.
+	if err := ix.Delete(recs[0]); err != ErrNoDelete {
+		t.Fatalf("Delete = %v, want ErrNoDelete", err)
+	}
+	// Validation errors.
+	if _, err := ix.RangeAgg(mds.Top(3), 5); err == nil {
+		t.Fatal("bad measure accepted")
+	}
+	if _, err := ix.RangeAgg(mds.Top(2), 0); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+	bad := recs[0].Clone()
+	bad.Coords[0] = hierarchy.MakeID(1, 0)
+	if err := ix.Append(bad); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// BulkLoad fills an empty tree from a record set in one pass: records are
+// sorted hierarchically (per dimension top-down, dimensions
+// round-robined), packed into full data nodes, and the directory is built
+// bottom-up with exact covers, refined relevant levels, and materialized
+// aggregates.
+//
+// This is the "bulk incremental update" mode of the systems the paper
+// compares against (§1): it produces a well-clustered tree faster than
+// record-at-a-time insertion, at the price of the warehouse being offline
+// while it runs. It exists here to quantify that trade-off (see the
+// BulkVsDynamic benchmark); the paper's contribution is that the DC-tree
+// makes the trade-off unnecessary.
+func (t *Tree) BulkLoad(recs []cube.Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count > 0 {
+		return fmt.Errorf("%w: BulkLoad requires an empty tree", ErrBadConfig)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	for i := range recs {
+		if err := t.schema.ValidateRecord(recs[i]); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	space := t.space()
+
+	// Hierarchical sort: compare the records' concept paths level by
+	// level, cycling through the dimensions at each depth, so that records
+	// sharing coarse ancestors in any dimension end up adjacent — the
+	// clustering the dynamic insert develops incrementally.
+	keys := make([][]uint32, len(recs))
+	maxDepth := 0
+	for _, h := range space {
+		if h.Depth() > maxDepth {
+			maxDepth = h.Depth()
+		}
+	}
+	for i, r := range recs {
+		key := make([]uint32, 0, maxDepth*len(space))
+		for depth := 0; depth < maxDepth; depth++ {
+			for d, h := range space {
+				level := h.TopLevel() - depth
+				if level < 0 {
+					continue
+				}
+				anc, err := h.AncestorAt(r.Coords[d], level)
+				if err != nil {
+					return err
+				}
+				key = append(key, anc.Code())
+			}
+		}
+		keys[i] = key
+	}
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+
+	// Pack sorted records into full data nodes.
+	type built struct {
+		id  nodeID
+		mds mds.MDS
+		agg cube.AggVector
+	}
+	measures := t.schema.Measures()
+	var level []built
+	for lo := 0; lo < len(recs); lo += t.cfg.LeafCapacity {
+		hi := lo + t.cfg.LeafCapacity
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		n := t.newNode(true)
+		for _, idx := range order[lo:hi] {
+			r := recs[idx]
+			n.entries = append(n.entries, entry{
+				MDS: mds.FromLeaves(r.Coords),
+				Agg: cube.AggOfRecord(r.Measures),
+				Rec: r.Clone(),
+			})
+		}
+		m, err := t.bulkDescribe(n)
+		if err != nil {
+			return err
+		}
+		level = append(level, built{id: n.id, mds: m, agg: n.aggregate(measures)})
+	}
+	t.height = 1
+
+	// Build the directory bottom-up, packing full directory nodes.
+	for len(level) > 1 {
+		var next []built
+		for lo := 0; lo < len(level); lo += t.cfg.DirCapacity {
+			hi := lo + t.cfg.DirCapacity
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := t.newNode(false)
+			for _, b := range level[lo:hi] {
+				n.entries = append(n.entries, entry{MDS: b.mds, Agg: b.agg, Child: b.id})
+			}
+			m, err := t.bulkDescribe(n)
+			if err != nil {
+				return err
+			}
+			next = append(next, built{id: n.id, mds: m, agg: n.aggregate(measures)})
+		}
+		level = next
+		t.height++
+	}
+
+	root, err := t.getNode(level[0].id)
+	if err != nil {
+		return err
+	}
+	// Drop the old empty root and install the packed one.
+	if err := t.dropNode(t.root); err != nil {
+		return err
+	}
+	t.root = root.id
+	t.rootMDS = level[0].mds
+	t.count = int64(len(recs))
+	return nil
+}
+
+// bulkDescribe computes a node's describing MDS for bulk loading: the
+// exact cover lifted to coarse relevant levels, refined by the same rule
+// the dynamic split path uses.
+func (t *Tree) bulkDescribe(n *node) (mds.MDS, error) {
+	space := t.space()
+	cover, err := n.cover(space)
+	if err != nil {
+		return nil, err
+	}
+	// Lift to the coarsest describable form first (one value per
+	// dimension where possible keeps the description minimal), then apply
+	// the standard refinement bound downward.
+	levels := make([]int, len(space))
+	for d, h := range space {
+		levels[d] = h.TopLevel()
+	}
+	coarse, err := mds.AdaptToLevels(space, cover, levels)
+	if err != nil {
+		return nil, err
+	}
+	return t.refineMDS(n, coarse)
+}

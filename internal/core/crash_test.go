@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// crashStore fails every mutating operation once the op budget runs out,
+// simulating a process death at an arbitrary point during Flush. All
+// state persisted before the "crash" stays readable.
+type crashStore struct {
+	storage.Store
+	budget int // mutations allowed before the crash; -1 = unlimited
+}
+
+var errCrashed = errors.New("simulated crash")
+
+func (c *crashStore) spend() error {
+	if c.budget < 0 {
+		return nil
+	}
+	if c.budget == 0 {
+		return errCrashed
+	}
+	c.budget--
+	return nil
+}
+
+func (c *crashStore) Alloc(blocks int) (storage.PageID, error) {
+	if err := c.spend(); err != nil {
+		return storage.NilPage, err
+	}
+	return c.Store.Alloc(blocks)
+}
+
+func (c *crashStore) Write(id storage.PageID, blocks int, data []byte) error {
+	if err := c.spend(); err != nil {
+		return err
+	}
+	return c.Store.Write(id, blocks, data)
+}
+
+func (c *crashStore) Free(id storage.PageID, blocks int) error {
+	if err := c.spend(); err != nil {
+		return err
+	}
+	return c.Store.Free(id, blocks)
+}
+
+func (c *crashStore) SetMeta(data []byte) error {
+	if err := c.spend(); err != nil {
+		return err
+	}
+	return c.Store.SetMeta(data)
+}
+
+func (c *crashStore) Sync() error {
+	if err := c.spend(); err != nil {
+		return err
+	}
+	return c.Store.Sync()
+}
+
+// TestCrashDuringFlushPreservesLastCheckpoint is the shadow-paging
+// guarantee: whatever point a flush dies at, reopening the store yields
+// exactly the previously flushed tree.
+func TestCrashDuringFlushPreservesLastCheckpoint(t *testing.T) {
+	cfg := smallConfig()
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(201))
+	warm := genRecords(t, s, rng, 300)
+	extra := genRecords(t, s, rng, 200)
+
+	// Determine how many store mutations a full second flush performs, so
+	// the crash sweep covers every prefix.
+	probeStore := &crashStore{Store: storage.NewMemStore(cfg.BlockSize), budget: -1}
+	probe, err := New(probeStore, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range warm {
+		probe.Insert(r)
+	}
+	if err := probe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range extra {
+		probe.Insert(r)
+	}
+	before := probeStore.Stats()
+	if err := probe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	delta := probeStore.Stats().Sub(before)
+	totalOps := int(delta.Allocs + delta.Writes + delta.Frees + 2) // + meta + sync
+
+	checkpointCount := int64(len(warm))
+	for budget := 0; budget < totalOps; budget += 3 {
+		cs := &crashStore{Store: storage.NewMemStore(cfg.BlockSize), budget: -1}
+		tree, err := New(cs, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range warm {
+			if err := tree.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tree.Flush(); err != nil {
+			t.Fatalf("checkpoint flush: %v", err)
+		}
+		checkpointSum, err := tree.RangeAgg(tree.RootMDS(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, r := range extra {
+			if err := tree.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs.budget = budget
+		err = tree.Flush()
+		cs.budget = -1
+		if err == nil {
+			t.Fatalf("budget %d: flush unexpectedly survived", budget)
+		}
+		if !errors.Is(err, errCrashed) {
+			t.Fatalf("budget %d: unexpected flush error %v", budget, err)
+		}
+
+		// "Reboot": reopen from the store contents only. Atomicity means
+		// exactly one of two states is visible: the checkpoint (crash
+		// before the metadata swap committed) or the complete new tree
+		// (crash after — only the release of shadowed extents was lost).
+		reopened, err := Open(cs.Store)
+		if err != nil {
+			t.Fatalf("budget %d: Open after crash: %v", budget, err)
+		}
+		newCount := checkpointCount + int64(len(extra))
+		switch reopened.Count() {
+		case checkpointCount:
+			got, err := reopened.RangeAgg(reopened.RootMDS(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count != checkpointSum.Count || !floatClose(got.Sum, checkpointSum.Sum) {
+				t.Fatalf("budget %d: checkpoint agg %+v, want %+v", budget, got, checkpointSum)
+			}
+		case newCount:
+			// Post-commit crash: the full new state must be present.
+		default:
+			t.Fatalf("budget %d: reopened count %d, want %d (checkpoint) or %d (committed)",
+				budget, reopened.Count(), checkpointCount, newCount)
+		}
+		if err := reopened.Validate(); err != nil {
+			t.Fatalf("budget %d: reopened tree corrupt: %v", budget, err)
+		}
+	}
+}
+
+// TestCrashAfterDeleteFlush covers the dropNode deferred-free path: a
+// crash between a delete's flush steps must not have recycled extents the
+// previous checkpoint still references.
+func TestCrashAfterDeleteFlush(t *testing.T) {
+	cfg := smallConfig()
+	cs := &crashStore{Store: storage.NewMemStore(cfg.BlockSize), budget: -1}
+	s := testSchema(t)
+	tree, err := New(cs, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(203))
+	recs := genRecords(t, s, rng, 400)
+	for _, r := range recs {
+		tree.Insert(r)
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete enough to empty nodes (dropNode path), then crash mid-flush.
+	for _, r := range recs[:200] {
+		if err := tree.Delete(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs.budget = 5
+	if err := tree.Flush(); err == nil {
+		t.Fatal("flush survived crash budget")
+	}
+	cs.budget = -1
+
+	reopened, err := Open(cs.Store)
+	if err != nil {
+		t.Fatalf("Open after crashed delete-flush: %v", err)
+	}
+	if reopened.Count() != 400 {
+		t.Fatalf("reopened count = %d, want the 400-record checkpoint", reopened.Count())
+	}
+	if err := reopened.Validate(); err != nil {
+		t.Fatalf("reopened tree corrupt: %v", err)
+	}
+	var total cube.Agg
+	for _, r := range recs {
+		total.Add(r.Measures[0])
+	}
+	got, _ := reopened.RangeAgg(reopened.RootMDS(), 0)
+	if got.Count != total.Count {
+		t.Fatalf("agg count %d want %d", got.Count, total.Count)
+	}
+}
+
+// TestFlushRecoversAfterCrash checks the in-memory tree remains usable and
+// can complete a later flush after a failed one.
+func TestFlushRecoversAfterCrash(t *testing.T) {
+	cfg := smallConfig()
+	cs := &crashStore{Store: storage.NewMemStore(cfg.BlockSize), budget: -1}
+	s := testSchema(t)
+	tree, err := New(cs, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(207))
+	for _, r := range genRecords(t, s, rng, 300) {
+		tree.Insert(r)
+	}
+	cs.budget = 7
+	if err := tree.Flush(); err == nil {
+		t.Fatal("flush survived crash budget")
+	}
+	cs.budget = -1
+	if err := tree.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	reopened, err := Open(cs.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Count() != 300 {
+		t.Fatalf("count = %d", reopened.Count())
+	}
+	if err := reopened.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

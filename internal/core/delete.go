@@ -1,0 +1,161 @@
+package core
+
+import (
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// Delete removes one data record matching rec exactly (same coordinates
+// and same measure values). If several identical records exist, one of
+// them is removed. It returns ErrNotFound when no matching record exists.
+//
+// Deletion is the natural completion of the paper's "fully dynamic"
+// design: directory MDSs and materialized aggregates on the deletion path
+// are recomputed exactly (MIN/MAX cannot be maintained incrementally under
+// removal), empty nodes are unlinked, oversized supernodes shrink back,
+// and a root with a single directory entry is collapsed.
+func (t *Tree) Delete(rec cube.Record) error {
+	if err := t.schema.ValidateRecord(rec); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	recMDS := mds.FromLeaves(rec.Coords)
+	found, err := t.deleteFrom(t.root, rec, recMDS)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNotFound
+	}
+	t.count--
+
+	// Collapse trivial roots: a directory root with one entry hands the
+	// root role to its only child.
+	for {
+		root, err := t.getNode(t.root)
+		if err != nil {
+			return err
+		}
+		if root.leaf || len(root.entries) != 1 {
+			break
+		}
+		child := root.entries[0].Child
+		if err := t.dropNode(root.id); err != nil {
+			return err
+		}
+		t.root = child
+		t.height--
+	}
+
+	// Refresh the root MDS exactly.
+	root, err := t.getNode(t.root)
+	if err != nil {
+		return err
+	}
+	if len(root.entries) == 0 {
+		t.rootMDS = mds.Top(t.schema.Dims())
+	} else {
+		t.rootMDS, err = root.cover(t.space())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteFrom removes the record from the subtree at id. It probes every
+// entry whose MDS contains the record's MDS (entries may overlap, so
+// several probes can be necessary) and, once the record is found, repairs
+// the entry's MDS and aggregate from the child's exact state.
+func (t *Tree) deleteFrom(id nodeID, rec cube.Record, recMDS mds.MDS) (bool, error) {
+	n, err := t.getNode(id)
+	if err != nil {
+		return false, err
+	}
+	space := t.space()
+
+	if n.leaf {
+		for i := range n.entries {
+			if recordsEqual(n.entries[i].Rec, rec) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.shrink(&t.cfg)
+				t.markDirty(n)
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	for i := range n.entries {
+		e := &n.entries[i]
+		contained, err := mds.Contains(space, e.MDS, recMDS)
+		if err != nil {
+			return false, err
+		}
+		if !contained {
+			continue
+		}
+		found, err := t.deleteFrom(e.Child, rec, recMDS)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			continue
+		}
+		child, err := t.getNode(e.Child)
+		if err != nil {
+			return false, err
+		}
+		if len(child.entries) == 0 {
+			if err := t.dropNode(child.id); err != nil {
+				return false, err
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			// Repair the entry at its own relevant levels: the exact
+			// child cover lifted to the entry's levels is the minimal
+			// describing MDS there.
+			cover, err := child.cover(space)
+			if err != nil {
+				return false, err
+			}
+			e.MDS, err = mds.Adapt(space, cover, e.MDS)
+			if err != nil {
+				return false, err
+			}
+			e.Agg = child.aggregate(t.schema.Measures())
+		}
+		n.shrink(&t.cfg)
+		t.markDirty(n)
+		return true, nil
+	}
+	return false, nil
+}
+
+// shrink lets a supernode give blocks back once its occupancy allows.
+func (n *node) shrink(cfg *Config) {
+	want := blocksForEntries(len(n.entries), n.leaf, cfg)
+	if want < n.blocks {
+		n.blocks = want
+	}
+}
+
+// recordsEqual compares coordinates and measure values exactly.
+func recordsEqual(a, b cube.Record) bool {
+	if len(a.Coords) != len(b.Coords) || len(a.Measures) != len(b.Measures) {
+		return false
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			return false
+		}
+	}
+	for j := range a.Measures {
+		if a.Measures[j] != b.Measures[j] {
+			return false
+		}
+	}
+	return true
+}

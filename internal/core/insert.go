@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// insertResult reports the outcome of an insertion into a subtree to the
+// parent level. When split is true the child node was divided in two: the
+// original node id kept the first group, newID holds the second, and the
+// exact covers/aggregates of both are returned so the parent can replace
+// its entry (incremental updates are not sufficient after a split, because
+// splitting can lower the relevant level of a dimension, §3.2).
+type insertResult struct {
+	split   bool
+	newID   nodeID
+	origMDS mds.MDS
+	newMDS  mds.MDS
+	origAgg cube.AggVector
+	newAgg  cube.AggVector
+}
+
+// recContext bundles the per-insert derived state: the record's MDS and
+// aggregate, plus its ancestor at every hierarchy level of every dimension
+// (anc[d][l]). The ancestors are the hot currency of the descent — the
+// choose-subtree cost function and the incremental MDS updates consult
+// them per entry — so they are walked exactly once per insert.
+type recContext struct {
+	rec    cube.Record
+	recMDS mds.MDS
+	agg    cube.AggVector
+	anc    [][]hierarchy.ID
+}
+
+func (t *Tree) newRecContext(rec cube.Record) (*recContext, error) {
+	space := t.space()
+	rc := &recContext{
+		rec:    rec,
+		recMDS: mds.FromLeaves(rec.Coords),
+		agg:    cube.AggOfRecord(rec.Measures),
+		anc:    make([][]hierarchy.ID, len(space)),
+	}
+	for d, h := range space {
+		levels := make([]hierarchy.ID, h.Depth())
+		cur := rec.Coords[d]
+		levels[0] = cur
+		for l := 1; l < h.Depth(); l++ {
+			p, err := h.Parent(cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = p
+			levels[l] = cur
+		}
+		rc.anc[d] = levels
+	}
+	return rc, nil
+}
+
+// Insert adds one data record to the tree, maintaining all directory MDSs
+// and materialized aggregates on the insertion path (Fig. 4). The record's
+// coordinates must be leaf-level IDs registered in the schema's dimension
+// hierarchies (use cube.Schema.InternRecord to produce them).
+func (t *Tree) Insert(rec cube.Record) error {
+	if err := t.schema.ValidateRecord(rec); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	rc, err := t.newRecContext(rec)
+	if err != nil {
+		return err
+	}
+	recMDS := rc.recMDS
+
+	// The root's relevant levels are always (ALL,…,ALL): it describes the
+	// whole cube, so its first split refines some dimension to the top
+	// named level (the paper's initial MDS, §3.2).
+	res, err := t.insertInto(t.root, mds.Top(t.schema.Dims()), rc)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		// The root was split: grow the tree by one level (the only way a
+		// DC-tree gains height).
+		newRoot := t.newNode(false)
+		newRoot.entries = []entry{
+			{MDS: res.origMDS, Agg: res.origAgg, Child: t.root},
+			{MDS: res.newMDS, Agg: res.newAgg, Child: res.newID},
+		}
+		t.root = newRoot.id
+		t.height++
+		t.rootMDS, err = mds.Cover(t.space(), res.origMDS, res.newMDS)
+	} else {
+		t.rootMDS, err = mds.Cover(t.space(), t.rootMDS, recMDS)
+	}
+	if err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// insertInto inserts the record into the subtree rooted at id, whose
+// describing MDS is nodeMDS (the parent entry's MDS, or Top for the root).
+func (t *Tree) insertInto(id nodeID, nodeMDS mds.MDS, rc *recContext) (insertResult, error) {
+	n, err := t.getNode(id)
+	if err != nil {
+		return insertResult{}, err
+	}
+	t.markDirty(n)
+
+	if n.leaf {
+		n.entries = append(n.entries, entry{
+			MDS: rc.recMDS.Clone(),
+			Agg: rc.agg.Clone(),
+			Rec: rc.rec.Clone(),
+		})
+		if !n.overflowing(&t.cfg) {
+			return insertResult{}, nil
+		}
+		return t.splitNode(n, nodeMDS)
+	}
+
+	// Directory node (Fig. 4): update the chosen entry's measure value and
+	// MDS, then descend.
+	idx, err := t.chooseSubtree(n, rc)
+	if err != nil {
+		return insertResult{}, err
+	}
+	e := &n.entries[idx]
+	t.coverRecord(e, rc)
+	e.Agg.Merge(rc.agg)
+
+	res, err := t.insertInto(e.Child, e.MDS, rc)
+	if err != nil {
+		return insertResult{}, err
+	}
+	if !res.split {
+		return insertResult{}, nil
+	}
+
+	// The child was split: refresh this entry with the exact cover of the
+	// first group and add a new son for the second (Fig. 4 "Insert new
+	// son"). Re-resolve the entry pointer: the recursion cannot have
+	// mutated this node, but the compiler cannot know that.
+	e = &n.entries[idx]
+	e.MDS = res.origMDS
+	e.Agg = res.origAgg
+	n.entries = append(n.entries, entry{MDS: res.newMDS, Agg: res.newAgg, Child: res.newID})
+	if !n.overflowing(&t.cfg) {
+		return insertResult{}, nil
+	}
+	return t.splitNode(n, nodeMDS)
+}
+
+// chooseSubtree selects the directory entry to follow for a record
+// (the choose_subtree of Fig. 4). Like the X-tree's, it minimizes the
+// enlargement the record causes — but enlargement of an MDS must respect
+// the concept hierarchies: adding a value that forces a NEW coarse-level
+// value (a new region) fragments the tree's partitioning far more than
+// adding one fine value under an already-covered coarse value (a new
+// customer inside a covered nation). The cost of following an entry is
+// therefore the weighted count of new attribute values per hierarchy
+// level, with geometrically dominant weights toward coarse levels, so the
+// comparison is effectively lexicographic coarse-level-first. Cost 0 means
+// the entry already contains the record; among equal costs the smaller
+// volume, then the smaller MDS size win (most specific subtree).
+func (t *Tree) chooseSubtree(n *node, rc *recContext) (int, error) {
+	if len(n.entries) == 0 {
+		return 0, fmt.Errorf("%w: empty directory node %d", ErrCorrupt, n.id)
+	}
+	best := -1
+	var bestCost, bestVol float64
+	var bestSize int
+	for i := range n.entries {
+		e := &n.entries[i]
+		cost, err := t.enlargementCost(e.MDS, rc)
+		if err != nil {
+			return 0, err
+		}
+		vol := e.MDS.Volume()
+		size := e.MDS.Size()
+		better := best == -1 ||
+			cost < bestCost ||
+			(cost == bestCost && vol < bestVol) ||
+			(cost == bestCost && vol == bestVol && size < bestSize)
+		if better {
+			best, bestCost, bestVol, bestSize = i, cost, vol, size
+		}
+	}
+	return best, nil
+}
+
+// levelWeight is the per-hierarchy-level base of the enlargement cost:
+// one new value at level L costs levelWeight^L, so a single coarse-level
+// addition outweighs any realistic number of finer ones.
+const levelWeight = 1 << 16
+
+// enlargementCost measures how badly a record MDS enlarges an entry MDS:
+// for every dimension, one unit of cost levelWeight^L for each hierarchy
+// level L (from the entry's relevant level up to the level below ALL) at
+// which the record's ancestor is not yet among the entry's values. A
+// record fully contained in the entry costs 0.
+func (t *Tree) enlargementCost(entryMDS mds.MDS, rc *recContext) (float64, error) {
+	space := t.space()
+	weight := float64(levelWeight)
+	if t.cfg.FlatChooseSubtree {
+		weight = 1 // ablation: hierarchy-blind enlargement
+	}
+	cost := 0.0
+	for d, h := range space {
+		ds := entryMDS[d]
+		if ds.Level == hierarchy.LevelALL {
+			continue // ALL covers everything at no new values
+		}
+		// Fast path: membership at the entry's own level is a binary
+		// search over the sorted value set, and covers the common case of
+		// a record routed into a subtree that already describes it.
+		if idMember(ds.IDs, rc.anc[d][ds.Level]) {
+			continue
+		}
+		cost += pow(weight, ds.Level)
+		for level := ds.Level + 1; level <= h.TopLevel(); level++ {
+			anc := rc.anc[d][level]
+			covered := false
+			for _, v := range ds.IDs {
+				va, err := h.AncestorAt(v, level)
+				if err != nil {
+					return 0, err
+				}
+				if va == anc {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break // monotone: covered here means covered above too
+			}
+			cost += pow(weight, level)
+		}
+	}
+	return cost, nil
+}
+
+// coverRecord folds the record into an entry's MDS in place: per
+// dimension, the record's ancestor at the entry's relevant level is
+// inserted into the sorted value set if missing. Equivalent to
+// mds.Cover(e.MDS, recMDS) — levels are preserved because Cover takes the
+// maximum member level — but without re-unioning the untouched values.
+func (t *Tree) coverRecord(e *entry, rc *recContext) {
+	for d := range e.MDS {
+		ds := &e.MDS[d]
+		if ds.Level == hierarchy.LevelALL {
+			continue
+		}
+		anc := rc.anc[d][ds.Level]
+		ids := ds.IDs
+		lo, hi := 0, len(ids)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ids[mid] < anc {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ids) && ids[lo] == anc {
+			continue
+		}
+		ids = append(ids, 0)
+		copy(ids[lo+1:], ids[lo:])
+		ids[lo] = anc
+		ds.IDs = ids
+	}
+}
+
+// pow is a small positive-integer power for float64 (avoids importing
+// math for a hot-path helper).
+func pow(base float64, exp int) float64 {
+	v := 1.0
+	for i := 0; i < exp; i++ {
+		v *= base
+	}
+	return v
+}
+
+// idMember reports membership in a sorted ID slice via binary search.
+func idMember(ids []hierarchy.ID, id hierarchy.ID) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// Tree metadata blob: everything needed to reopen a persisted DC-tree —
+// configuration, the cube schema including the full dimension dictionaries
+// (the index is meaningless without them), the root pointer, and the
+// logical-node translation table.
+
+const metaMagic = "DCMETA01"
+
+func (t *Tree) encodeMeta() ([]byte, error) {
+	buf := []byte(metaMagic)
+
+	// Config.
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.BlockSize))
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.DirCapacity))
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.LeafCapacity))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.cfg.MinFillRatio))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.cfg.MaxOverlapRatio))
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.MaxSupernodeBlocks))
+	buf = binary.AppendVarint(buf, int64(t.cfg.RefineBound))
+	var flags byte
+	if t.cfg.Materialize {
+		flags |= 1
+	}
+	if t.cfg.DisableSupernodes {
+		flags |= 2
+	}
+	if t.cfg.FlatChooseSubtree {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+
+	// Tree shape.
+	buf = binary.AppendUvarint(buf, uint64(t.root))
+	buf = binary.AppendUvarint(buf, uint64(t.height))
+	buf = binary.AppendVarint(buf, t.count)
+	buf = binary.AppendUvarint(buf, uint64(t.nextID))
+	buf = t.rootMDS.AppendEncode(buf)
+
+	// Schema: dimensions with full dictionaries, then measure names.
+	buf = binary.AppendUvarint(buf, uint64(t.schema.Dims()))
+	for i := 0; i < t.schema.Dims(); i++ {
+		h, err := t.schema.Dim(i)
+		if err != nil {
+			return nil, err
+		}
+		buf = h.AppendEncode(buf)
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.schema.Measures()))
+	for j := 0; j < t.schema.Measures(); j++ {
+		name, err := t.schema.MeasureName(j)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
+
+	// Translation table.
+	buf = binary.AppendUvarint(buf, uint64(len(t.table)))
+	for id, ref := range t.table {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendUvarint(buf, uint64(ref.page))
+		buf = binary.AppendUvarint(buf, uint64(ref.blocks))
+	}
+	return buf, nil
+}
+
+// Open reopens a DC-tree persisted by Flush on the given store.
+func Open(store storage.Store) (*Tree, error) {
+	meta, err := store.GetMeta()
+	if err != nil {
+		return nil, fmt.Errorf("dctree: reading metadata: %w", err)
+	}
+	if len(meta) < len(metaMagic) || string(meta[:len(metaMagic)]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
+	}
+	r := metaReader{buf: meta, off: len(metaMagic)}
+
+	var cfg Config
+	cfg.BlockSize = int(r.uvarint())
+	cfg.DirCapacity = int(r.uvarint())
+	cfg.LeafCapacity = int(r.uvarint())
+	cfg.MinFillRatio = r.float64()
+	cfg.MaxOverlapRatio = r.float64()
+	cfg.MaxSupernodeBlocks = int(r.uvarint())
+	cfg.RefineBound = int(r.varint())
+	flags := r.byte()
+	cfg.Materialize = flags&1 != 0
+	cfg.DisableSupernodes = flags&2 != 0
+	cfg.FlatChooseSubtree = flags&4 != 0
+
+	root := nodeID(r.uvarint())
+	height := int(r.uvarint())
+	count := r.varint()
+	nextID := nodeID(r.uvarint())
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: metadata header: %v", ErrCorrupt, r.err)
+	}
+	rootMDS, n, err := mds.Decode(r.buf[r.off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: root mds: %v", ErrCorrupt, err)
+	}
+	r.off += n
+
+	dims := int(r.uvarint())
+	if r.err != nil || dims < 1 || dims > 64 {
+		return nil, fmt.Errorf("%w: dimension count", ErrCorrupt)
+	}
+	hs := make([]*hierarchy.Hierarchy, dims)
+	for i := range hs {
+		h, n, err := hierarchy.DecodeHierarchy(r.buf[r.off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: dimension %d: %v", ErrCorrupt, i, err)
+		}
+		hs[i] = h
+		r.off += n
+	}
+	nMeasures := int(r.uvarint())
+	if r.err != nil || nMeasures < 1 || nMeasures > 256 {
+		return nil, fmt.Errorf("%w: measure count", ErrCorrupt)
+	}
+	measures := make([]string, nMeasures)
+	for j := range measures {
+		measures[j] = r.string()
+	}
+	schema, err := cube.NewSchema(hs, measures...)
+	if err != nil {
+		return nil, err
+	}
+
+	tableLen := int(r.uvarint())
+	table := make(map[nodeID]extentRef, tableLen)
+	for i := 0; i < tableLen; i++ {
+		id := nodeID(r.uvarint())
+		page := storage.PageID(r.uvarint())
+		blocks := int(r.uvarint())
+		table[id] = extentRef{page: page, blocks: blocks}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: metadata body: %v", ErrCorrupt, r.err)
+	}
+
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize != store.BlockSize() {
+		return nil, fmt.Errorf("%w: tree block size %d != store block size %d",
+			ErrCorrupt, cfg.BlockSize, store.BlockSize())
+	}
+	t := &Tree{
+		schema:  schema,
+		cfg:     cfg,
+		store:   store,
+		root:    root,
+		rootMDS: rootMDS,
+		height:  height,
+		count:   count,
+		nextID:  nextID,
+		table:   table,
+		cache:   make(map[nodeID]*node),
+		dirty:   make(map[nodeID]bool),
+	}
+	if _, ok := t.table[root]; !ok {
+		return nil, fmt.Errorf("%w: root node %d missing from table", ErrCorrupt, root)
+	}
+	return t, nil
+}
+
+// metaReader is a cursor over the metadata blob with sticky errors.
+type metaReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *metaReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad uvarint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *metaReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad varint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *metaReader) float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.off < 8 {
+		r.err = fmt.Errorf("truncated float at %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *metaReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.err = fmt.Errorf("truncated byte at %d", r.off)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *metaReader) string() string {
+	l := int(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	if len(r.buf)-r.off < l {
+		r.err = fmt.Errorf("truncated string at %d", r.off)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+l])
+	r.off += l
+	return s
+}

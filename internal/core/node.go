@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// entry is one slot of a DC-tree node. In a directory node it references a
+// child node; in a data node it holds one data record. Either way it
+// carries the describing MDS and the materialized aggregate vector of
+// everything below it (for a record: the record's own measures) — the
+// paper's "the measure value ... will be stored together with the MDS in
+// each node of the DC-tree" (§3.2).
+type entry struct {
+	MDS   mds.MDS
+	Agg   cube.AggVector
+	Child nodeID      // directory entries only
+	Rec   cube.Record // data entries only
+}
+
+// node is the in-memory form of a DC-tree node. A node's own MDS is not
+// stored in the node but in its parent's entry (the root's in the tree
+// metadata); it always equals the cover of the node's entry MDSs.
+type node struct {
+	id      nodeID
+	leaf    bool
+	blocks  int // logical size in blocks; >1 marks a supernode
+	entries []entry
+}
+
+// capacity returns the entry capacity of the node under cfg, accounting for
+// supernode extents (§4.2: "directory node capacity multiplied by the
+// number of blocks of the supernode").
+func (n *node) capacity(cfg *Config) int {
+	per := cfg.DirCapacity
+	if n.leaf {
+		per = cfg.LeafCapacity
+	}
+	return per * n.blocks
+}
+
+// overflowing reports whether the node exceeds its (super)capacity.
+func (n *node) overflowing(cfg *Config) bool {
+	return len(n.entries) > n.capacity(cfg)
+}
+
+// isSuper reports whether the node is a supernode.
+func (n *node) isSuper() bool { return n.blocks > 1 }
+
+// cover computes the node's MDS from its entries.
+func (n *node) cover(space mds.Space) (mds.MDS, error) {
+	members := make([]mds.MDS, len(n.entries))
+	for i := range n.entries {
+		members[i] = n.entries[i].MDS
+	}
+	return mds.Cover(space, members...)
+}
+
+// aggregate computes the node's aggregate vector from its entries.
+func (n *node) aggregate(measures int) cube.AggVector {
+	v := cube.NewAggVector(measures)
+	for i := range n.entries {
+		v.Merge(n.entries[i].Agg)
+	}
+	return v
+}
+
+// Node encoding (one extent per node):
+//
+//	uint8    flags (bit 0: leaf)
+//	uvarint  blocks
+//	uvarint  entry count
+//	per entry:
+//	  MDS (mds codec)
+//	  per measure: float64 sum, varint count, float64 min, float64 max
+//	  directory: uvarint child page id
+//	  leaf:      uint32 coord per dimension, float64 per measure
+
+const nodeFlagLeaf = 1
+
+// appendEncode serializes the node.
+func (n *node) appendEncode(buf []byte, dims, measures int) []byte {
+	var flags byte
+	if n.leaf {
+		flags |= nodeFlagLeaf
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(n.blocks))
+	buf = binary.AppendUvarint(buf, uint64(len(n.entries)))
+	for i := range n.entries {
+		e := &n.entries[i]
+		buf = e.MDS.AppendEncode(buf)
+		for _, a := range e.Agg {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Sum))
+			buf = binary.AppendVarint(buf, a.Count)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Min))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Max))
+		}
+		if n.leaf {
+			for _, c := range e.Rec.Coords {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+			}
+			for _, m := range e.Rec.Measures {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m))
+			}
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(e.Child))
+		}
+	}
+	return buf
+}
+
+// decodeNode parses a node payload.
+func decodeNode(id nodeID, buf []byte, dims, measures int) (*node, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("%w: empty node %d", ErrCorrupt, id)
+	}
+	n := &node{id: id, leaf: buf[0]&nodeFlagLeaf != 0}
+	off := 1
+	blocks, k := binary.Uvarint(buf[off:])
+	if k <= 0 || blocks < 1 {
+		return nil, fmt.Errorf("%w: node %d blocks", ErrCorrupt, id)
+	}
+	off += k
+	n.blocks = int(blocks)
+	count, k := binary.Uvarint(buf[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: node %d entry count", ErrCorrupt, id)
+	}
+	off += k
+	n.entries = make([]entry, count)
+	for i := range n.entries {
+		e := &n.entries[i]
+		m, k, err := mds.Decode(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d entry %d mds: %v", ErrCorrupt, id, i, err)
+		}
+		off += k
+		e.MDS = m
+		e.Agg = cube.NewAggVector(measures)
+		for j := 0; j < measures; j++ {
+			if len(buf[off:]) < 8 {
+				return nil, fmt.Errorf("%w: node %d entry %d agg", ErrCorrupt, id, i)
+			}
+			e.Agg[j].Sum = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			c, k := binary.Varint(buf[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: node %d entry %d agg count", ErrCorrupt, id, i)
+			}
+			off += k
+			e.Agg[j].Count = c
+			if len(buf[off:]) < 16 {
+				return nil, fmt.Errorf("%w: node %d entry %d agg minmax", ErrCorrupt, id, i)
+			}
+			e.Agg[j].Min = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			e.Agg[j].Max = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		if n.leaf {
+			if len(buf[off:]) < 4*dims+8*measures {
+				return nil, fmt.Errorf("%w: node %d entry %d record", ErrCorrupt, id, i)
+			}
+			e.Rec.Coords = make([]hierarchy.ID, dims)
+			for d := range e.Rec.Coords {
+				e.Rec.Coords[d] = hierarchy.ID(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+			}
+			e.Rec.Measures = make([]float64, measures)
+			for j := range e.Rec.Measures {
+				e.Rec.Measures[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+		} else {
+			child, k := binary.Uvarint(buf[off:])
+			if k <= 0 || child == 0 {
+				return nil, fmt.Errorf("%w: node %d entry %d child", ErrCorrupt, id, i)
+			}
+			off += k
+			e.Child = nodeID(child)
+		}
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: node %d has %d trailing bytes", ErrCorrupt, id, len(buf)-off)
+	}
+	return n, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// RangeAggParallel answers the same query as RangeAgg using a worker pool:
+// the subtrees of the shallowest directory levels are fanned out across
+// goroutines and their partial aggregates merged. Queries only read the
+// tree (inserts are excluded by the tree lock for the duration), so the
+// descent parallelizes embarrassingly; this helps the large
+// low-selectivity queries whose cost is dominated by leaf scans.
+// workers ≤ 0 selects GOMAXPROCS.
+func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, error) {
+	if measure < 0 || measure >= t.schema.Measures() {
+		return cube.Agg{}, ErrBadMeasure
+	}
+	if err := q.Validate(t.space()); err != nil {
+		return cube.Agg{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	ctx, err := t.newQueryCtx(q)
+	if err != nil {
+		return cube.Agg{}, err
+	}
+
+	// Collect the frontier: the roots of independent subtrees to fan out,
+	// answering or pruning what can be decided on the way. The frontier is
+	// grown breadth-first until it has enough tasks to occupy the workers.
+	var result cube.Agg
+	type task struct{ id nodeID }
+	frontier := []task{{id: t.root}}
+	for len(frontier) < workers*4 {
+		next := make([]task, 0, len(frontier)*8)
+		expanded := false
+		for _, tk := range frontier {
+			n, err := t.getNode(tk.id)
+			if err != nil {
+				return cube.Agg{}, err
+			}
+			if n.leaf {
+				// Leaves at the frontier are cheap: answer inline.
+				var st QueryStats
+				if err := t.queryNode(tk.id, ctx, measure, &result, &st); err != nil {
+					return cube.Agg{}, err
+				}
+				continue
+			}
+			expanded = true
+			for i := range n.entries {
+				e := &n.entries[i]
+				overlaps, contained, err := ctx.matchEntry(t, e.MDS)
+				if err != nil {
+					return cube.Agg{}, err
+				}
+				if !overlaps {
+					continue
+				}
+				if t.cfg.Materialize && contained {
+					result.Merge(e.Agg[measure])
+					continue
+				}
+				next = append(next, task{id: e.Child})
+			}
+		}
+		frontier = next
+		if !expanded || len(frontier) == 0 {
+			break
+		}
+	}
+	if len(frontier) == 0 {
+		return result, nil
+	}
+
+	// Fan the frontier out over the workers.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		workErr error
+	)
+	tasks := make(chan task)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local cube.Agg
+			var st QueryStats
+			for tk := range tasks {
+				if err := t.queryNode(tk.id, ctx, measure, &local, &st); err != nil {
+					mu.Lock()
+					if workErr == nil {
+						workErr = err
+					}
+					mu.Unlock()
+					// Drain remaining tasks so the sender never blocks.
+					for range tasks {
+					}
+					return
+				}
+			}
+			mu.Lock()
+			result.Merge(local)
+			mu.Unlock()
+		}()
+	}
+	for _, tk := range frontier {
+		tasks <- tk
+	}
+	close(tasks)
+	wg.Wait()
+	if workErr != nil {
+		return cube.Agg{}, workErr
+	}
+	return result, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// QueryStats describes the work one range query performed.
+type QueryStats struct {
+	// NodesVisited counts nodes read during the descent.
+	NodesVisited int
+	// EntriesScanned counts directory and data entries examined.
+	EntriesScanned int
+	// MaterializedHits counts directory entries fully contained in the
+	// query range whose materialized aggregate answered their subtree
+	// without descending — the DC-tree's core advantage.
+	MaterializedHits int
+	// RecordsMatched counts data records that individually matched.
+	RecordsMatched int
+}
+
+// RangeQuery answers a general range query (Fig. 7): q selects, per
+// dimension, a set of attribute values at one hierarchy level (use
+// mds.AllDim() for unconstrained dimensions); op aggregates the chosen
+// measure over every data record in the selected subcube.
+func (t *Tree) RangeQuery(q mds.MDS, op cube.Op, measure int) (float64, error) {
+	v, _, err := t.RangeQueryStats(q, op, measure)
+	return v, err
+}
+
+// RangeAgg returns the full aggregate (sum, count, min, max) of a measure
+// over the query range, from which every supported operator can be read.
+func (t *Tree) RangeAgg(q mds.MDS, measure int) (cube.Agg, error) {
+	agg, _, err := t.rangeAgg(q, measure)
+	return agg, err
+}
+
+// RangeQueryStats is RangeQuery plus work counters.
+func (t *Tree) RangeQueryStats(q mds.MDS, op cube.Op, measure int) (float64, QueryStats, error) {
+	agg, st, err := t.rangeAgg(q, measure)
+	if err != nil {
+		return 0, st, err
+	}
+	return agg.Value(op), st, nil
+}
+
+func (t *Tree) rangeAgg(q mds.MDS, measure int) (cube.Agg, QueryStats, error) {
+	var st QueryStats
+	if measure < 0 || measure >= t.schema.Measures() {
+		return cube.Agg{}, st, fmt.Errorf("%w: %d", ErrBadMeasure, measure)
+	}
+	if err := q.Validate(t.space()); err != nil {
+		return cube.Agg{}, st, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	ctx, err := t.newQueryCtx(q)
+	if err != nil {
+		return cube.Agg{}, st, err
+	}
+	var result cube.Agg
+	if err := t.queryNode(t.root, ctx, measure, &result, &st); err != nil {
+		return cube.Agg{}, st, err
+	}
+	return result, st, nil
+}
+
+// RangeAggAll aggregates every measure of the schema over the query range
+// in a single descent — the natural form for reports that show several
+// measures side by side.
+func (t *Tree) RangeAggAll(q mds.MDS) (cube.AggVector, QueryStats, error) {
+	var st QueryStats
+	if err := q.Validate(t.space()); err != nil {
+		return nil, st, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	ctx, err := t.newQueryCtx(q)
+	if err != nil {
+		return nil, st, err
+	}
+	result := cube.NewAggVector(t.schema.Measures())
+	if err := t.queryNodeAll(t.root, ctx, result, &st); err != nil {
+		return nil, st, err
+	}
+	return result, st, nil
+}
+
+func (t *Tree) queryNodeAll(id nodeID, ctx *queryCtx, result cube.AggVector, st *QueryStats) error {
+	n, err := t.getNode(id)
+	if err != nil {
+		return err
+	}
+	st.NodesVisited++
+
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			st.EntriesScanned++
+			if ctx.recordInRange(e.Rec.Coords) {
+				result.AddRecord(e.Rec.Measures)
+				st.RecordsMatched++
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		st.EntriesScanned++
+		overlaps, contained, err := ctx.matchEntry(t, e.MDS)
+		if err != nil {
+			return err
+		}
+		if !overlaps {
+			continue
+		}
+		if t.cfg.Materialize && contained {
+			result.Merge(e.Agg)
+			st.MaterializedHits++
+			continue
+		}
+		if err := t.queryNodeAll(e.Child, ctx, result, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryNode is the recursive range-query of Fig. 7. For every entry the
+// query MDS and the entry MDS are made level-comparable (Overlap and
+// Contains adapt internally); entries without overlap are pruned, entries
+// fully contained in the range contribute their materialized aggregate,
+// and partially overlapping directory entries are descended into.
+func (t *Tree) queryNode(id nodeID, ctx *queryCtx, measure int, result *cube.Agg, st *QueryStats) error {
+	n, err := t.getNode(id)
+	if err != nil {
+		return err
+	}
+	st.NodesVisited++
+
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			st.EntriesScanned++
+			if ctx.recordInRange(e.Rec.Coords) {
+				result.Add(e.Rec.Measures[measure])
+				st.RecordsMatched++
+			}
+		}
+		return nil
+	}
+
+	for i := range n.entries {
+		e := &n.entries[i]
+		st.EntriesScanned++
+		overlaps, contained, err := ctx.matchEntry(t, e.MDS)
+		if err != nil {
+			return err
+		}
+		if !overlaps {
+			continue
+		}
+		if t.cfg.Materialize && contained {
+			result.Merge(e.Agg[measure])
+			st.MaterializedHits++
+			continue
+		}
+		if err := t.queryNode(e.Child, ctx, measure, result, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan streams every data record to fn in unspecified order; fn returning
+// false stops the scan. Used by tools, tests, and the export path.
+func (t *Tree) Scan(fn func(cube.Record) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, err := t.scanNode(t.root, fn)
+	return err
+}
+
+func (t *Tree) scanNode(id nodeID, fn func(cube.Record) bool) (bool, error) {
+	n, err := t.getNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i := range n.entries {
+			if !fn(n.entries[i].Rec.Clone()) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i := range n.entries {
+		cont, err := t.scanNode(n.entries[i].Child, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}

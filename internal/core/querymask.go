@@ -1,0 +1,124 @@
+package core
+
+import (
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// queryCtx precomputes, per constrained dimension, a membership mask for
+// every hierarchy level at or below the query's level: mask[L][c] reports
+// whether the value MakeID(L, c) lies under some query value. Masks are
+// built once per query by propagating the query's value set down the
+// dense father tables; afterwards every membership test on the descent —
+// per directory-entry value and per data record — is a single indexed
+// load instead of an ancestor walk plus binary search.
+type queryCtx struct {
+	q mds.MDS
+	// masks[d] is nil for unconstrained (ALL) dimensions; otherwise
+	// masks[d][L] is non-nil for 0 ≤ L ≤ q[d].Level.
+	masks [][][]bool
+}
+
+func (t *Tree) newQueryCtx(q mds.MDS) (*queryCtx, error) {
+	space := t.space()
+	ctx := &queryCtx{q: q, masks: make([][][]bool, len(q))}
+	for d, h := range space {
+		lq := q[d].Level
+		if lq == hierarchy.LevelALL {
+			continue
+		}
+		levels := make([][]bool, lq+1)
+		count, err := h.CountAt(lq)
+		if err != nil {
+			return nil, err
+		}
+		top := make([]bool, count)
+		for _, id := range q[d].IDs {
+			top[id.Code()] = true
+		}
+		levels[lq] = top
+		for l := lq - 1; l >= 0; l-- {
+			parents, err := h.ParentTable(l)
+			if err != nil {
+				return nil, err
+			}
+			m := make([]bool, len(parents))
+			up := levels[l+1]
+			for c, p := range parents {
+				m[c] = up[p.Code()]
+			}
+			levels[l] = m
+		}
+		ctx.masks[d] = levels
+	}
+	return ctx, nil
+}
+
+// recordInRange reports whether a data record lies inside the query range:
+// one mask load per constrained dimension.
+func (ctx *queryCtx) recordInRange(coords []hierarchy.ID) bool {
+	for d, levels := range ctx.masks {
+		if levels == nil {
+			continue
+		}
+		c := coords[d]
+		// Records may carry values registered after the query context was
+		// built (concurrent inserts between queries); treat unknown codes
+		// as outside the range, consistent with the query's snapshot.
+		m := levels[0]
+		if int(c.Code()) >= len(m) || !m[c.Code()] {
+			return false
+		}
+	}
+	return true
+}
+
+// matchEntry classifies an entry MDS against the query: whether the entry
+// overlaps the range at all, and whether the range fully contains it.
+func (ctx *queryCtx) matchEntry(t *Tree, m mds.MDS) (overlaps, contained bool, err error) {
+	space := t.space()
+	contained = true
+	for d := range ctx.q {
+		levels := ctx.masks[d]
+		if levels == nil {
+			continue // unconstrained dimension
+		}
+		e := m[d]
+		qd := ctx.q[d]
+		if e.Level == hierarchy.LevelALL || levelAboveInt(e.Level, qd.Level) {
+			// The entry is coarser than the query: never contained;
+			// overlap needs the slow upward path (rare — only while a
+			// subtree has not yet refined this dimension).
+			ov, _, err := dimMatch(space[d], qd, e)
+			if err != nil {
+				return false, false, err
+			}
+			if !ov {
+				return false, false, nil
+			}
+			contained = false
+			continue
+		}
+		// Entry at or below the query level: single mask per value.
+		mask := levels[e.Level]
+		dimOverlap := false
+		dimContained := true
+		for _, v := range e.IDs {
+			if int(v.Code()) < len(mask) && mask[v.Code()] {
+				dimOverlap = true
+			} else {
+				dimContained = false
+			}
+			if dimOverlap && !dimContained {
+				break
+			}
+		}
+		if !dimOverlap {
+			return false, false, nil
+		}
+		if !dimContained {
+			contained = false
+		}
+	}
+	return true, contained, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// Allocation-free per-entry match tests for the range-query hot path.
+// Semantically identical to mds.Overlap(q, m) > 0 and mds.Contains(q, m),
+// but without materializing lifted value sets: each comparison lifts
+// individual IDs through the father dictionaries and binary-searches the
+// sorted sets.
+
+// matchEntry classifies an entry MDS against the query: whether they
+// overlap at all, and whether the query fully contains the entry.
+func (t *Tree) matchEntry(q, m mds.MDS) (overlaps, contained bool, err error) {
+	space := t.space()
+	contained = true
+	for d := range q {
+		ov, cont, err := dimMatch(space[d], q[d], m[d])
+		if err != nil {
+			return false, false, err
+		}
+		if !ov {
+			return false, false, nil
+		}
+		if !cont {
+			contained = false
+		}
+	}
+	return true, contained, nil
+}
+
+// dimMatch compares one dimension of the query against one dimension of
+// an entry MDS.
+func dimMatch(h *hierarchy.Hierarchy, q, m mds.DimSet) (overlaps, contained bool, err error) {
+	switch {
+	case q.Level == hierarchy.LevelALL:
+		// Unconstrained dimension: everything overlaps and is contained.
+		return true, true, nil
+	case m.Level == hierarchy.LevelALL:
+		// The entry covers every value of the dimension, the query only
+		// some: they overlap, but the query cannot contain the entry.
+		return true, false, nil
+	case m.Level == q.Level:
+		overlaps, contained = intersectAndSubset(m.IDs, q.IDs)
+		return overlaps, contained, nil
+	case m.Level < q.Level:
+		// Entry is finer: lift each entry value to the query's level.
+		// The loop ends early only once both answers are settled.
+		contained = true
+		for _, v := range m.IDs {
+			anc, err := h.AncestorAt(v, q.Level)
+			if err != nil {
+				return false, false, err
+			}
+			if idMember(q.IDs, anc) {
+				overlaps = true
+			} else {
+				contained = false
+			}
+			if overlaps && !contained {
+				return true, false, nil
+			}
+		}
+		return overlaps, overlaps && contained, nil
+	default: // m.Level > q.Level: entry coarser than the query.
+		// A coarser entry can never be contained; it overlaps if some
+		// query value lifts into the entry's set.
+		for _, u := range q.IDs {
+			anc, err := h.AncestorAt(u, m.Level)
+			if err != nil {
+				return false, false, err
+			}
+			if idMember(m.IDs, anc) {
+				return true, false, nil
+			}
+		}
+		return false, false, nil
+	}
+}
+
+// intersectAndSubset reports, for sorted slices, whether a∩b ≠ ∅ and
+// whether a ⊆ b in one pass.
+func intersectAndSubset(a, b []hierarchy.ID) (intersects, subset bool) {
+	subset = true
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			subset = false
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			intersects = true
+			i++
+			j++
+		}
+		if intersects && !subset {
+			return true, false
+		}
+	}
+	if i < len(a) {
+		subset = false
+	}
+	return intersects, subset && len(a) > 0
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// randomSpaceMDS builds a random valid MDS over the test schema's space
+// from registered leaves.
+func randomSpaceMDS(rng *rand.Rand, space mds.Space, leaves [][]hierarchy.ID) mds.MDS {
+	m := make(mds.MDS, len(space))
+	for d, h := range space {
+		if rng.Intn(7) == 0 {
+			m[d] = mds.AllDim()
+			continue
+		}
+		level := rng.Intn(h.Depth())
+		// Collect the distinct ancestors available at this level first: a
+		// blind rejection loop can demand more values than exist.
+		distinct := map[hierarchy.ID]struct{}{}
+		for _, leaf := range leaves[d] {
+			anc, err := h.AncestorAt(leaf, level)
+			if err != nil {
+				panic(err)
+			}
+			distinct[anc] = struct{}{}
+		}
+		pool := make([]hierarchy.ID, 0, len(distinct))
+		for id := range distinct {
+			pool = append(pool, id)
+		}
+		k := 1 + rng.Intn(5)
+		if k > len(pool) {
+			k = len(pool)
+		}
+		perm := rng.Perm(len(pool))[:k]
+		ids := make([]hierarchy.ID, 0, k)
+		for _, p := range perm {
+			ids = append(ids, pool[p])
+		}
+		hierarchy.SortIDs(ids)
+		m[d] = mds.DimSet{Level: level, IDs: ids}
+	}
+	return m
+}
+
+// TestMatchEntryAgainstMDSAlgebra pins the allocation-free fast paths
+// (matchEntry, queryCtx) to the reference mds.Overlap/mds.Contains on
+// thousands of random (query, entry) pairs.
+func TestMatchEntryAgainstMDSAlgebra(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	space := s.Space()
+	rng := rand.New(rand.NewSource(51))
+
+	leaves := make([][]hierarchy.ID, len(space))
+	for _, r := range genRecords(t, s, rng, 300) {
+		for d, c := range r.Coords {
+			leaves[d] = append(leaves[d], c)
+		}
+	}
+
+	for i := 0; i < 3000; i++ {
+		q := randomSpaceMDS(rng, space, leaves)
+		m := randomSpaceMDS(rng, space, leaves)
+
+		ov, err := mds.Overlap(space, q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont, err := mds.Contains(space, q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gotOv, gotCont, err := tree.matchEntry(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOv != (ov > 0) {
+			t.Fatalf("case %d: matchEntry overlap=%v, algebra=%g\nq=%v\nm=%v", i, gotOv, ov, q, m)
+		}
+		// Containment is only reported for overlapping entries (the query
+		// path never asks otherwise).
+		if gotOv && gotCont != cont {
+			t.Fatalf("case %d: matchEntry contained=%v, algebra=%v\nq=%v\nm=%v", i, gotCont, cont, q, m)
+		}
+
+		ctx, err := tree.newQueryCtx(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mOv, mCont, err := ctx.matchEntry(tree, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mOv != gotOv || (mOv && mCont != gotCont) {
+			t.Fatalf("case %d: mask path (%v,%v) != slow path (%v,%v)\nq=%v\nm=%v",
+				i, mOv, mCont, gotOv, gotCont, q, m)
+		}
+	}
+}
+
+// TestQueryCtxRecordInRange pins the mask-based record test to
+// MDS.ContainsLeaves.
+func TestQueryCtxRecordInRange(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	space := s.Space()
+	rng := rand.New(rand.NewSource(53))
+	recs := genRecords(t, s, rng, 400)
+	leaves := make([][]hierarchy.ID, len(space))
+	for _, r := range recs {
+		for d, c := range r.Coords {
+			leaves[d] = append(leaves[d], c)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		q := randomSpaceMDS(rng, space, leaves)
+		ctx, err := tree.newQueryCtx(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs[:50] {
+			want, err := q.ContainsLeaves(space, r.Coords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ctx.recordInRange(r.Coords); got != want {
+				t.Fatalf("case %d: recordInRange=%v, ContainsLeaves=%v\nq=%v rec=%v", i, got, want, q, r.Coords)
+			}
+		}
+	}
+}
+
+// TestRefineMDSKeepsExactness checks that post-split refinement yields
+// descriptions that are exactly the subtree's record cover lifted to the
+// refined levels (Validate enforces this globally; here we watch the
+// level descent directly).
+func TestRefineMDSKeepsExactness(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RefineBound = 4
+	tree := newTestTree(t, cfg)
+	s := tree.Schema()
+	// Narrow data: one region, one brand — refinement must descend.
+	for i := 0; i < 200; i++ {
+		r, err := s.InternRecord([][]string{
+			{"R0", "N0", fmt.Sprintf("C%d", i%3)},
+			{"B0", fmt.Sprintf("P%d", i%2)},
+			{fmt.Sprintf("Y%d", i%2), fmt.Sprintf("M%d", i%4)},
+		}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	root, err := tree.getNode(tree.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.leaf {
+		t.Fatal("tree did not split")
+	}
+	// With ≤3 customers, ≤2 parts and ≤4 months, every dimension is
+	// describable at leaf level within bound 4: entries must be refined
+	// all the way down.
+	for i := range root.entries {
+		for d, ds := range root.entries[i].MDS {
+			if ds.Level != 0 {
+				t.Fatalf("entry %d dim %d still at level %d: %v", i, d, ds.Level, root.entries[i].MDS)
+			}
+		}
+	}
+	// And with refinement disabled, coarse levels persist.
+	cfg2 := smallConfig()
+	cfg2.RefineBound = -1
+	tree2, err := New(storage.NewMemStore(cfg2.BlockSize), testSchema(t), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := tree2.Schema()
+	for i := 0; i < 200; i++ {
+		r, _ := s2.InternRecord([][]string{
+			{"R0", "N0", fmt.Sprintf("C%d", i%3)},
+			{"B0", fmt.Sprintf("P%d", i%2)},
+			{fmt.Sprintf("Y%d", i%2), fmt.Sprintf("M%d", i%4)},
+		}, []float64{1})
+		if err := tree2.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree2.Validate(); err != nil {
+		t.Fatalf("Validate (no refinement): %v", err)
+	}
+	root2, _ := tree2.getNode(tree2.root)
+	coarse := false
+	for i := range root2.entries {
+		for _, ds := range root2.entries[i].MDS {
+			if ds.Level != 0 {
+				coarse = true
+			}
+		}
+	}
+	if root2.leaf {
+		t.Fatal("tree2 did not split")
+	}
+	if !coarse {
+		t.Fatal("refinement disabled but every entry reached leaf level")
+	}
+}
+
+func TestAdaptToLevels(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	space := s.Space()
+	recs := genRecords(t, s, rand.New(rand.NewSource(59)), 10)
+	m := mds.FromLeaves(recs[0].Coords)
+
+	lifted, err := mds.AdaptToLevels(space, m, []int{2, 1, hierarchy.LevelALL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifted[0].Level != 2 || lifted[1].Level != 1 || lifted[2].Level != hierarchy.LevelALL {
+		t.Fatalf("levels after lift: %v", lifted)
+	}
+	// Lifting never lowers: targets below current levels are ignored.
+	again, err := mds.AdaptToLevels(space, lifted, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equal(lifted) {
+		t.Fatalf("AdaptToLevels lowered levels: %v", again)
+	}
+	if _, err := mds.AdaptToLevels(space, m, []int{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// LevelStat aggregates node statistics for one level of the tree.
+// Level 0 is the root level, level Height()-1 the data nodes — Fig. 13 of
+// the paper plots AvgEntries for levels 1 and 2 (the two highest levels
+// below the root).
+type LevelStat struct {
+	Level      int
+	Nodes      int
+	Supernodes int
+	Entries    int
+	AvgEntries float64
+	AvgBlocks  float64
+}
+
+// LevelStats walks the tree and reports per-level node statistics.
+func (t *Tree) LevelStats() ([]LevelStat, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	stats := make([]LevelStat, t.height)
+	var walk func(id nodeID, level int) error
+	walk = func(id nodeID, level int) error {
+		n, err := t.getNode(id)
+		if err != nil {
+			return err
+		}
+		if level >= len(stats) {
+			return fmt.Errorf("%w: node %d at level %d exceeds height %d", ErrCorrupt, id, level, t.height)
+		}
+		s := &stats[level]
+		s.Level = level
+		s.Nodes++
+		s.Entries += len(n.entries)
+		s.AvgBlocks += float64(n.blocks)
+		if n.isSuper() {
+			s.Supernodes++
+		}
+		if n.leaf {
+			return nil
+		}
+		for i := range n.entries {
+			if err := walk(n.entries[i].Child, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return nil, err
+	}
+	for i := range stats {
+		if stats[i].Nodes > 0 {
+			stats[i].AvgEntries = float64(stats[i].Entries) / float64(stats[i].Nodes)
+			stats[i].AvgBlocks /= float64(stats[i].Nodes)
+		}
+	}
+	return stats, nil
+}
+
+// Validate deep-checks every structural invariant of the tree:
+//
+//   - every entry's MDS is a valid MDS of the schema's space;
+//   - every directory entry's MDS equals the exact cover of its child;
+//   - every directory entry's aggregate equals the recomputed aggregate of
+//     its child (up to float rounding in Sum);
+//   - data nodes appear exactly at the bottom level, record arity is
+//     correct, leaf entry MDSs describe their records;
+//   - no node except the root is empty, no node overflows its capacity,
+//     supernode block counts are consistent;
+//   - the record count and the root MDS match reality.
+//
+// Validate is the oracle behind the randomized workload tests.
+func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	space := t.space()
+	measures := t.schema.Measures()
+
+	var records int64
+	// walk returns the subtree's record-level cover (the exact MDS of its
+	// data records, Definition 3), against which every entry's stored MDS
+	// is checked: lifted to the entry's own relevant levels, the record
+	// cover must reproduce the entry MDS exactly — coverage + minimality.
+	var walk func(id nodeID, level int) (mds.MDS, error)
+	walk = func(id nodeID, level int) (mds.MDS, error) {
+		n, err := t.getNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.blocks < 1 {
+			return nil, fmt.Errorf("%w: node %d has %d blocks", ErrCorrupt, id, n.blocks)
+		}
+		if len(n.entries) > n.capacity(&t.cfg) {
+			return nil, fmt.Errorf("%w: node %d overflows: %d entries, capacity %d",
+				ErrCorrupt, id, len(n.entries), n.capacity(&t.cfg))
+		}
+		if len(n.entries) == 0 && id != t.root {
+			return nil, fmt.Errorf("%w: non-root node %d is empty", ErrCorrupt, id)
+		}
+		if n.leaf != (level == t.height-1) {
+			return nil, fmt.Errorf("%w: node %d leaf=%v at level %d of height %d",
+				ErrCorrupt, id, n.leaf, level, t.height)
+		}
+		var members []mds.MDS
+		for i := range n.entries {
+			e := &n.entries[i]
+			if err := e.MDS.Validate(space); err != nil {
+				return nil, fmt.Errorf("node %d entry %d: %w", id, i, err)
+			}
+			if len(e.Agg) != measures {
+				return nil, fmt.Errorf("%w: node %d entry %d has %d aggs", ErrCorrupt, id, i, len(e.Agg))
+			}
+			if n.leaf {
+				records++
+				if err := t.schema.ValidateRecord(e.Rec); err != nil {
+					return nil, fmt.Errorf("node %d entry %d: %w", id, i, err)
+				}
+				want := mds.FromLeaves(e.Rec.Coords)
+				if !e.MDS.Equal(want) {
+					return nil, fmt.Errorf("%w: node %d entry %d MDS %v does not describe record %v",
+						ErrCorrupt, id, i, e.MDS, want)
+				}
+				for j := range e.Agg {
+					if e.Agg[j].Count != 1 || e.Agg[j].Sum != e.Rec.Measures[j] {
+						return nil, fmt.Errorf("%w: node %d entry %d agg mismatch", ErrCorrupt, id, i)
+					}
+				}
+				members = append(members, want)
+				continue
+			}
+			child, err := t.getNode(e.Child)
+			if err != nil {
+				return nil, err
+			}
+			childRecCover, err := walk(e.Child, level+1)
+			if err != nil {
+				return nil, err
+			}
+			// Definition 3 at the entry's own relevant levels: the child
+			// subtree's record-level cover, lifted to the entry's levels,
+			// must reproduce the entry MDS exactly (coverage+minimality).
+			levels := make([]int, len(e.MDS))
+			for d := range e.MDS {
+				levels[d] = e.MDS[d].Level
+			}
+			wantMDS, err := mds.AdaptToLevels(space, childRecCover, levels)
+			if err != nil {
+				return nil, err
+			}
+			if !e.MDS.Equal(wantMDS) {
+				return nil, fmt.Errorf("%w: node %d entry %d MDS %v != lifted record cover %v",
+					ErrCorrupt, id, i, e.MDS, wantMDS)
+			}
+			wantAgg := child.aggregate(measures)
+			for j := range wantAgg {
+				got, want := e.Agg[j], wantAgg[j]
+				if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max ||
+					!floatClose(got.Sum, want.Sum) {
+					return nil, fmt.Errorf("%w: node %d entry %d measure %d agg %+v != child %+v",
+						ErrCorrupt, id, i, j, got, want)
+				}
+			}
+			members = append(members, childRecCover)
+		}
+		if len(members) == 0 {
+			return mds.Top(len(space)), nil
+		}
+		return mds.Cover(space, members...)
+	}
+	recCover, err := walk(t.root, 0)
+	if err != nil {
+		return err
+	}
+	if records != t.count {
+		return fmt.Errorf("%w: tree claims %d records, found %d", ErrCorrupt, t.count, records)
+	}
+
+	if records > 0 {
+		// The incrementally maintained root MDS may be coarser than the
+		// exact record cover, but it must contain it.
+		ok, err := mds.Contains(space, t.rootMDS, recCover)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: root MDS %v does not cover records %v", ErrCorrupt, t.rootMDS, recCover)
+		}
+	}
+	return nil
+}
+
+func floatClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*scale+1e-9
+}

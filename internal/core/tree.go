@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// nodeID is the logical identifier of a DC-tree node. Logical IDs are
+// translated to storage extents through a table, so a node whose encoding
+// outgrows (or shrinks below) its extent can be relocated without touching
+// the pointers in its parent.
+type nodeID uint64
+
+const nilNode nodeID = 0
+
+// extentRef locates a node's current extent.
+type extentRef struct {
+	page   storage.PageID
+	blocks int
+}
+
+// Tree is a DC-tree over a data cube. It is safe for concurrent use:
+// queries run under a read lock, mutations under a write lock — the
+// structure stays continuously available for OLAP while single-record
+// updates stream in, which is the paper's motivating scenario.
+type Tree struct {
+	mu     sync.RWMutex
+	schema *cube.Schema
+	cfg    Config
+	store  storage.Store
+
+	root    nodeID
+	rootMDS mds.MDS // cover of the root's entries; Top for an empty tree
+	height  int     // 1 = the root is a data node
+	count   int64   // live data records
+
+	nextID nodeID
+	table  map[nodeID]extentRef
+	// pendingFree holds extents superseded by in-memory changes; they are
+	// released only after the next durable metadata swap (shadow paging).
+	pendingFree []extentRef
+
+	cacheMu sync.Mutex
+	cache   map[nodeID]*node
+	dirty   map[nodeID]bool
+}
+
+// New creates an empty DC-tree on the given store. The store's metadata
+// area becomes owned by the tree (Flush overwrites it).
+func New(store storage.Store, schema *cube.Schema, cfg Config) (*Tree, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize != store.BlockSize() {
+		return nil, fmt.Errorf("%w: config block size %d != store block size %d",
+			ErrBadConfig, cfg.BlockSize, store.BlockSize())
+	}
+	t := &Tree{
+		schema:  schema,
+		cfg:     cfg,
+		store:   store,
+		rootMDS: mds.Top(schema.Dims()),
+		height:  1,
+		nextID:  1,
+		table:   make(map[nodeID]extentRef),
+		cache:   make(map[nodeID]*node),
+		dirty:   make(map[nodeID]bool),
+	}
+	root := t.newNode(true)
+	t.root = root.id
+	return t, nil
+}
+
+// Schema returns the tree's cube schema.
+func (t *Tree) Schema() *cube.Schema { return t.schema }
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Count returns the number of live data records.
+func (t *Tree) Count() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Height returns the number of node levels (1 = the root is a data node).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// RootMDS returns a copy of the MDS describing the whole indexed cube.
+func (t *Tree) RootMDS() mds.MDS {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rootMDS.Clone()
+}
+
+// space is shorthand for the schema's dimension hierarchies.
+func (t *Tree) space() mds.Space { return t.schema.Space() }
+
+// newNode allocates a fresh, cached, dirty node. Storage extents are
+// assigned lazily at Flush time.
+func (t *Tree) newNode(leaf bool) *node {
+	id := t.nextID
+	t.nextID++
+	n := &node{id: id, leaf: leaf, blocks: 1}
+	t.cacheMu.Lock()
+	t.cache[id] = n
+	t.dirty[id] = true
+	t.cacheMu.Unlock()
+	return n
+}
+
+// getNode returns a node, faulting it from the store if necessary.
+func (t *Tree) getNode(id nodeID) (*node, error) {
+	t.cacheMu.Lock()
+	if n, ok := t.cache[id]; ok {
+		t.cacheMu.Unlock()
+		return n, nil
+	}
+	t.cacheMu.Unlock()
+
+	ref, ok := t.table[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d has no extent", ErrCorrupt, id)
+	}
+	payload, _, err := t.store.Read(ref.page)
+	if err != nil {
+		return nil, fmt.Errorf("dctree: reading node %d: %w", id, err)
+	}
+	n, err := decodeNode(id, payload, t.schema.Dims(), t.schema.Measures())
+	if err != nil {
+		return nil, err
+	}
+	t.cacheMu.Lock()
+	// Another goroutine may have faulted it concurrently; keep the first.
+	if prev, ok := t.cache[id]; ok {
+		n = prev
+	} else {
+		t.cache[id] = n
+	}
+	t.cacheMu.Unlock()
+	return n, nil
+}
+
+// markDirty flags a node for the next Flush.
+func (t *Tree) markDirty(n *node) {
+	t.cacheMu.Lock()
+	t.dirty[n.id] = true
+	t.cacheMu.Unlock()
+}
+
+// dropNode removes a node from the cache and schedules its extent (if
+// any) for release. The release happens after the next durable metadata
+// swap: freeing immediately would let a reused extent corrupt the tree
+// the persisted metadata still references if the process dies before the
+// next Flush.
+func (t *Tree) dropNode(id nodeID) error {
+	t.cacheMu.Lock()
+	delete(t.cache, id)
+	delete(t.dirty, id)
+	t.cacheMu.Unlock()
+	if ref, ok := t.table[id]; ok {
+		delete(t.table, id)
+		t.pendingFree = append(t.pendingFree, ref)
+	}
+	return nil
+}
+
+// Flush writes all dirty nodes and the tree metadata to the store and
+// syncs it. After a successful Flush the tree can be reopened with Open.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+// flushLocked persists all dirty nodes with shadow paging: every dirty
+// node is written to a FRESH extent, the metadata (which carries the
+// node→extent table) is swapped last, and only after a successful swap
+// are the superseded extents released. A crash anywhere during the flush
+// therefore leaves the previously persisted tree fully intact — the old
+// metadata still references only untouched extents.
+func (t *Tree) flushLocked() error {
+	t.cacheMu.Lock()
+	ids := make([]nodeID, 0, len(t.dirty))
+	for id := range t.dirty {
+		ids = append(ids, id)
+	}
+	t.cacheMu.Unlock()
+
+	var superseded []extentRef
+	written := make([]nodeID, 0, len(ids))
+	for _, id := range ids {
+		t.cacheMu.Lock()
+		n := t.cache[id]
+		t.cacheMu.Unlock()
+		if n == nil {
+			// Dirty but evicted/dropped: nothing to write.
+			continue
+		}
+		payload := n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
+		need := storage.BlocksFor(t.cfg.BlockSize, len(payload))
+		if need < n.blocks {
+			need = n.blocks // supernodes occupy their full logical extent
+		}
+		page, err := t.store.Alloc(need)
+		if err != nil {
+			return err
+		}
+		if err := t.store.Write(page, need, payload); err != nil {
+			return err
+		}
+		if old, ok := t.table[id]; ok {
+			superseded = append(superseded, old)
+		}
+		t.table[id] = extentRef{page: page, blocks: need}
+		written = append(written, id)
+	}
+
+	meta, err := t.encodeMeta()
+	if err != nil {
+		return err
+	}
+	if err := t.store.SetMeta(meta); err != nil {
+		return err
+	}
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+	// The new tree is durable: release the shadowed extents (including
+	// those of nodes dropped since the last flush) and clear the dirty
+	// flags.
+	superseded = append(superseded, t.pendingFree...)
+	t.pendingFree = nil
+	for _, old := range superseded {
+		if err := t.store.Free(old.page, old.blocks); err != nil {
+			return err
+		}
+	}
+	t.cacheMu.Lock()
+	for _, id := range written {
+		delete(t.dirty, id)
+	}
+	t.cacheMu.Unlock()
+	return nil
+}
+
+// EvictCache drops all clean nodes from the in-memory cache; subsequent
+// accesses fault them back from the store. Used by tests and by benchmarks
+// that measure cold-cache I/O.
+func (t *Tree) EvictCache() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	for id := range t.cache {
+		if !t.dirty[id] {
+			delete(t.cache, id)
+		}
+	}
+}
+
+// CachedNodes reports how many nodes are resident in the cache.
+func (t *Tree) CachedNodes() int {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	return len(t.cache)
+}
+
+// Store exposes the underlying store (for I/O statistics in experiments).
+func (t *Tree) Store() storage.Store { return t.store }

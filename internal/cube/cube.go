@@ -1,0 +1,148 @@
+// Package cube models the data cube of Gray et al. as used by the DC-tree
+// paper (§3.1, Definition 2): d dimensions, each with a concept hierarchy,
+// and m dependent measures. A data record is an element
+// (a₁,…,a_d, x₁,…,x_m) with aᵢ a leaf attribute value of dimension i and
+// xⱼ ∈ ℝ a measure value.
+package cube
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// Errors returned by cube operations.
+var (
+	ErrArity      = errors.New("cube: record arity does not match schema")
+	ErrNotLeaf    = errors.New("cube: record coordinate is not a leaf-level value")
+	ErrNoMeasure  = errors.New("cube: schema has no such measure")
+	ErrNoDim      = errors.New("cube: schema has no such dimension")
+	ErrEmptyShape = errors.New("cube: schema needs at least one dimension and one measure")
+)
+
+// Schema declares the shape of a data cube: its dimensions (each a concept
+// hierarchy) and the names of its measures.
+type Schema struct {
+	dims     mds.Space
+	measures []string
+}
+
+// NewSchema builds a schema from dimension hierarchies and measure names.
+func NewSchema(dims []*hierarchy.Hierarchy, measures ...string) (*Schema, error) {
+	if len(dims) == 0 || len(measures) == 0 {
+		return nil, ErrEmptyShape
+	}
+	return &Schema{
+		dims:     append(mds.Space(nil), dims...),
+		measures: append([]string(nil), measures...),
+	}, nil
+}
+
+// MustNewSchema is NewSchema but panics on error.
+func MustNewSchema(dims []*hierarchy.Hierarchy, measures ...string) *Schema {
+	s, err := NewSchema(dims, measures...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims returns the cube's dimension count.
+func (s *Schema) Dims() int { return len(s.dims) }
+
+// Measures returns the cube's measure count.
+func (s *Schema) Measures() int { return len(s.measures) }
+
+// Space returns the ordered concept hierarchies of the dimensions.
+// The returned slice is owned by the schema.
+func (s *Schema) Space() mds.Space { return s.dims }
+
+// Dim returns the hierarchy of dimension i.
+func (s *Schema) Dim(i int) (*hierarchy.Hierarchy, error) {
+	if i < 0 || i >= len(s.dims) {
+		return nil, fmt.Errorf("%w: %d", ErrNoDim, i)
+	}
+	return s.dims[i], nil
+}
+
+// DimIndex resolves a dimension by name.
+func (s *Schema) DimIndex(name string) (int, error) {
+	for i, h := range s.dims {
+		if h.Name() == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNoDim, name)
+}
+
+// MeasureName returns the name of measure j.
+func (s *Schema) MeasureName(j int) (string, error) {
+	if j < 0 || j >= len(s.measures) {
+		return "", fmt.Errorf("%w: %d", ErrNoMeasure, j)
+	}
+	return s.measures[j], nil
+}
+
+// MeasureIndex resolves a measure by name.
+func (s *Schema) MeasureIndex(name string) (int, error) {
+	for j, m := range s.measures {
+		if m == name {
+			return j, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNoMeasure, name)
+}
+
+// Record is one data record of the cube: interned leaf-level coordinates,
+// one per dimension, and the measure values.
+type Record struct {
+	Coords   []hierarchy.ID
+	Measures []float64
+}
+
+// ValidateRecord checks a record against the schema: correct arity, every
+// coordinate registered at leaf level of its dimension.
+func (s *Schema) ValidateRecord(r Record) error {
+	if len(r.Coords) != len(s.dims) || len(r.Measures) != len(s.measures) {
+		return fmt.Errorf("%w: %d coords / %d measures, want %d / %d",
+			ErrArity, len(r.Coords), len(r.Measures), len(s.dims), len(s.measures))
+	}
+	for i, c := range r.Coords {
+		if c.Level() != 0 {
+			return fmt.Errorf("%w: dim %d value %v", ErrNotLeaf, i, c)
+		}
+		if _, err := s.dims[i].ValueName(c); err != nil {
+			return fmt.Errorf("cube: dim %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// InternRecord interns a record given as per-dimension top-down string
+// paths plus measure values, registering unseen attribute values in the
+// dimension hierarchies (the dynamic dictionary maintenance of §3.1).
+func (s *Schema) InternRecord(paths [][]string, measures []float64) (Record, error) {
+	if len(paths) != len(s.dims) || len(measures) != len(s.measures) {
+		return Record{}, fmt.Errorf("%w: %d paths / %d measures, want %d / %d",
+			ErrArity, len(paths), len(measures), len(s.dims), len(s.measures))
+	}
+	coords := make([]hierarchy.ID, len(paths))
+	for i, p := range paths {
+		id, err := s.dims[i].Register(p...)
+		if err != nil {
+			return Record{}, fmt.Errorf("cube: dim %d: %w", i, err)
+		}
+		coords[i] = id
+	}
+	return Record{Coords: coords, Measures: append([]float64(nil), measures...)}, nil
+}
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	return Record{
+		Coords:   append([]hierarchy.ID(nil), r.Coords...),
+		Measures: append([]float64(nil), r.Measures...),
+	}
+}

@@ -1,0 +1,143 @@
+package hierarchy
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFindByName(t *testing.T) {
+	h := mustCustomer(t)
+	h.Register("Europe", "Germany", "Autos", "C#1")
+	h.Register("Europe", "France", "Autos", "C#2")
+	h.Register("America", "USA", "Autos", "C#3")
+	h.Register("Europe", "Germany", "Wine", "C#4")
+
+	autos, err := h.FindByName(1, "Autos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(autos) != 3 {
+		t.Fatalf("FindByName(Autos) = %d matches, want 3 (scoped per nation)", len(autos))
+	}
+	for _, id := range autos {
+		if id.Level() != 1 {
+			t.Fatalf("match at wrong level: %v", id)
+		}
+		name, _ := h.ValueName(id)
+		if name != "Autos" {
+			t.Fatalf("match with wrong name: %q", name)
+		}
+	}
+	none, err := h.FindByName(2, "Atlantis")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("FindByName(Atlantis) = %v, %v", none, err)
+	}
+	if _, err := h.FindByName(9, "x"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestLevelIndex(t *testing.T) {
+	h := mustCustomer(t)
+	for want, name := range []string{"Customer", "MktSegment", "Nation", "Region"} {
+		got, err := h.LevelIndex(name)
+		if err != nil || got != want {
+			t.Fatalf("LevelIndex(%s) = %d, %v; want %d", name, got, err, want)
+		}
+	}
+	if _, err := h.LevelIndex("Continent"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestParentTable(t *testing.T) {
+	h := mustCustomer(t)
+	leaf, _ := h.Register("Europe", "Germany", "Autos", "C#1")
+	table, err := h.ParentTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 1 {
+		t.Fatalf("leaf parent table len = %d", len(table))
+	}
+	seg, _ := h.Parent(leaf)
+	if table[leaf.Code()] != seg {
+		t.Fatalf("ParentTable[leaf] = %v, want %v", table[leaf.Code()], seg)
+	}
+	top, _ := h.ParentTable(3)
+	reg, _ := h.AncestorAt(leaf, 3)
+	if !top[reg.Code()].IsALL() {
+		t.Fatal("top-level parent must be ALL")
+	}
+	if _, err := h.ParentTable(-1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := h.ParentTable(4); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestHierarchyCodecRoundtrip(t *testing.T) {
+	h := mustCustomer(t)
+	rng := rand.New(rand.NewSource(5))
+	var leaves []ID
+	for i := 0; i < 500; i++ {
+		leaf, err := h.Register(
+			fmt.Sprintf("R%d", rng.Intn(5)),
+			fmt.Sprintf("N%d", rng.Intn(20)),
+			fmt.Sprintf("S%d", rng.Intn(4)),
+			fmt.Sprintf("C%d", i),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves = append(leaves, leaf)
+	}
+	buf := h.AppendEncode(nil)
+	h2, n, err := DecodeHierarchy(buf)
+	if err != nil {
+		t.Fatalf("DecodeHierarchy: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if h2.Name() != h.Name() || h2.Depth() != h.Depth() {
+		t.Fatalf("shape mismatch: %s/%d", h2.Name(), h2.Depth())
+	}
+	// Every ID resolves identically in the decoded hierarchy.
+	for _, leaf := range leaves {
+		p1, _ := h.Path(leaf)
+		p2, err := h2.Path(leaf)
+		if err != nil || p1 != p2 {
+			t.Fatalf("path mismatch for %v: %q vs %q (%v)", leaf, p1, p2, err)
+		}
+		for lvl := 0; lvl <= 3; lvl++ {
+			a1, _ := h.AncestorAt(leaf, lvl)
+			a2, _ := h2.AncestorAt(leaf, lvl)
+			if a1 != a2 {
+				t.Fatalf("ancestor mismatch at level %d: %v vs %v", lvl, a1, a2)
+			}
+		}
+	}
+	if err := h2.Validate(); err != nil {
+		t.Fatalf("decoded Validate: %v", err)
+	}
+	// Re-encoding is byte-identical (canonical form).
+	buf2 := h2.AppendEncode(nil)
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+func TestHierarchyCodecRejectsCorrupt(t *testing.T) {
+	h := mustCustomer(t)
+	h.Register("Europe", "Germany", "Autos", "C#1")
+	buf := h.AppendEncode(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeHierarchy(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by Hierarchy operations.
+var (
+	ErrBadLevel     = errors.New("hierarchy: level out of range")
+	ErrUnknownValue = errors.New("hierarchy: unknown attribute value")
+	ErrUnknownID    = errors.New("hierarchy: unknown id")
+	ErrBadPath      = errors.New("hierarchy: path length does not match hierarchy depth")
+	ErrInconsistent = errors.New("hierarchy: value already registered under a different parent")
+	ErrFull         = errors.New("hierarchy: level is full (2^28 values)")
+)
+
+// Hierarchy is one concept hierarchy: the dynamically maintained dictionary
+// of attribute values of a single dimension, their interned IDs, and the
+// father relation between them (§3.1 of the paper).
+//
+// The hierarchy has Depth() named levels. Level 0 holds the leaves (the
+// finest attribute, e.g. Customer ID) and level Depth()-1 holds the coarsest
+// named attribute (e.g. Region). Above all named levels sits the implicit
+// root ALL.
+//
+// A Hierarchy is not safe for concurrent mutation; the DC-tree serializes
+// access through its own lock.
+type Hierarchy struct {
+	name       string
+	levelNames []string // index = level; 0 is the leaf level
+
+	// parents and valueNames are dense per-level tables indexed by ID
+	// code: the father dictionary and the value strings. Dense slices keep
+	// AncestorAt — the single hottest operation of the index — free of
+	// map lookups.
+	parents    [][]ID
+	valueNames [][]string
+	byLevel    [][]ID // per level, IDs in insertion (total) order
+	intern     []map[string]ID
+}
+
+// New creates an empty hierarchy for one dimension. levelNames are ordered
+// from the leaf level upward, e.g.
+//
+//	New("Customer", "Customer", "MktSegment", "Nation", "Region")
+//
+// declares levels 0..3; ALL sits implicitly above "Region".
+func New(name string, levelNames ...string) (*Hierarchy, error) {
+	if len(levelNames) == 0 {
+		return nil, fmt.Errorf("%w: a hierarchy needs at least one level", ErrBadLevel)
+	}
+	if len(levelNames) > MaxLevel+1 {
+		return nil, fmt.Errorf("%w: at most %d levels supported", ErrBadLevel, MaxLevel+1)
+	}
+	h := &Hierarchy{
+		name:       name,
+		levelNames: append([]string(nil), levelNames...),
+		parents:    make([][]ID, len(levelNames)),
+		valueNames: make([][]string, len(levelNames)),
+		byLevel:    make([][]ID, len(levelNames)),
+		intern:     make([]map[string]ID, len(levelNames)),
+	}
+	for i := range h.intern {
+		h.intern[i] = make(map[string]ID)
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on error; intended for static schema literals.
+func MustNew(name string, levelNames ...string) *Hierarchy {
+	h, err := New(name, levelNames...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Name returns the dimension name the hierarchy describes.
+func (h *Hierarchy) Name() string { return h.name }
+
+// Depth returns the number of named levels (excluding ALL).
+func (h *Hierarchy) Depth() int { return len(h.levelNames) }
+
+// TopLevel returns the highest named level, Depth()-1.
+func (h *Hierarchy) TopLevel() int { return len(h.levelNames) - 1 }
+
+// LevelName returns the attribute name of a level (0 = leaf).
+func (h *Hierarchy) LevelName(level int) (string, error) {
+	if level < 0 || level >= len(h.levelNames) {
+		return "", fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	return h.levelNames[level], nil
+}
+
+// Register interns one full concept path ordered from the top named level
+// down to the leaf, creating any values that do not exist yet, and returns
+// the leaf ID. For the Customer hierarchy above:
+//
+//	leaf, err := h.Register("Europe", "Germany", "Automobiles", "Customer#42")
+//
+// Registration is how the DC-tree maintains its dictionaries dynamically:
+// new products, customers, etc. slot into the partial ordering naturally
+// (Fig. 2 of the paper), with no renumbering of existing values.
+//
+// A value string may repeat under different parents (market segment names
+// repeat per nation); values are identified by their full path. Register
+// returns ErrInconsistent only if the same (level, parent, name) triple was
+// somehow interned with a conflicting ID, which cannot happen through this
+// API.
+func (h *Hierarchy) Register(pathTopDown ...string) (ID, error) {
+	if len(pathTopDown) != len(h.levelNames) {
+		return 0, fmt.Errorf("%w: got %d components, hierarchy %q has %d levels",
+			ErrBadPath, len(pathTopDown), h.name, len(h.levelNames))
+	}
+	parent := ALL
+	// Walk from the top named level (h.TopLevel()) down to level 0.
+	for i, component := range pathTopDown {
+		level := h.TopLevel() - i
+		id, err := h.registerChild(level, parent, component)
+		if err != nil {
+			return 0, err
+		}
+		parent = id
+	}
+	return parent, nil
+}
+
+// registerChild interns one value at the given level under the given parent.
+func (h *Hierarchy) registerChild(level int, parent ID, name string) (ID, error) {
+	key := scopedKey(parent, name)
+	if id, ok := h.intern[level][key]; ok {
+		if h.parents[level][id.Code()] != parent {
+			return 0, fmt.Errorf("%w: %q at level %d", ErrInconsistent, name, level)
+		}
+		return id, nil
+	}
+	if len(h.byLevel[level]) > MaxCode {
+		return 0, fmt.Errorf("%w: level %d of %q", ErrFull, level, h.name)
+	}
+	id := MakeID(level, uint32(len(h.byLevel[level])))
+	h.intern[level][key] = id
+	h.byLevel[level] = append(h.byLevel[level], id)
+	h.parents[level] = append(h.parents[level], parent)
+	h.valueNames[level] = append(h.valueNames[level], name)
+	return id, nil
+}
+
+// scopedKey scopes a value name by its parent so that identical strings
+// under different parents (e.g. per-nation market segments) stay distinct.
+func scopedKey(parent ID, name string) string {
+	return fmt.Sprintf("%08x/%s", uint32(parent), name)
+}
+
+// parentOf returns the father of a registered ID via the dense tables.
+func (h *Hierarchy) parentOf(id ID) (ID, bool) {
+	if id.IsALL() {
+		return ALL, true
+	}
+	level := id.Level()
+	if level >= len(h.parents) || int(id.Code()) >= len(h.parents[level]) {
+		return 0, false
+	}
+	return h.parents[level][id.Code()], true
+}
+
+// registered reports whether an ID was interned in this hierarchy.
+func (h *Hierarchy) registered(id ID) bool {
+	_, ok := h.parentOf(id)
+	return ok && !id.IsALL()
+}
+
+// Lookup finds the ID of a value by its full top-down path.
+func (h *Hierarchy) Lookup(pathTopDown ...string) (ID, error) {
+	if len(pathTopDown) > len(h.levelNames) {
+		return 0, fmt.Errorf("%w: got %d components, hierarchy %q has %d levels",
+			ErrBadPath, len(pathTopDown), h.name, len(h.levelNames))
+	}
+	parent := ALL
+	for i, component := range pathTopDown {
+		level := h.TopLevel() - i
+		id, ok := h.intern[level][scopedKey(parent, component)]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q at level %d of %q", ErrUnknownValue, component, level, h.name)
+		}
+		parent = id
+	}
+	return parent, nil
+}
+
+// Parent returns the direct generalization of id (ALL for top-level values).
+func (h *Hierarchy) Parent(id ID) (ID, error) {
+	if id.IsALL() {
+		return ALL, nil
+	}
+	p, ok := h.parentOf(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrUnknownID, id)
+	}
+	return p, nil
+}
+
+// AncestorAt lifts id to the given level by following the father dictionary.
+// level may be LevelALL (returns ALL) or any named level ≥ id.Level().
+// Lifting to a level below id's own is an error: the partial ordering only
+// generalizes upward.
+func (h *Hierarchy) AncestorAt(id ID, level int) (ID, error) {
+	if level == LevelALL {
+		return ALL, nil
+	}
+	if level < 0 || level >= len(h.levelNames) {
+		return 0, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	if id.IsALL() {
+		return 0, fmt.Errorf("%w: cannot specialize ALL to level %d", ErrBadLevel, level)
+	}
+	if level < id.Level() {
+		return 0, fmt.Errorf("%w: cannot lower %v to level %d", ErrBadLevel, id, level)
+	}
+	cur := id
+	for cur.Level() < level {
+		p, ok := h.parentOf(cur)
+		if !ok {
+			return 0, fmt.Errorf("%w: %v", ErrUnknownID, cur)
+		}
+		cur = p
+	}
+	return cur, nil
+}
+
+// Under reports the partial ordering a ⪯ b of Definition 1: a equals b, b is
+// ALL, or a is a (direct or indirect) descendant of b in the hierarchy.
+func (h *Hierarchy) Under(a, b ID) bool {
+	if b.IsALL() || a == b {
+		return true
+	}
+	if a.IsALL() || a.Level() >= b.Level() {
+		return false
+	}
+	anc, err := h.AncestorAt(a, b.Level())
+	return err == nil && anc == b
+}
+
+// ValuesAt returns the IDs registered at a level, in insertion order.
+// The returned slice is owned by the hierarchy; callers must not mutate it.
+func (h *Hierarchy) ValuesAt(level int) ([]ID, error) {
+	if level == LevelALL {
+		return []ID{ALL}, nil
+	}
+	if level < 0 || level >= len(h.levelNames) {
+		return nil, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	return h.byLevel[level], nil
+}
+
+// CountAt returns the number of values registered at a level.
+func (h *Hierarchy) CountAt(level int) (int, error) {
+	if level == LevelALL {
+		return 1, nil
+	}
+	if level < 0 || level >= len(h.levelNames) {
+		return 0, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	return len(h.byLevel[level]), nil
+}
+
+// ValueName returns the original string of an interned value.
+func (h *Hierarchy) ValueName(id ID) (string, error) {
+	if id.IsALL() {
+		return "ALL", nil
+	}
+	level := id.Level()
+	if level >= len(h.valueNames) || int(id.Code()) >= len(h.valueNames[level]) {
+		return "", fmt.Errorf("%w: %v", ErrUnknownID, id)
+	}
+	return h.valueNames[level][id.Code()], nil
+}
+
+// Path renders the full top-down path of an ID, e.g.
+// "Europe/Germany/Automobiles/Customer#42".
+func (h *Hierarchy) Path(id ID) (string, error) {
+	if id.IsALL() {
+		return "ALL", nil
+	}
+	var parts []string
+	cur := id
+	for !cur.IsALL() {
+		name, err := h.ValueName(cur)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, name)
+		p, err := h.Parent(cur)
+		if err != nil {
+			return "", err
+		}
+		cur = p
+	}
+	// Reverse to top-down order.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return joinSlash(parts), nil
+}
+
+func joinSlash(parts []string) string {
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, p := range parts {
+		if i > 0 {
+			buf = append(buf, '/')
+		}
+		buf = append(buf, p...)
+	}
+	return string(buf)
+}
+
+// Children returns the direct specializations of id at the level below it,
+// in insertion order. For ALL it returns the values of the top named level.
+// This is O(values at child level); it exists for tooling and tests, not for
+// the insert/query hot paths, which only walk upward.
+func (h *Hierarchy) Children(id ID) ([]ID, error) {
+	var childLevel int
+	switch {
+	case id.IsALL():
+		childLevel = h.TopLevel()
+	case id.Level() == 0:
+		return nil, nil
+	default:
+		if !h.registered(id) {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownID, id)
+		}
+		childLevel = id.Level() - 1
+	}
+	var out []ID
+	for _, c := range h.byLevel[childLevel] {
+		if h.parents[childLevel][c.Code()] == id {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// LeafCountUnder returns the number of registered leaves below id (or the
+// total number of leaves for ALL). Used by workload generators to reason
+// about selectivity.
+func (h *Hierarchy) LeafCountUnder(id ID) (int, error) {
+	if id.IsALL() {
+		return len(h.byLevel[0]), nil
+	}
+	if !h.registered(id) {
+		return 0, fmt.Errorf("%w: %v", ErrUnknownID, id)
+	}
+	if id.Level() == 0 {
+		return 1, nil
+	}
+	n := 0
+	for _, leaf := range h.byLevel[0] {
+		if h.Under(leaf, id) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ParentTable returns the dense father table of a level: entry c is the
+// parent ID of MakeID(level, c). The returned slice is owned by the
+// hierarchy and must not be modified; it exists for query-time mask
+// propagation, which needs raw indexed access to stay off the allocation
+// and function-call paths.
+func (h *Hierarchy) ParentTable(level int) ([]ID, error) {
+	if level < 0 || level >= len(h.levelNames) {
+		return nil, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	return h.parents[level], nil
+}
+
+// FindByName returns every ID at the given level whose value name equals
+// name. Several IDs can match: value names are scoped by their parent
+// (e.g. the market segment "AUTOMOBILE" exists under every nation), and a
+// by-name query means "all of them".
+func (h *Hierarchy) FindByName(level int, name string) ([]ID, error) {
+	if level < 0 || level >= len(h.levelNames) {
+		return nil, fmt.Errorf("%w: %d", ErrBadLevel, level)
+	}
+	var out []ID
+	for _, id := range h.byLevel[level] {
+		if h.valueNames[level][id.Code()] == name {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// LevelIndex resolves a level by its attribute name (e.g. "Nation" -> 2).
+func (h *Hierarchy) LevelIndex(levelName string) (int, error) {
+	for i, n := range h.levelNames {
+		if n == levelName {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: hierarchy %q has no level %q", ErrBadLevel, h.name, levelName)
+}
+
+// Validate checks internal consistency: every non-top value has a parent one
+// level up, codes are dense per level, and names are interned. It is used by
+// tests and by dctool's fsck mode.
+func (h *Hierarchy) Validate() error {
+	for level, ids := range h.byLevel {
+		for i, id := range ids {
+			if id.Level() != level {
+				return fmt.Errorf("hierarchy %q: id %v filed at level %d", h.name, id, level)
+			}
+			if id.Code() != uint32(i) {
+				return fmt.Errorf("hierarchy %q: id %v has non-dense code at index %d", h.name, id, i)
+			}
+			p, ok := h.parentOf(id)
+			if !ok {
+				return fmt.Errorf("hierarchy %q: id %v has no parent", h.name, id)
+			}
+			wantLevel := level + 1
+			if level == h.TopLevel() {
+				if !p.IsALL() {
+					return fmt.Errorf("hierarchy %q: top value %v parent %v is not ALL", h.name, id, p)
+				}
+			} else if p.Level() != wantLevel {
+				return fmt.Errorf("hierarchy %q: id %v parent %v not one level up", h.name, id, p)
+			} else if int(p.Code()) >= len(h.byLevel[wantLevel]) {
+				return fmt.Errorf("hierarchy %q: id %v parent %v not registered", h.name, id, p)
+			}
+			if _, err := h.ValueName(id); err != nil {
+				return fmt.Errorf("hierarchy %q: id %v has no name", h.name, id)
+			}
+		}
+	}
+	return nil
+}
+
+// SortIDs sorts a slice of IDs in the canonical order used throughout the
+// index: by level tag, then by code — i.e. plain numeric order on the packed
+// representation.
+func SortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

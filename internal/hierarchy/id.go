@@ -1,0 +1,72 @@
+// Package hierarchy implements the concept hierarchies of the DC-tree paper
+// (Ester, Kohlhammer, Kriegel, ICDE 2000, §3.1).
+//
+// A concept hierarchy is a tree over the attribute values of one dimension:
+// the root is the special value ALL, the edges are is-a relationships, and
+// the hierarchy level of a value is its distance from the leaves (leaves are
+// level 0). The hierarchy induces the partial ordering a ⪯ b ("a is-a b")
+// that the DC-tree uses instead of an artificial total ordering.
+//
+// Every attribute value is interned to a fixed-size 32-bit ID exactly as in
+// the paper: the highest four bits carry the hierarchy level (so IDs from
+// different levels can never be confused) and the remaining 28 bits carry a
+// per-level code assigned in insertion order. The insertion-order code also
+// serves as the total ordering that the X-tree baseline requires (§5.2).
+package hierarchy
+
+import "fmt"
+
+// ID is the interned 32-bit identifier of one attribute value.
+//
+// Layout: bits 31..28 = hierarchy level, bits 27..0 = per-level code.
+// Level 15 is reserved for the ALL value, the root of every hierarchy.
+type ID uint32
+
+const (
+	// LevelBits is the number of high bits reserved for the level tag.
+	LevelBits = 4
+	// CodeBits is the number of low bits carrying the per-level code.
+	CodeBits = 32 - LevelBits
+	// MaxCode is the largest per-level code an ID can carry.
+	MaxCode = 1<<CodeBits - 1
+	// LevelALL is the reserved level tag of the ALL value.
+	LevelALL = 1<<LevelBits - 1
+	// MaxLevel is the highest level a named hierarchy layer may occupy.
+	MaxLevel = LevelALL - 1
+)
+
+// ALL is the root of every concept hierarchy; it denotes the union of all
+// values of the dimension.
+const ALL = ID(LevelALL << CodeBits)
+
+// MakeID packs a level and a per-level code into an ID.
+// It panics if either component is out of range; both are bounded by
+// construction everywhere inside this package.
+func MakeID(level int, code uint32) ID {
+	if level < 0 || level > LevelALL {
+		panic(fmt.Sprintf("hierarchy: level %d out of range [0,%d]", level, LevelALL))
+	}
+	if code > MaxCode {
+		panic(fmt.Sprintf("hierarchy: code %d exceeds %d", code, uint32(MaxCode)))
+	}
+	return ID(uint32(level)<<CodeBits | code)
+}
+
+// Level reports the hierarchy level encoded in the ID (0 = leaf).
+func (id ID) Level() int { return int(id >> CodeBits) }
+
+// Code reports the per-level code encoded in the ID. Codes are assigned in
+// insertion order, which defines the total ordering used by the X-tree
+// baseline.
+func (id ID) Code() uint32 { return uint32(id) & MaxCode }
+
+// IsALL reports whether the ID is the reserved ALL value.
+func (id ID) IsALL() bool { return id.Level() == LevelALL }
+
+// String renders the ID as "Lℓ#code" (or "ALL").
+func (id ID) String() string {
+	if id.IsALL() {
+		return "ALL"
+	}
+	return fmt.Sprintf("L%d#%d", id.Level(), id.Code())
+}

@@ -1,0 +1,130 @@
+package mds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Algebraic laws of the MDS operations, checked on randomized instances.
+// These complement the targeted tests in mds_test.go: every law here is
+// something the DC-tree's correctness quietly depends on.
+
+func TestContainsReflexiveAndTransitive(t *testing.T) {
+	space, leaves := randomSpace(t, 101, 200)
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 300; i++ {
+		a := randomMDS(rng, space, leaves)
+		ok, err := Contains(space, a, a)
+		if err != nil || !ok {
+			t.Fatalf("Contains not reflexive: %v %v\n%v", ok, err, a)
+		}
+		// Build b ⊇ a by covering with another MDS, and c ⊇ b likewise:
+		// transitivity demands c ⊇ a.
+		b, err := Cover(space, a, randomMDS(rng, space, leaves))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Cover(space, b, randomMDS(rng, space, leaves))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]MDS{{b, a}, {c, b}, {c, a}} {
+			ok, err := Contains(space, pair[0], pair[1])
+			if err != nil || !ok {
+				t.Fatalf("containment chain broken at step %v: %v %v", i, ok, err)
+			}
+		}
+	}
+}
+
+func TestCoverIdempotentAndMonotone(t *testing.T) {
+	space, leaves := randomSpace(t, 107, 200)
+	rng := rand.New(rand.NewSource(109))
+	for i := 0; i < 300; i++ {
+		a := randomMDS(rng, space, leaves)
+		b := randomMDS(rng, space, leaves)
+		ab, err := Cover(space, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Idempotence: covering the cover with its members changes nothing.
+		again, err := Cover(space, ab, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ab.Equal(again) {
+			t.Fatalf("Cover not idempotent:\n ab=%v\n again=%v", ab, again)
+		}
+		// Commutativity.
+		ba, err := Cover(space, b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ab.Equal(ba) {
+			t.Fatalf("Cover not commutative")
+		}
+		// Volume monotonicity at aligned levels: the cover describes at
+		// least as much as each member lifted to its levels.
+		la, err := Adapt(space, a, ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.Volume() > ab.Volume() {
+			t.Fatalf("cover smaller than lifted member: %g < %g", ab.Volume(), la.Volume())
+		}
+	}
+}
+
+func TestOverlapBoundedByVolume(t *testing.T) {
+	space, leaves := randomSpace(t, 113, 200)
+	rng := rand.New(rand.NewSource(127))
+	for i := 0; i < 300; i++ {
+		a := randomMDS(rng, space, leaves)
+		b := randomMDS(rng, space, leaves)
+		ov, err := Overlap(space, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After aligning, overlap cannot exceed either operand's volume.
+		aa, bb, err := Align(space, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov > aa.Volume() || ov > bb.Volume() {
+			t.Fatalf("overlap %g exceeds volumes %g/%g", ov, aa.Volume(), bb.Volume())
+		}
+		// Containment implies full overlap of the contained operand.
+		cover, err := Cover(space, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, _ := Adapt(space, a, cover)
+		ovCover, err := Overlap(space, cover, la)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ovCover != la.Volume() {
+			t.Fatalf("contained operand overlaps %g of its %g cells", ovCover, la.Volume())
+		}
+	}
+}
+
+func TestAdaptNeverLosesCoverage(t *testing.T) {
+	space, leaves := randomSpace(t, 131, 200)
+	rng := rand.New(rand.NewSource(137))
+	for i := 0; i < 300; i++ {
+		a := randomMDS(rng, space, leaves)
+		b := randomMDS(rng, space, leaves)
+		lifted, err := Adapt(space, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Contains(space, lifted, a)
+		if err != nil || !ok {
+			t.Fatalf("Adapt lost coverage: %v %v\n a=%v\n lifted=%v", ok, err, a, lifted)
+		}
+		if err := lifted.Validate(space); err != nil {
+			t.Fatalf("lifted invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+package mds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/hierarchy"
+)
+
+// testSpace builds the paper's example space: Customer (Region > Nation >
+// Customer), Supplier (Region > Nation > Supplier), Time (Year > Month).
+func testSpace(t testing.TB) Space {
+	t.Helper()
+	cust := hierarchy.MustNew("Customer", "Customer", "Nation", "Region")
+	supp := hierarchy.MustNew("Supplier", "Supplier", "Nation", "Region")
+	tim := hierarchy.MustNew("Time", "Month", "Year")
+	return Space{cust, supp, tim}
+}
+
+// registerPaperExample loads the running example of §3.2:
+// (Germany, North America, 1996, $) and (France, North America, 1997, $).
+func registerPaperExample(t testing.TB, space Space) (recA, recB []hierarchy.ID) {
+	t.Helper()
+	ca, err := space[0].Register("Europe", "Germany", "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := space[0].Register("Europe", "France", "C2")
+	sa, _ := space[1].Register("North America", "USA", "S1")
+	sb, _ := space[1].Register("North America", "Canada", "S2")
+	ta, _ := space[2].Register("1996", "1996-06")
+	tb, _ := space[2].Register("1997", "1997-01")
+	return []hierarchy.ID{ca, sa, ta}, []hierarchy.ID{cb, sb, tb}
+}
+
+func TestTopMDS(t *testing.T) {
+	space := testSpace(t)
+	top := Top(len(space))
+	if err := top.Validate(space); err != nil {
+		t.Fatalf("Top invalid: %v", err)
+	}
+	if top.Size() != 3 || top.Volume() != 1 {
+		t.Errorf("Top size=%d volume=%g", top.Size(), top.Volume())
+	}
+	for _, d := range top {
+		if d.Level != hierarchy.LevelALL || !d.IDs[0].IsALL() {
+			t.Errorf("Top dim = %+v", d)
+		}
+	}
+}
+
+// TestPaperExampleCover reproduces the §3.2 worked example: the MDS of the
+// two sample records at relevant levels (nation, region-ish) and its lift.
+func TestPaperExampleCover(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+
+	cover, err := Cover(space, FromLeaves(recA), FromLeaves(recB))
+	if err != nil {
+		t.Fatalf("Cover: %v", err)
+	}
+	// Leaf-level cover: each dimension holds both leaves.
+	for i, d := range cover {
+		if d.Level != 0 || len(d.IDs) != 2 {
+			t.Errorf("dim %d cover = %+v, want 2 leaf values", i, d)
+		}
+	}
+
+	// Lift dimension 0 to nation level (level 1): {Germany, France}.
+	lifted, err := liftDim(space[0], cover[0], 1)
+	if err != nil {
+		t.Fatalf("liftDim: %v", err)
+	}
+	if lifted.Level != 1 || len(lifted.IDs) != 2 {
+		t.Errorf("nation-level lift = %+v", lifted)
+	}
+	// Lift to region level: {Europe} — a single value, as in the paper.
+	region, err := liftDim(space[0], cover[0], 2)
+	if err != nil {
+		t.Fatalf("liftDim: %v", err)
+	}
+	if region.Level != 2 || len(region.IDs) != 1 {
+		t.Errorf("region-level lift = %+v, want single {Europe}", region)
+	}
+	// Supplier dimension lifted to region: {North America}.
+	supRegion, _ := liftDim(space[1], cover[1], 2)
+	if len(supRegion.IDs) != 1 {
+		t.Errorf("supplier region lift = %+v, want {North America}", supRegion)
+	}
+}
+
+func TestFromLeavesAndContainsLeaves(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+
+	m := FromLeaves(recA)
+	if err := m.Validate(space); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	ok, err := m.ContainsLeaves(space, recA)
+	if err != nil || !ok {
+		t.Errorf("record MDS should contain its own record: %v %v", ok, err)
+	}
+	ok, _ = m.ContainsLeaves(space, recB)
+	if ok {
+		t.Error("record MDS should not contain a different record")
+	}
+
+	cover, _ := Cover(space, FromLeaves(recA), FromLeaves(recB))
+	for _, rec := range [][]hierarchy.ID{recA, recB} {
+		ok, err := cover.ContainsLeaves(space, rec)
+		if err != nil || !ok {
+			t.Errorf("cover must contain member record: %v %v", ok, err)
+		}
+	}
+	if ok, _ := Top(3).ContainsLeaves(space, recA); !ok {
+		t.Error("Top must contain every record")
+	}
+	if _, err := m.ContainsLeaves(space, recA[:2]); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestContainsDefinition(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+	a, b := FromLeaves(recA), FromLeaves(recB)
+	cover, _ := Cover(space, a, b)
+
+	for _, m := range []MDS{a, b, cover} {
+		ok, err := Contains(space, cover, m)
+		if err != nil || !ok {
+			t.Errorf("cover must contain %v: %v %v", m, ok, err)
+		}
+		ok, err = Contains(space, Top(3), m)
+		if err != nil || !ok {
+			t.Errorf("Top must contain %v: %v %v", m, ok, err)
+		}
+	}
+	if ok, _ := Contains(space, a, cover); ok {
+		t.Error("a record MDS cannot contain the two-record cover")
+	}
+	if ok, _ := Contains(space, a, b); ok {
+		t.Error("disjoint record MDSs cannot contain each other")
+	}
+	// Lifted cover (coarser) contains the leaf-level cover, not vice versa.
+	liftedDim, _ := liftDim(space[0], cover[0], 2)
+	coarse := cover.Clone()
+	coarse[0] = liftedDim
+	if ok, _ := Contains(space, coarse, cover); !ok {
+		t.Error("region-level MDS must contain nation/leaf-level one")
+	}
+	if ok, _ := Contains(space, cover, coarse); ok {
+		t.Error("leaf-level MDS must not contain region-level one")
+	}
+	if _, err := Contains(space, a, Top(2)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestOverlapAndExtension(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+	a, b := FromLeaves(recA), FromLeaves(recB)
+
+	ov, err := Overlap(space, a, b)
+	if err != nil {
+		t.Fatalf("Overlap: %v", err)
+	}
+	if ov != 0 {
+		t.Errorf("disjoint records overlap = %g, want 0", ov)
+	}
+	ov, _ = Overlap(space, a, a)
+	if ov != 1 {
+		t.Errorf("self overlap = %g, want 1", ov)
+	}
+	ext, err := Extension(space, a, b)
+	if err != nil {
+		t.Fatalf("Extension: %v", err)
+	}
+	if ext != 8 { // 2×2×2 leaf values
+		t.Errorf("extension = %g, want 8", ext)
+	}
+	// Overlap with Top aligns a up to ALL everywhere: full overlap of 1 cell.
+	ov, _ = Overlap(space, a, Top(3))
+	if ov != 1 {
+		t.Errorf("overlap with Top = %g, want 1", ov)
+	}
+	// Mixed levels: region-level {Europe} vs nation-level {Germany,France}.
+	cover, _ := Cover(space, a, b)
+	liftedDim, _ := liftDim(space[0], cover[0], 2)
+	coarse := cover.Clone()
+	coarse[0] = liftedDim
+	ov, _ = Overlap(space, coarse, cover)
+	if ov == 0 {
+		t.Error("coarse and fine views of the same subcube must overlap")
+	}
+}
+
+func TestOverlapSymmetryQuickLike(t *testing.T) {
+	space, leaves := randomSpace(t, 99, 300)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		m := randomMDS(rng, space, leaves)
+		n := randomMDS(rng, space, leaves)
+		ov1, err1 := Overlap(space, m, n)
+		ov2, err2 := Overlap(space, n, m)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Overlap errs: %v %v", err1, err2)
+		}
+		if ov1 != ov2 {
+			t.Fatalf("overlap not symmetric: %g vs %g\nm=%v\nn=%v", ov1, ov2, m, n)
+		}
+		e1, _ := Extension(space, m, n)
+		e2, _ := Extension(space, n, m)
+		if e1 != e2 {
+			t.Fatalf("extension not symmetric: %g vs %g", e1, e2)
+		}
+		if e1 < ov1 {
+			t.Fatalf("extension %g < overlap %g", e1, ov1)
+		}
+		// Self-laws.
+		ovSelf, _ := Overlap(space, m, m)
+		extSelf, _ := Extension(space, m, m)
+		if ovSelf != m.Volume() || extSelf != m.Volume() {
+			t.Fatalf("self overlap/extension %g/%g, want volume %g", ovSelf, extSelf, m.Volume())
+		}
+	}
+}
+
+// TestCoverLaws checks coverage and minimality (Definition 3) on random
+// member sets: the cover contains every member; and no per-dimension value
+// of the cover can be dropped without losing coverage.
+func TestCoverLaws(t *testing.T) {
+	space, leaves := randomSpace(t, 5, 200)
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 100; round++ {
+		k := 2 + rng.Intn(5)
+		members := make([]MDS, k)
+		for i := range members {
+			members[i] = randomMDS(rng, space, leaves)
+		}
+		cover, err := Cover(space, members...)
+		if err != nil {
+			t.Fatalf("Cover: %v", err)
+		}
+		if err := cover.Validate(space); err != nil {
+			t.Fatalf("cover invalid: %v", err)
+		}
+		for _, m := range members {
+			ok, err := Contains(space, cover, m)
+			if err != nil || !ok {
+				t.Fatalf("coverage violated: cover %v does not contain %v (%v)", cover, m, err)
+			}
+		}
+		// Minimality: removing any value from any dimension set breaks
+		// coverage of at least one member.
+		for dim := range cover {
+			if cover[dim].Level == hierarchy.LevelALL || len(cover[dim].IDs) == 1 {
+				continue
+			}
+			drop := rng.Intn(len(cover[dim].IDs))
+			reduced := cover.Clone()
+			reduced[dim].IDs = append(reduced[dim].IDs[:drop], reduced[dim].IDs[drop+1:]...)
+			still := true
+			for _, m := range members {
+				ok, _ := Contains(space, reduced, m)
+				if !ok {
+					still = false
+					break
+				}
+			}
+			if still {
+				t.Fatalf("minimality violated: dropped value %d of dim %d and still cover all members", drop, dim)
+			}
+		}
+	}
+}
+
+func TestAdaptAndAlign(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+	a := FromLeaves(recA)
+	cover, _ := Cover(space, a, FromLeaves(recB))
+	coarse := cover.Clone()
+	d, _ := liftDim(space[0], cover[0], 2)
+	coarse[0] = d
+
+	adapted, err := Adapt(space, a, coarse)
+	if err != nil {
+		t.Fatalf("Adapt: %v", err)
+	}
+	if adapted[0].Level != 2 {
+		t.Errorf("dim 0 adapted level = %d, want 2", adapted[0].Level)
+	}
+	if adapted[1].Level != 0 || adapted[2].Level != 0 {
+		t.Errorf("unrelated dims must keep their levels: %v", adapted)
+	}
+	// Align lifts each side only where the other is higher.
+	am, an, err := Align(space, a, coarse)
+	if err != nil {
+		t.Fatalf("Align: %v", err)
+	}
+	if am[0].Level != 2 || an[0].Level != 2 {
+		t.Errorf("align dim0 levels = %d,%d", am[0].Level, an[0].Level)
+	}
+	if an[1].Level != 0 {
+		t.Errorf("align must lower nothing: %v", an)
+	}
+	if _, err := Adapt(space, a, Top(2)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestPerDimensionOps(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+	a, b := FromLeaves(recA), FromLeaves(recB)
+
+	for dim := 0; dim < 3; dim++ {
+		ov, err := OverlapIn(space, a, b, dim)
+		if err != nil {
+			t.Fatalf("OverlapIn: %v", err)
+		}
+		if ov != 0 {
+			t.Errorf("dim %d overlap = %d, want 0", dim, ov)
+		}
+		ext, err := ExtensionIn(space, a, b, dim)
+		if err != nil {
+			t.Fatalf("ExtensionIn: %v", err)
+		}
+		if ext != 2 {
+			t.Errorf("dim %d extension = %d, want 2", dim, ext)
+		}
+	}
+	// Against a coarser operand the finer one is lifted first.
+	cover, _ := Cover(space, a, b)
+	coarse := cover.Clone()
+	d, _ := liftDim(space[0], cover[0], 2)
+	coarse[0] = d
+	ov, _ := OverlapIn(space, a, coarse, 0)
+	if ov != 1 {
+		t.Errorf("lifted overlap = %d, want 1 ({Europe})", ov)
+	}
+	if _, err := OverlapIn(space, a, b, 99); err == nil {
+		t.Error("bad dim should fail")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	space := testSpace(t)
+	recA, _ := registerPaperExample(t, space)
+	good := FromLeaves(recA)
+
+	cases := map[string]MDS{
+		"wrong dim count": good[:2],
+		"empty dim":       {good[0], {Level: 0, IDs: nil}, good[2]},
+		"bad ALL":         {good[0], {Level: hierarchy.LevelALL, IDs: []hierarchy.ID{recA[1]}}, good[2]},
+		"level mismatch":  {good[0], {Level: 1, IDs: []hierarchy.ID{recA[1]}}, good[2]},
+		"level range":     {good[0], {Level: 9, IDs: []hierarchy.ID{hierarchy.MakeID(9, 0)}}, good[2]},
+		"unsorted": {good[0], {Level: 0, IDs: []hierarchy.ID{
+			hierarchy.MakeID(0, 1), hierarchy.MakeID(0, 0)}}, good[2]},
+		"duplicate": {good[0], {Level: 0, IDs: []hierarchy.ID{
+			hierarchy.MakeID(0, 0), hierarchy.MakeID(0, 0)}}, good[2]},
+	}
+	for name, m := range cases {
+		if err := m.Validate(space); err == nil {
+			t.Errorf("%s: Validate accepted %v", name, m)
+		}
+	}
+	if err := good.Validate(space); err != nil {
+		t.Errorf("good MDS rejected: %v", err)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	space := testSpace(t)
+	recA, recB := registerPaperExample(t, space)
+	a, b := FromLeaves(recA), FromLeaves(recB)
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must equal original")
+	}
+	if a.Equal(b) {
+		t.Error("different MDSs must not be equal")
+	}
+	c := a.Clone()
+	c[0].IDs[0] = recB[0]
+	if a.Equal(c) {
+		t.Error("mutating a clone must not affect equality with original")
+	}
+	if a[0].IDs[0] == recB[0] {
+		t.Error("clone shares backing array with original")
+	}
+	if a.Equal(a[:2]) {
+		t.Error("prefix must not be equal")
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	space, leaves := randomSpace(t, 31, 150)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		m := randomMDS(rng, space, leaves)
+		buf := m.AppendEncode(nil)
+		if len(buf) != m.EncodedSize() {
+			t.Fatalf("EncodedSize = %d, wrote %d", m.EncodedSize(), len(buf))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("Decode consumed %d of %d", n, len(buf))
+		}
+		if !m.Equal(got) {
+			t.Fatalf("roundtrip mismatch:\n in %v\nout %v", m, got)
+		}
+	}
+	// Top roundtrips too.
+	top := Top(len(space))
+	buf := top.AppendEncode(nil)
+	got, _, err := Decode(buf)
+	if err != nil || !top.Equal(got) {
+		t.Fatalf("Top roundtrip: %v %v", got, err)
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	space := testSpace(t)
+	recA, _ := registerPaperExample(t, space)
+	buf := FromLeaves(recA).AppendEncode(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			t.Errorf("Decode accepted truncation at %d", cut)
+		}
+	}
+	bad := append([]byte(nil), buf...)
+	bad[1] = hierarchy.LevelALL // dim 0 claims ALL but carries a value count
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("Decode accepted ALL entry with values")
+	}
+}
+
+// randomSpace builds a 3-dimensional space with randomized fanout and
+// registers nLeaves leaf paths per dimension.
+func randomSpace(t testing.TB, seed int64, nLeaves int) (Space, [][]hierarchy.ID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := testSpace(t)
+	leaves := make([][]hierarchy.ID, len(space))
+	for d, h := range space {
+		depth := h.Depth()
+		for i := 0; i < nLeaves; i++ {
+			path := make([]string, depth)
+			for l := 0; l < depth-1; l++ {
+				path[l] = fmt.Sprintf("v%d_%d", l, rng.Intn(3+l*4))
+			}
+			path[depth-1] = fmt.Sprintf("leaf%d", i)
+			id, err := h.Register(path...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves[d] = append(leaves[d], id)
+		}
+	}
+	return space, leaves
+}
+
+// randomMDS builds a valid random MDS over the space: per dimension it
+// picks a level (occasionally ALL) and a nonempty subset of values at that
+// level derived from registered leaves.
+func randomMDS(rng *rand.Rand, space Space, leaves [][]hierarchy.ID) MDS {
+	m := make(MDS, len(space))
+	for d, h := range space {
+		if rng.Intn(8) == 0 {
+			m[d] = AllDim()
+			continue
+		}
+		level := rng.Intn(h.Depth())
+		// Collect the distinct ancestors available at this level first: a
+		// blind rejection loop can demand more values than exist.
+		distinct := make(map[hierarchy.ID]struct{})
+		for _, leaf := range leaves[d] {
+			anc, err := h.AncestorAt(leaf, level)
+			if err != nil {
+				panic(err)
+			}
+			distinct[anc] = struct{}{}
+		}
+		pool := make([]hierarchy.ID, 0, len(distinct))
+		for id := range distinct {
+			pool = append(pool, id)
+		}
+		k := 1 + rng.Intn(4)
+		if k > len(pool) {
+			k = len(pool)
+		}
+		perm := rng.Perm(len(pool))[:k]
+		ids := make([]hierarchy.ID, 0, k)
+		for _, p := range perm {
+			ids = append(ids, pool[p])
+		}
+		hierarchy.SortIDs(ids)
+		m[d] = DimSet{Level: level, IDs: ids}
+	}
+	return m
+}
+
+func BenchmarkOverlap(b *testing.B) {
+	space, leaves := randomSpace(b, 1, 500)
+	rng := rand.New(rand.NewSource(2))
+	m := randomMDS(rng, space, leaves)
+	n := randomMDS(rng, space, leaves)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Overlap(space, m, n)
+	}
+}
+
+func BenchmarkCover(b *testing.B) {
+	space, leaves := randomSpace(b, 3, 500)
+	rng := rand.New(rand.NewSource(4))
+	members := make([]MDS, 16)
+	for i := range members {
+		members[i] = randomMDS(rng, space, leaves)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cover(space, members...)
+	}
+}

@@ -1,0 +1,83 @@
+package storage
+
+import "container/list"
+
+// lruPool is the PagedStore's buffer pool: an LRU cache of extent payloads
+// bounded by total payload bytes. It is write-through — the store writes to
+// the file first and then refreshes the pool — so eviction never loses data.
+type lruPool struct {
+	capacity int
+	used     int
+	order    *list.List // front = most recently used
+	entries  map[PageID]*list.Element
+}
+
+type lruEntry struct {
+	id     PageID
+	blocks int
+	data   []byte
+}
+
+func newLRUPool(capacity int) *lruPool {
+	return &lruPool{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[PageID]*list.Element),
+	}
+}
+
+// get returns the cached payload, marking the extent most recently used.
+// The returned slice is the cached buffer: callers must not modify it.
+func (p *lruPool) get(id PageID) ([]byte, int, bool) {
+	el, ok := p.entries[id]
+	if !ok {
+		return nil, 0, false
+	}
+	p.order.MoveToFront(el)
+	e := el.Value.(*lruEntry)
+	return e.data, e.blocks, true
+}
+
+// put inserts or refreshes an extent payload, evicting least-recently-used
+// entries until the pool fits its capacity. Payloads larger than the whole
+// pool are not cached.
+func (p *lruPool) put(id PageID, blocks int, data []byte) {
+	if len(data) > p.capacity {
+		p.drop(id)
+		return
+	}
+	if el, ok := p.entries[id]; ok {
+		e := el.Value.(*lruEntry)
+		p.used += len(data) - len(e.data)
+		e.blocks = blocks
+		e.data = append(e.data[:0], data...)
+		p.order.MoveToFront(el)
+	} else {
+		e := &lruEntry{id: id, blocks: blocks, data: append([]byte(nil), data...)}
+		p.entries[id] = p.order.PushFront(e)
+		p.used += len(data)
+	}
+	for p.used > p.capacity {
+		back := p.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		p.order.Remove(back)
+		delete(p.entries, e.id)
+		p.used -= len(e.data)
+	}
+}
+
+// drop removes an extent from the pool (on Free).
+func (p *lruPool) drop(id PageID) {
+	if el, ok := p.entries[id]; ok {
+		e := el.Value.(*lruEntry)
+		p.order.Remove(el)
+		delete(p.entries, id)
+		p.used -= len(e.data)
+	}
+}
+
+// len reports the number of cached extents (for tests).
+func (p *lruPool) len() int { return p.order.Len() }

@@ -1,0 +1,378 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PagedStore is a file-backed Store with a write-through LRU buffer pool.
+//
+// File layout:
+//
+//	block 0:            header (magic, block size, next page, meta/freelist
+//	                    extent pointers)
+//	block n (n ≥ 1):    extents; each extent starts with an 8-byte header
+//	                    (block count, payload length) followed by payload
+//
+// The freelist and the user metadata blob are themselves stored as extents
+// and re-written on Sync/Close. Reads served from the buffer pool count as
+// Hits; reads that fault from the file count as Misses.
+type PagedStore struct {
+	f           *os.File
+	blockSize   int
+	next        PageID
+	free        map[int][]PageID // blocks -> extent ids, LIFO per size class
+	metaID      PageID
+	metaBlk     int
+	freeID      PageID
+	freeBlk     int
+	pool        *lruPool
+	pendingFree []extentSpan
+	stats       Stats
+	closed      bool
+	dirtyHdr    bool
+}
+
+// extentSpan identifies an extent scheduled for release after the next
+// durable header write.
+type extentSpan struct {
+	id     PageID
+	blocks int
+}
+
+const (
+	pagedMagic      = "DCSTORE1"
+	headerSize      = 8 + 4 + 8 + 8 + 4 + 8 + 4
+	minPagedBlock   = 64
+	defaultPoolSize = 4 << 20
+)
+
+// OpenPagedStore opens (or creates) a file-backed store. blockSize is only
+// used at creation time; reopening validates it against the file header.
+// poolBytes bounds the buffer pool (≤ 0 selects a 4 MiB default).
+func OpenPagedStore(path string, blockSize int, poolBytes int) (*PagedStore, error) {
+	if blockSize < minPagedBlock {
+		return nil, fmt.Errorf("%w: block size %d below minimum %d", ErrBadExtent, blockSize, minPagedBlock)
+	}
+	if poolBytes <= 0 {
+		poolBytes = defaultPoolSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &PagedStore{
+		f:         f,
+		blockSize: blockSize,
+		next:      1,
+		free:      make(map[int][]PageID),
+		pool:      newLRUPool(poolBytes),
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if err := s.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.loadFreelist(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *PagedStore) writeHeader() error {
+	buf := make([]byte, headerSize)
+	copy(buf, pagedMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.blockSize))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(s.next))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(s.metaID))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(s.metaBlk))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(s.freeID))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(s.freeBlk))
+	if _, err := s.f.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	s.dirtyHdr = false
+	return nil
+}
+
+func (s *PagedStore) readHeader() error {
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, int64(headerSize)), buf); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(buf[:8]) != pagedMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	bs := int(binary.LittleEndian.Uint32(buf[8:]))
+	if bs != s.blockSize {
+		return fmt.Errorf("%w: file block size %d, opened with %d", ErrCorrupt, bs, s.blockSize)
+	}
+	s.next = PageID(binary.LittleEndian.Uint64(buf[12:]))
+	s.metaID = PageID(binary.LittleEndian.Uint64(buf[20:]))
+	s.metaBlk = int(binary.LittleEndian.Uint32(buf[28:]))
+	s.freeID = PageID(binary.LittleEndian.Uint64(buf[32:]))
+	s.freeBlk = int(binary.LittleEndian.Uint32(buf[40:]))
+	return nil
+}
+
+// BlockSize implements Store.
+func (s *PagedStore) BlockSize() int { return s.blockSize }
+
+// Alloc implements Store.
+func (s *PagedStore) Alloc(blocks int) (PageID, error) {
+	if s.closed {
+		return NilPage, ErrClosed
+	}
+	if blocks < 1 {
+		return NilPage, ErrBadExtent
+	}
+	s.stats.Allocs++
+	if ids := s.free[blocks]; len(ids) > 0 {
+		id := ids[len(ids)-1]
+		s.free[blocks] = ids[:len(ids)-1]
+		return id, nil
+	}
+	id := s.next
+	s.next += PageID(blocks)
+	s.dirtyHdr = true
+	return id, nil
+}
+
+// Write implements Store.
+func (s *PagedStore) Write(id PageID, blocks int, data []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if id == NilPage || blocks < 1 {
+		return ErrBadExtent
+	}
+	if len(data) > ExtentCapacity(s.blockSize, blocks) {
+		return fmt.Errorf("%w: %d bytes into %d blocks of %d", ErrTooLarge, len(data), blocks, s.blockSize)
+	}
+	s.stats.Writes++
+	s.stats.BytesWritten += int64(len(data))
+	return s.writeExtent(id, blocks, data)
+}
+
+func (s *PagedStore) writeExtent(id PageID, blocks int, data []byte) error {
+	buf := make([]byte, ExtentHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(blocks))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(data)))
+	copy(buf[ExtentHeaderSize:], data)
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.blockSize)); err != nil {
+		return err
+	}
+	s.pool.put(id, blocks, data)
+	return nil
+}
+
+// Read implements Store.
+func (s *PagedStore) Read(id PageID) ([]byte, int, error) {
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if id == NilPage {
+		return nil, 0, fmt.Errorf("%w: nil page", ErrNotFound)
+	}
+	s.stats.Reads++
+	if data, blocks, ok := s.pool.get(id); ok {
+		s.stats.Hits++
+		s.stats.BytesRead += int64(len(data))
+		return data, blocks, nil
+	}
+	s.stats.Misses++
+	data, blocks, err := s.readExtent(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.stats.BytesRead += int64(len(data))
+	s.pool.put(id, blocks, data)
+	return data, blocks, nil
+}
+
+func (s *PagedStore) readExtent(id PageID) ([]byte, int, error) {
+	off := int64(id) * int64(s.blockSize)
+	hdr := make([]byte, ExtentHeaderSize)
+	if _, err := s.f.ReadAt(hdr, off); err != nil {
+		return nil, 0, fmt.Errorf("%w: extent %d: %v", ErrNotFound, id, err)
+	}
+	blocks := int(binary.LittleEndian.Uint32(hdr[0:]))
+	length := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if blocks < 1 || length > ExtentCapacity(s.blockSize, blocks) {
+		return nil, 0, fmt.Errorf("%w: extent %d header blocks=%d len=%d", ErrCorrupt, id, blocks, length)
+	}
+	data := make([]byte, length)
+	if _, err := s.f.ReadAt(data, off+ExtentHeaderSize); err != nil {
+		return nil, 0, fmt.Errorf("%w: extent %d body: %v", ErrCorrupt, id, err)
+	}
+	return data, blocks, nil
+}
+
+// Free implements Store.
+func (s *PagedStore) Free(id PageID, blocks int) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if id == NilPage || blocks < 1 {
+		return ErrBadExtent
+	}
+	for _, f := range s.free[blocks] {
+		if f == id {
+			return fmt.Errorf("%w: %d", ErrDoubleFree, id)
+		}
+	}
+	s.free[blocks] = append(s.free[blocks], id)
+	s.pool.drop(id)
+	s.stats.Frees++
+	return nil
+}
+
+// SetMeta implements Store. The metadata blob is double-buffered: it is
+// always written to a fresh extent, and the previous extent is released
+// only after the next Sync has durably pointed the header at the new one
+// — so a crash anywhere in between still reopens with the old metadata.
+func (s *PagedStore) SetMeta(data []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	blocks := BlocksFor(s.blockSize, len(data))
+	id, err := s.Alloc(blocks)
+	if err != nil {
+		return err
+	}
+	if err := s.writeExtent(id, blocks, data); err != nil {
+		return err
+	}
+	if s.metaID != NilPage {
+		s.pendingFree = append(s.pendingFree, extentSpan{id: s.metaID, blocks: s.metaBlk})
+	}
+	s.metaID, s.metaBlk = id, blocks
+	s.dirtyHdr = true
+	return nil
+}
+
+// GetMeta implements Store.
+func (s *PagedStore) GetMeta() ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.metaID == NilPage {
+		return nil, ErrNoMeta
+	}
+	data, _, err := s.readExtent(s.metaID)
+	return data, err
+}
+
+// Stats implements Store.
+func (s *PagedStore) Stats() Stats { return s.stats }
+
+// ResetStats implements Store.
+func (s *PagedStore) ResetStats() { s.stats = Stats{} }
+
+// Sync implements Store: persists the freelist and header, fsyncs, and
+// only then releases extents whose replacement the header now references.
+func (s *PagedStore) Sync() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.storeFreelist(); err != nil {
+		return err
+	}
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	for _, span := range s.pendingFree {
+		if err := s.Free(span.id, span.blocks); err != nil {
+			return err
+		}
+	}
+	s.pendingFree = nil
+	return nil
+}
+
+// Close implements Store.
+func (s *PagedStore) Close() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.Sync(); err != nil {
+		s.f.Close()
+		s.closed = true
+		return err
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// storeFreelist serializes the freelist into its own extent. The freelist
+// extent itself is excluded from the list it stores (it is reused in place
+// when possible, or carved fresh from the tail).
+func (s *PagedStore) storeFreelist() error {
+	var buf []byte
+	n := 0
+	for _, ids := range s.free {
+		n += len(ids)
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for blocks, ids := range s.free {
+		for _, id := range ids {
+			buf = binary.AppendUvarint(buf, uint64(id))
+			buf = binary.AppendUvarint(buf, uint64(blocks))
+		}
+	}
+	blocks := BlocksFor(s.blockSize, len(buf))
+	if s.freeID == NilPage || blocks > s.freeBlk {
+		// Carve a fresh extent from the tail, bypassing the freelist so the
+		// serialized contents stay consistent with what is on disk.
+		s.freeID = s.next
+		s.freeBlk = blocks
+		s.next += PageID(blocks)
+	}
+	return s.writeExtent(s.freeID, s.freeBlk, buf)
+}
+
+func (s *PagedStore) loadFreelist() error {
+	if s.freeID == NilPage {
+		return nil
+	}
+	data, _, err := s.readExtent(s.freeID)
+	if err != nil {
+		return err
+	}
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return fmt.Errorf("%w: freelist count", ErrCorrupt)
+	}
+	pos := off
+	for i := uint64(0); i < n; i++ {
+		id, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return fmt.Errorf("%w: freelist entry %d", ErrCorrupt, i)
+		}
+		pos += k
+		blocks, k2 := binary.Uvarint(data[pos:])
+		if k2 <= 0 {
+			return fmt.Errorf("%w: freelist entry %d size", ErrCorrupt, i)
+		}
+		pos += k2
+		s.free[int(blocks)] = append(s.free[int(blocks)], PageID(id))
+	}
+	return nil
+}

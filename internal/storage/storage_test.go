@@ -1,0 +1,412 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openTrunc truncates a file to size bytes (corruption helper).
+func openTrunc(path string, size int64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// stores returns fresh instances of every Store implementation for
+// conformance testing.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	paged, err := OpenPagedStore(filepath.Join(t.TempDir(), "store.dc"), 256, 1<<16)
+	if err != nil {
+		t.Fatalf("OpenPagedStore: %v", err)
+	}
+	return map[string]Store{
+		"mem":   NewMemStore(256),
+		"paged": paged,
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if s.BlockSize() != 256 {
+				t.Fatalf("BlockSize = %d", s.BlockSize())
+			}
+
+			id, err := s.Alloc(1)
+			if err != nil || id == NilPage {
+				t.Fatalf("Alloc: %v %v", id, err)
+			}
+			payload := []byte("hello dc-tree")
+			if err := s.Write(id, 1, payload); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			got, blocks, err := s.Read(id)
+			if err != nil || blocks != 1 || !bytes.Equal(got, payload) {
+				t.Fatalf("Read = %q, %d, %v", got, blocks, err)
+			}
+
+			// Overwrite shrinks.
+			if err := s.Write(id, 1, []byte("x")); err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+			got, _, _ = s.Read(id)
+			if string(got) != "x" {
+				t.Fatalf("after rewrite Read = %q", got)
+			}
+
+			// Oversized payload rejected.
+			big := make([]byte, ExtentCapacity(256, 1)+1)
+			if err := s.Write(id, 1, big); err == nil {
+				t.Fatal("oversized write accepted")
+			}
+			// Exactly-full payload accepted.
+			full := make([]byte, ExtentCapacity(256, 1))
+			for i := range full {
+				full[i] = byte(i)
+			}
+			if err := s.Write(id, 1, full); err != nil {
+				t.Fatalf("full write: %v", err)
+			}
+			got, _, _ = s.Read(id)
+			if !bytes.Equal(got, full) {
+				t.Fatal("full payload mismatch")
+			}
+
+			// Multi-block extents (supernodes).
+			super, err := s.Alloc(3)
+			if err != nil {
+				t.Fatalf("Alloc(3): %v", err)
+			}
+			superPayload := make([]byte, ExtentCapacity(256, 3))
+			rand.New(rand.NewSource(1)).Read(superPayload)
+			if err := s.Write(super, 3, superPayload); err != nil {
+				t.Fatalf("super write: %v", err)
+			}
+			got, blocks, err = s.Read(super)
+			if err != nil || blocks != 3 || !bytes.Equal(got, superPayload) {
+				t.Fatalf("super read blocks=%d err=%v", blocks, err)
+			}
+
+			// Free and error paths.
+			if err := s.Free(super, 3); err != nil {
+				t.Fatalf("Free: %v", err)
+			}
+			if err := s.Free(super, 3); err == nil {
+				t.Fatal("double free accepted")
+			}
+			if _, err := s.Alloc(0); err == nil {
+				t.Fatal("Alloc(0) accepted")
+			}
+
+			// Meta blob.
+			if _, err := s.GetMeta(); err == nil {
+				t.Fatal("GetMeta before SetMeta should fail")
+			}
+			meta := []byte(`{"root": 7}`)
+			if err := s.SetMeta(meta); err != nil {
+				t.Fatalf("SetMeta: %v", err)
+			}
+			got2, err := s.GetMeta()
+			if err != nil || !bytes.Equal(got2, meta) {
+				t.Fatalf("GetMeta = %q, %v", got2, err)
+			}
+			// Meta can grow beyond one block.
+			bigMeta := make([]byte, 256*4)
+			for i := range bigMeta {
+				bigMeta[i] = byte(i * 7)
+			}
+			if err := s.SetMeta(bigMeta); err != nil {
+				t.Fatalf("SetMeta big: %v", err)
+			}
+			got2, _ = s.GetMeta()
+			if !bytes.Equal(got2, bigMeta) {
+				t.Fatal("big meta mismatch")
+			}
+
+			// Stats moved.
+			st := s.Stats()
+			if st.Reads == 0 || st.Writes == 0 || st.Allocs == 0 || st.Frees == 0 {
+				t.Fatalf("stats not accounted: %+v", st)
+			}
+			s.ResetStats()
+			if s.Stats() != (Stats{}) {
+				t.Fatal("ResetStats did not zero")
+			}
+
+			if err := s.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, _, err := s.Read(id); err != ErrClosed {
+				t.Fatalf("Read after close = %v", err)
+			}
+			if err := s.Close(); err != ErrClosed {
+				t.Fatalf("double close = %v", err)
+			}
+		})
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 5, Allocs: 3, Frees: 1, Hits: 7, Misses: 3, BytesRead: 100, BytesWritten: 50}
+	b := Stats{Reads: 4, Writes: 2, Allocs: 1, Frees: 0, Hits: 3, Misses: 1, BytesRead: 40, BytesWritten: 20}
+	d := a.Sub(b)
+	want := Stats{Reads: 6, Writes: 3, Allocs: 2, Frees: 1, Hits: 4, Misses: 2, BytesRead: 60, BytesWritten: 30}
+	if d != want {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestBlocksForAndCapacity(t *testing.T) {
+	if BlocksFor(256, 0) != 1 {
+		t.Error("empty payload still needs one block")
+	}
+	if BlocksFor(256, ExtentCapacity(256, 1)) != 1 {
+		t.Error("exactly-full payload fits one block")
+	}
+	if BlocksFor(256, ExtentCapacity(256, 1)+1) != 2 {
+		t.Error("one byte over needs two blocks")
+	}
+	if got := BlocksFor(256, 1000); got != 4 {
+		t.Errorf("BlocksFor(256,1000) = %d", got)
+	}
+}
+
+func TestPagedStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.dc")
+	s, err := OpenPagedStore(path, 128, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ext struct {
+		id     PageID
+		blocks int
+		data   []byte
+	}
+	rng := rand.New(rand.NewSource(42))
+	var live []ext
+	for i := 0; i < 200; i++ {
+		blocks := 1 + rng.Intn(4)
+		id, err := s.Alloc(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, rng.Intn(ExtentCapacity(128, blocks)+1))
+		rng.Read(data)
+		if err := s.Write(id, blocks, data); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, ext{id, blocks, data})
+		// Randomly free ~25%.
+		if len(live) > 4 && rng.Intn(4) == 0 {
+			k := rng.Intn(len(live))
+			if err := s.Free(live[k].id, live[k].blocks); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	if err := s.SetMeta([]byte("root=42")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify every live extent plus meta.
+	s2, err := OpenPagedStore(path, 128, 1<<16)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	meta, err := s2.GetMeta()
+	if err != nil || string(meta) != "root=42" {
+		t.Fatalf("meta after reopen = %q, %v", meta, err)
+	}
+	for _, e := range live {
+		data, blocks, err := s2.Read(e.id)
+		if err != nil || blocks != e.blocks || !bytes.Equal(data, e.data) {
+			t.Fatalf("extent %d after reopen: blocks=%d err=%v match=%v",
+				e.id, blocks, err, bytes.Equal(data, e.data))
+		}
+	}
+	// Freed extents must be reusable after reopen.
+	id, err := s2.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Write(id, 2, []byte("reused")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagedStoreReopenWrongBlockSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bs.dc")
+	s, err := OpenPagedStore(path, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenPagedStore(path, 256, 0); err == nil {
+		t.Fatal("reopen with different block size accepted")
+	}
+}
+
+func TestPagedStoreCorruptHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.dc")
+	s, _ := OpenPagedStore(path, 128, 0)
+	s.Close()
+	// Truncate into the header.
+	f, err := openTrunc(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenPagedStore(path, 128, 0); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+}
+
+func TestPagedStoreBufferPool(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.dc")
+	// Tiny pool: 2 extents of ~120 bytes fit, third evicts.
+	s, err := OpenPagedStore(path, 128, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ids []PageID
+	payload := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		id, _ := s.Alloc(1)
+		payload[0] = byte(i)
+		if err := s.Write(id, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	s.ResetStats()
+	// ids[0] was evicted by writes of ids[1], ids[2]: reading it misses.
+	if _, _, err := s.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("expected cold miss, stats = %+v", st)
+	}
+	// Re-reading hits.
+	s.Read(ids[0])
+	st = s.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("expected warm hit, stats = %+v", st)
+	}
+	// A payload larger than the pool is served but not cached.
+	big, _ := s.Alloc(4)
+	bigData := make([]byte, 300)
+	if err := s.Write(big, 4, bigData); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	s.Read(big)
+	s.Read(big)
+	st = s.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("oversized payload should never cache, stats = %+v", st)
+	}
+}
+
+func TestLRUPoolEviction(t *testing.T) {
+	p := newLRUPool(10)
+	p.put(1, 1, []byte("aaaa"))
+	p.put(2, 1, []byte("bbbb"))
+	if p.len() != 2 || p.used != 8 {
+		t.Fatalf("len=%d used=%d", p.len(), p.used)
+	}
+	// Touch 1 so 2 becomes LRU, then insert 3 to evict 2.
+	p.get(1)
+	p.put(3, 1, []byte("cccc"))
+	if _, _, ok := p.get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if _, _, ok := p.get(1); !ok {
+		t.Fatal("1 should have survived")
+	}
+	// Refresh with different size adjusts used bytes.
+	p.put(1, 1, []byte("aa"))
+	data, _, ok := p.get(1)
+	if !ok || string(data) != "aa" {
+		t.Fatalf("refresh: %q %v", data, ok)
+	}
+	p.drop(1)
+	if _, _, ok := p.get(1); ok {
+		t.Fatal("dropped entry still cached")
+	}
+	p.drop(999) // no-op
+}
+
+func TestMemStoreExtentCount(t *testing.T) {
+	s := NewMemStore(256)
+	a, _ := s.Alloc(1)
+	b, _ := s.Alloc(2)
+	if s.ExtentCount() != 2 {
+		t.Fatalf("ExtentCount = %d", s.ExtentCount())
+	}
+	s.Free(a, 1)
+	if s.ExtentCount() != 1 {
+		t.Fatalf("ExtentCount = %d", s.ExtentCount())
+	}
+	// Wrong block count on write/free rejected.
+	if err := s.Write(b, 1, []byte("x")); err == nil {
+		t.Fatal("wrong blocks on write accepted")
+	}
+	if err := s.Free(b, 1); err == nil {
+		t.Fatal("wrong blocks on free accepted")
+	}
+	if _, _, err := s.Read(PageID(999)); err == nil {
+		t.Fatal("read of unknown id accepted")
+	}
+	if err := s.Write(PageID(999), 1, nil); err == nil {
+		t.Fatal("write of unknown id accepted")
+	}
+}
+
+func BenchmarkMemStoreReadWrite(b *testing.B) {
+	s := NewMemStore(4096)
+	id, _ := s.Alloc(1)
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Write(id, 1, payload)
+		s.Read(id)
+	}
+}
+
+func BenchmarkPagedStoreWarmRead(b *testing.B) {
+	path := filepath.Join(b.TempDir(), fmt.Sprintf("bench%d.dc", b.N))
+	s, err := OpenPagedStore(path, 4096, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	id, _ := s.Alloc(1)
+	s.Write(id, 1, make([]byte, 1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(id)
+	}
+}

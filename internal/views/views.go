@@ -1,0 +1,341 @@
+// Package views implements the materialized-view baseline of the DC-tree
+// paper's related work (§2): precomputed aggregations of the data cube at
+// selected combinations of hierarchy levels, with the greedy view
+// selection of Harinarayan, Rajaraman and Ullman ("Implementing Data
+// Cubes Efficiently", SIGMOD 1996, the paper's [7]).
+//
+// A view is one cell-level of the cube lattice: a vector of hierarchy
+// levels, one per dimension, with the measures pre-aggregated per
+// coordinate tuple. A range query whose per-dimension levels are all at
+// or above some materialized view's levels is answered by rolling the
+// view's cells up; everything else falls back to the fact table.
+//
+// The paper's criticism is reproduced directly: "The proposed approach is
+// static, i.e. it is useful only for the initial load of the cube but
+// does not support incremental changes" — Insert after Build returns
+// ErrStale until the views are rebuilt, which is exactly the bulk-update
+// window the DC-tree exists to avoid.
+package views
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// Errors returned by the view store.
+var (
+	ErrStale      = errors.New("views: materialized views are stale; Rebuild required (static structure, §2 of the paper)")
+	ErrBadMeasure = errors.New("views: measure index out of range")
+)
+
+// Level vectors are encoded as strings for map keys.
+func levelKey(levels []int) string {
+	b := make([]byte, len(levels))
+	for i, l := range levels {
+		b[i] = byte(l)
+	}
+	return string(b)
+}
+
+// View is one materialized aggregation: cells keyed by the concatenated
+// coordinate IDs at the view's levels.
+type View struct {
+	Levels []int
+	Cells  map[string]cube.AggVector
+}
+
+// cellKey encodes a coordinate tuple.
+func cellKey(coords []hierarchy.ID) string {
+	b := make([]byte, 0, len(coords)*4)
+	for _, c := range coords {
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(b)
+}
+
+// Store holds the fact records plus the materialized views.
+type Store struct {
+	schema *cube.Schema
+	recs   []cube.Record
+	views  map[string]*View
+	stale  bool
+
+	// CellsScanned counts view cells examined across queries; Fallbacks
+	// counts queries no view could answer (full fact scans).
+	CellsScanned int64
+	Fallbacks    int64
+}
+
+// New creates an empty store; load records with Append, then call Build.
+func New(schema *cube.Schema) *Store {
+	return &Store{schema: schema, views: make(map[string]*View)}
+}
+
+// Schema returns the cube schema.
+func (s *Store) Schema() *cube.Schema { return s.schema }
+
+// Count returns the number of fact records.
+func (s *Store) Count() int { return len(s.recs) }
+
+// Append adds a fact record. Once views are built, appending marks them
+// stale: queries fail until Rebuild — the §2 static-structure behaviour.
+func (s *Store) Append(rec cube.Record) error {
+	if err := s.schema.ValidateRecord(rec); err != nil {
+		return err
+	}
+	s.recs = append(s.recs, rec.Clone())
+	if len(s.views) > 0 {
+		s.stale = true
+	}
+	return nil
+}
+
+// viewSize estimates a view's cell count as the product of the level
+// cardinalities, capped by the fact count (the HRU size estimate).
+func (s *Store) viewSize(levels []int) int {
+	size := 1
+	for d, h := range s.schema.Space() {
+		n, err := h.CountAt(levels[d])
+		if err != nil || n == 0 {
+			n = 1
+		}
+		size *= n
+		if size > len(s.recs) {
+			return len(s.recs)
+		}
+	}
+	return size
+}
+
+// Build materializes views greedily under a total cell budget: starting
+// from nothing (every query answered by the fact table), repeatedly pick
+// the lattice view with the largest benefit per cell — the HRU greedy —
+// until the budget is exhausted. The lattice is the cross product of
+// hierarchy levels plus ALL per dimension.
+func (s *Store) Build(budgetCells int) error {
+	s.views = make(map[string]*View)
+	s.stale = false
+	space := s.schema.Space()
+
+	// Enumerate the lattice of level vectors.
+	var lattice [][]int
+	var enumerate func(d int, cur []int)
+	enumerate = func(d int, cur []int) {
+		if d == len(space) {
+			lattice = append(lattice, append([]int(nil), cur...))
+			return
+		}
+		for l := 0; l <= space[d].TopLevel(); l++ {
+			enumerate(d+1, append(cur, l))
+		}
+		enumerate(d+1, append(cur, hierarchy.LevelALL))
+	}
+	enumerate(0, nil)
+
+	// Greedy selection by benefit density. The benefit of view V is the
+	// total saving over the finer views it can answer: Σ (size(fact) -
+	// size(V)) over lattice points at or above V's levels, following HRU
+	// with the fact table as the default answering view.
+	type cand struct {
+		levels  []int
+		size    int
+		density float64
+	}
+	fact := len(s.recs)
+	var cands []cand
+	for _, levels := range lattice {
+		size := s.viewSize(levels)
+		if size >= fact || size == 0 {
+			continue // never cheaper than the fact table
+		}
+		answerable := 0
+		for _, other := range lattice {
+			if levelsAtOrAbove(other, levels) {
+				answerable++
+			}
+		}
+		benefit := float64(answerable) * float64(fact-size)
+		cands = append(cands, cand{levels: levels, size: size, density: benefit / float64(size)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].density > cands[j].density })
+
+	remaining := budgetCells
+	for _, c := range cands {
+		if c.size > remaining {
+			continue
+		}
+		if err := s.materialize(c.levels); err != nil {
+			return err
+		}
+		remaining -= c.size
+	}
+	return nil
+}
+
+// levelsAtOrAbove reports whether query levels q can be answered from a
+// view at levels v: every dimension of v is at or below (finer than) q.
+func levelsAtOrAbove(q, v []int) bool {
+	for d := range q {
+		if levelAbove(v[d], q[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+func levelAbove(a, b int) bool {
+	if a == b {
+		return false
+	}
+	if a == hierarchy.LevelALL {
+		return true
+	}
+	if b == hierarchy.LevelALL {
+		return false
+	}
+	return a > b
+}
+
+// materialize builds one view by a single scan of the fact table.
+func (s *Store) materialize(levels []int) error {
+	space := s.schema.Space()
+	v := &View{Levels: append([]int(nil), levels...), Cells: make(map[string]cube.AggVector)}
+	coords := make([]hierarchy.ID, len(space))
+	for i := range s.recs {
+		rec := &s.recs[i]
+		for d, h := range space {
+			if levels[d] == hierarchy.LevelALL {
+				coords[d] = hierarchy.ALL
+				continue
+			}
+			anc, err := h.AncestorAt(rec.Coords[d], levels[d])
+			if err != nil {
+				return err
+			}
+			coords[d] = anc
+		}
+		key := cellKey(coords)
+		agg, ok := v.Cells[key]
+		if !ok {
+			agg = cube.NewAggVector(s.schema.Measures())
+			v.Cells[key] = agg
+		}
+		agg.AddRecord(rec.Measures)
+	}
+	s.views[levelKey(levels)] = v
+	return nil
+}
+
+// ViewCount reports how many views are materialized.
+func (s *Store) ViewCount() int { return len(s.views) }
+
+// TotalCells reports the total number of materialized cells.
+func (s *Store) TotalCells() int {
+	n := 0
+	for _, v := range s.views {
+		n += len(v.Cells)
+	}
+	return n
+}
+
+// RangeAgg answers a range query from the best materialized view, or by a
+// fact-table scan when no view matches the query's levels.
+func (s *Store) RangeAgg(q mds.MDS, measure int) (cube.Agg, error) {
+	if measure < 0 || measure >= s.schema.Measures() {
+		return cube.Agg{}, fmt.Errorf("%w: %d", ErrBadMeasure, measure)
+	}
+	if err := q.Validate(s.schema.Space()); err != nil {
+		return cube.Agg{}, err
+	}
+	if s.stale {
+		return cube.Agg{}, ErrStale
+	}
+	qLevels := make([]int, len(q))
+	for d := range q {
+		qLevels[d] = q[d].Level
+	}
+
+	// Pick the smallest answering view.
+	var best *View
+	for _, v := range s.views {
+		if levelsAtOrAbove(qLevels, v.Levels) {
+			if best == nil || len(v.Cells) < len(best.Cells) {
+				best = v
+			}
+		}
+	}
+	if best == nil {
+		// Fallback: scan the fact table.
+		s.Fallbacks++
+		var agg cube.Agg
+		space := s.schema.Space()
+		for i := range s.recs {
+			ok, err := q.ContainsLeaves(space, s.recs[i].Coords)
+			if err != nil {
+				return cube.Agg{}, err
+			}
+			if ok {
+				agg.Add(s.recs[i].Measures[measure])
+			}
+		}
+		return agg, nil
+	}
+
+	// Roll the view's cells up into the query.
+	space := s.schema.Space()
+	var agg cube.Agg
+	for key, cells := range best.Cells {
+		s.CellsScanned++
+		inRange := true
+		for d := range q {
+			if q[d].Level == hierarchy.LevelALL {
+				continue
+			}
+			c := decodeCoord(key, d)
+			anc, err := space[d].AncestorAt(c, q[d].Level)
+			if err != nil {
+				return cube.Agg{}, err
+			}
+			if !member(q[d].IDs, anc) {
+				inRange = false
+				break
+			}
+		}
+		if inRange {
+			agg.Merge(cells[measure])
+		}
+	}
+	return agg, nil
+}
+
+func decodeCoord(key string, d int) hierarchy.ID {
+	o := d * 4
+	return hierarchy.ID(uint32(key[o]) | uint32(key[o+1])<<8 | uint32(key[o+2])<<16 | uint32(key[o+3])<<24)
+}
+
+func member(ids []hierarchy.ID, id hierarchy.ID) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// RangeQuery is RangeAgg narrowed to one operator.
+func (s *Store) RangeQuery(q mds.MDS, op cube.Op, measure int) (float64, error) {
+	agg, err := s.RangeAgg(q, measure)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Value(op), nil
+}

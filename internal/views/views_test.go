@@ -1,0 +1,180 @@
+package views
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/seqscan"
+)
+
+func testSchema(t testing.TB) *cube.Schema {
+	t.Helper()
+	cust := hierarchy.MustNew("Customer", "Customer", "Nation", "Region")
+	part := hierarchy.MustNew("Part", "Part", "Brand")
+	return cube.MustNewSchema([]*hierarchy.Hierarchy{cust, part}, "Price")
+}
+
+func load(t testing.TB, s *cube.Schema, n int, seed int64) ([]cube.Record, *Store, *seqscan.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	st := New(s)
+	scan := seqscan.New(s)
+	var recs []cube.Record
+	for i := 0; i < n; i++ {
+		r, err := s.InternRecord([][]string{
+			{fmt.Sprintf("R%d", rng.Intn(4)), fmt.Sprintf("N%d", rng.Intn(10)), fmt.Sprintf("C%d", rng.Intn(200))},
+			{fmt.Sprintf("B%d", rng.Intn(6)), fmt.Sprintf("P%d", rng.Intn(150))},
+		}, []float64{float64(rng.Intn(500))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, st, scan
+}
+
+func randomQuery(rng *rand.Rand, s *cube.Schema, sel float64) mds.MDS {
+	space := s.Space()
+	q := make(mds.MDS, len(space))
+	for d, h := range space {
+		if rng.Intn(5) == 0 {
+			q[d] = mds.AllDim()
+			continue
+		}
+		level := rng.Intn(h.Depth())
+		vals, _ := h.ValuesAt(level)
+		k := int(sel * float64(len(vals)))
+		if k < 1 {
+			k = 1
+		}
+		perm := rng.Perm(len(vals))[:k]
+		ids := make([]hierarchy.ID, k)
+		for i, p := range perm {
+			ids[i] = vals[p]
+		}
+		hierarchy.SortIDs(ids)
+		q[d] = mds.DimSet{Level: level, IDs: ids}
+	}
+	return q
+}
+
+func TestViewsAgainstSeqScan(t *testing.T) {
+	s := testSchema(t)
+	_, st, scan := load(t, s, 3000, 5)
+	if err := st.Build(5000); err != nil {
+		t.Fatal(err)
+	}
+	if st.ViewCount() == 0 {
+		t.Fatal("greedy selected no views")
+	}
+	if st.TotalCells() > 5000 {
+		t.Fatalf("budget exceeded: %d cells", st.TotalCells())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	answered := 0
+	for i := 0; i < 200; i++ {
+		q := randomQuery(rng, s, []float64{0.05, 0.25, 0.6}[i%3])
+		want, err := scan.RangeAgg(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.RangeAgg(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.Sum != want.Sum ||
+			(want.Count > 0 && (got.Min != want.Min || got.Max != want.Max)) {
+			t.Fatalf("query %d: views %+v != scan %+v\nq=%v", i, got, want, q)
+		}
+		answered++
+	}
+	if st.CellsScanned == 0 {
+		t.Fatal("no query was ever answered from a view")
+	}
+	if st.Fallbacks == int64(answered) {
+		t.Fatal("every query fell back to the fact table")
+	}
+}
+
+func TestViewsAreStatic(t *testing.T) {
+	s := testSchema(t)
+	recs, st, _ := load(t, s, 300, 11)
+	if err := st.Build(2000); err != nil {
+		t.Fatal(err)
+	}
+	q := mds.Top(2)
+	if _, err := st.RangeAgg(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: one insert makes every view stale.
+	if err := st.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.RangeAgg(q, 0); err != ErrStale {
+		t.Fatalf("query on stale views = %v, want ErrStale", err)
+	}
+	// Rebuild (the bulk-update window) restores service.
+	if err := st.Build(2000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.RangeAgg(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != int64(len(recs)+1) {
+		t.Fatalf("count after rebuild = %d", got.Count)
+	}
+}
+
+func TestViewsValidation(t *testing.T) {
+	s := testSchema(t)
+	_, st, _ := load(t, s, 100, 13)
+	if err := st.Build(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.RangeAgg(mds.Top(2), 5); err == nil {
+		t.Fatal("bad measure accepted")
+	}
+	if _, err := st.RangeAgg(mds.Top(1), 0); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+	bad := cube.Record{}
+	if err := st.Append(bad); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestZeroBudgetFallsBack(t *testing.T) {
+	s := testSchema(t)
+	_, st, scan := load(t, s, 500, 17)
+	if err := st.Build(0); err != nil {
+		t.Fatal(err)
+	}
+	if st.ViewCount() != 0 {
+		t.Fatalf("views under zero budget: %d", st.ViewCount())
+	}
+	rng := rand.New(rand.NewSource(19))
+	q := randomQuery(rng, s, 0.25)
+	want, _ := scan.RangeAgg(q, 0)
+	got, err := st.RangeAgg(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("fallback answer %+v != scan %+v", got, want)
+	}
+	if st.Fallbacks == 0 {
+		t.Fatal("fallback not counted")
+	}
+}

@@ -1,0 +1,163 @@
+package xtree
+
+import "fmt"
+
+// QueryStats describes the work one range query performed.
+type QueryStats struct {
+	NodesVisited   int
+	EntriesScanned int
+	PointsMatched  int
+}
+
+// Agg is the aggregate a range query accumulates over matching points'
+// measures. Unlike the DC-tree, the X-tree stores no materialized
+// aggregates: every matching point is fetched from a data node.
+type Agg struct {
+	Sum   float64
+	Count int64
+	Min   float64
+	Max   float64
+}
+
+func (a *Agg) add(x float64) {
+	if a.Count == 0 {
+		a.Sum, a.Count, a.Min, a.Max = x, 1, x, x
+		return
+	}
+	a.Sum += x
+	a.Count++
+	if x < a.Min {
+		a.Min = x
+	}
+	if x > a.Max {
+		a.Max = x
+	}
+}
+
+// RangeQuery aggregates the measures of all points inside the query
+// rectangle that also pass filter (nil means no extra filtering). The
+// filter is how the DC-tree experiments express value-set queries that an
+// MBR can only over-approximate (§5.2: the range_mds is converted to a
+// range_mbr; exact membership is re-checked per record).
+func (t *Tree) RangeQuery(q Rect, filter func(Point) bool) (Agg, QueryStats, error) {
+	var st QueryStats
+	if err := q.Validate(t.dims); err != nil {
+		return Agg{}, st, err
+	}
+	var agg Agg
+	t.queryNode(t.root, q, filter, &agg, &st)
+	return agg, st, nil
+}
+
+func (t *Tree) queryNode(n *xnode, q Rect, filter func(Point) bool, agg *Agg, st *QueryStats) {
+	st.NodesVisited++
+	if n.leaf {
+		for i := range n.entries {
+			st.EntriesScanned++
+			e := &n.entries[i]
+			if q.ContainsPoint(e.point) && (filter == nil || filter(e.point)) {
+				agg.add(e.measure)
+				st.PointsMatched++
+			}
+		}
+		return
+	}
+	for i := range n.entries {
+		st.EntriesScanned++
+		if q.Intersects(n.entries[i].rect) {
+			t.queryNode(n.entries[i].child, q, filter, agg, st)
+		}
+	}
+}
+
+// LevelStat mirrors core.LevelStat for the baseline tree.
+type LevelStat struct {
+	Level      int
+	Nodes      int
+	Supernodes int
+	Entries    int
+	AvgEntries float64
+}
+
+// LevelStats reports per-level node statistics.
+func (t *Tree) LevelStats() []LevelStat {
+	stats := make([]LevelStat, t.height)
+	var walk func(n *xnode, level int)
+	walk = func(n *xnode, level int) {
+		s := &stats[level]
+		s.Level = level
+		s.Nodes++
+		s.Entries += len(n.entries)
+		if n.blocks > 1 {
+			s.Supernodes++
+		}
+		if n.leaf {
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child, level+1)
+		}
+	}
+	walk(t.root, 0)
+	for i := range stats {
+		if stats[i].Nodes > 0 {
+			stats[i].AvgEntries = float64(stats[i].Entries) / float64(stats[i].Nodes)
+		}
+	}
+	return stats
+}
+
+// Validate deep-checks the structural invariants: every entry's MBR is
+// valid and equals (directories) the exact MBR of its child, leaves sit at
+// the bottom level, no node overflows, non-root nodes are non-empty, and
+// the point count matches.
+func (t *Tree) Validate() error {
+	var points int64
+	var walk func(n *xnode, level int) error
+	walk = func(n *xnode, level int) error {
+		if n.blocks < 1 {
+			return fmt.Errorf("xtree: node with %d blocks", n.blocks)
+		}
+		if len(n.entries) > n.capacity(&t.cfg) {
+			return fmt.Errorf("xtree: node overflows: %d > %d", len(n.entries), n.capacity(&t.cfg))
+		}
+		if len(n.entries) == 0 && n != t.root {
+			return fmt.Errorf("xtree: empty non-root node")
+		}
+		if n.leaf != (level == t.height-1) {
+			return fmt.Errorf("xtree: leaf=%v at level %d of height %d", n.leaf, level, t.height)
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if err := e.rect.Validate(t.dims); err != nil {
+				return err
+			}
+			if n.leaf {
+				points++
+				if len(e.point) != t.dims {
+					return fmt.Errorf("xtree: point dims %d", len(e.point))
+				}
+				want := RectOf(e.point)
+				if !e.rect.ContainsRect(want) || !want.ContainsRect(e.rect) {
+					return fmt.Errorf("xtree: leaf rect %v != point %v", e.rect, e.point)
+				}
+				continue
+			}
+			want := e.child.mbr()
+			if !e.rect.ContainsRect(want) || !want.ContainsRect(e.rect) {
+				return fmt.Errorf("xtree: entry MBR %v != child MBR %v at level %d", e.rect, want, level)
+			}
+			if err := walk(e.child, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if points != t.count {
+		return fmt.Errorf("xtree: count %d, found %d points", t.count, points)
+	}
+	return nil
+}
