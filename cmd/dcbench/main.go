@@ -38,6 +38,7 @@ func main() {
 	verify := flag.Bool("verify", false, "cross-check all systems' answers on every query")
 	csv := flag.Bool("csv", false, "emit CSV")
 	skipAblation := flag.Bool("skip-ablation", false, "omit the ablation table from -exp all")
+	metrics := flag.Bool("metrics", false, "run the query workload at the smallest size and dump DC-tree metrics in Prometheus text format")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -56,6 +57,13 @@ func main() {
 		ns = append(ns, n)
 	}
 	opt.Sizes = ns
+
+	if *metrics {
+		if err := bench.MetricsDump(opt, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	type driver func(bench.Options) (*bench.Table, error)
 	drivers := map[string]driver{

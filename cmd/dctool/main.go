@@ -9,6 +9,9 @@
 //	dctool stats -index out.dc
 //	dctool fsck  -index out.dc
 //
+// `query` and `stats` accept -metrics to append the tree's observability
+// snapshot in Prometheus text format.
+//
 // The schema file declares dimensions (leaf level first) and measures:
 //
 //	{
@@ -248,6 +251,7 @@ func runQuery(args []string) error {
 	indexPath := fs.String("index", "index.dc", "index file")
 	opName := fs.String("op", "SUM", "aggregation: SUM, COUNT, AVG, MIN, MAX")
 	measure := fs.String("measure", "", "measure name (default: first)")
+	metrics := fs.Bool("metrics", false, "dump tree metrics in Prometheus text format after the query")
 	var wheres multiFlag
 	fs.Var(&wheres, "where", "constraint Dim.Level=V1|V2 (repeatable)")
 	fs.Parse(args)
@@ -289,8 +293,14 @@ func runQuery(args []string) error {
 	}
 	name, _ := schema.MeasureName(j)
 	fmt.Printf("%s(%s) = %g\n", op, name, v)
-	fmt.Printf("nodes visited: %d, entries scanned: %d, materialized hits: %d, records matched: %d\n",
-		st.NodesVisited, st.EntriesScanned, st.MaterializedHits, st.RecordsMatched)
+	fmt.Printf("nodes visited: %d, entries scanned: %d, entries pruned: %d, materialized hits: %d, records matched: %d\n",
+		st.NodesVisited, st.EntriesScanned, st.EntriesPruned, st.MaterializedHits, st.RecordsMatched)
+	if *metrics {
+		fmt.Println()
+		if err := tree.Metrics().WriteProm(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -313,6 +323,7 @@ func parseOp(s string) (dctree.Op, error) {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	indexPath := fs.String("index", "index.dc", "index file")
+	metrics := fs.Bool("metrics", false, "dump tree metrics in Prometheus text format")
 	fs.Parse(args)
 
 	tree, store, err := openTree(*indexPath)
@@ -330,6 +341,12 @@ func runStats(args []string) error {
 	for _, l := range levels {
 		fmt.Printf("%5d  %5d  %10d  %11.1f  %10.2f\n",
 			l.Level, l.Nodes, l.Supernodes, l.AvgEntries, l.AvgBlocks)
+	}
+	if *metrics {
+		fmt.Println()
+		if err := tree.Metrics().WriteProm(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

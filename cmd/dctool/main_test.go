@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -125,6 +127,69 @@ func TestBuildQueryRoundtrip(t *testing.T) {
 	}
 	if err := runQuery([]string{"-index", filepath.Join(dir, "missing.dc")}); err == nil {
 		t.Fatal("missing index accepted")
+	}
+}
+
+// TestMetricsFlag drives query -metrics and stats -metrics and checks the
+// Prometheus text dump reaches stdout.
+func TestMetricsFlag(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.json")
+	csvPath := filepath.Join(dir, "data.csv")
+	indexPath := filepath.Join(dir, "idx.dc")
+	os.WriteFile(schemaPath, []byte(`{
+	  "dimensions": [{"name": "Customer", "levels": ["Customer", "Nation", "Region"]}],
+	  "measures": ["Revenue"]
+	}`), 0o644)
+	os.WriteFile(csvPath, []byte(
+		"Customer.Region,Customer.Nation,Customer.Customer,Revenue\n"+
+			"EUROPE,GERMANY,C1,100.5\n"+
+			"ASIA,JAPAN,C2,400\n"), 0o644)
+	if err := runBuild([]string{"-schema", schemaPath, "-csv", csvPath, "-index", indexPath}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	capture := func(run func() error) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run()
+		w.Close()
+		os.Stdout = old
+		out, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatalf("run: %v", runErr)
+		}
+		return string(out)
+	}
+
+	out := capture(func() error {
+		return runQuery([]string{"-index", indexPath, "-where", "Customer.Region=EUROPE", "-metrics"})
+	})
+	for _, want := range []string{
+		"SUM(Revenue) = 100.5",
+		"# TYPE dctree_queries_total counter",
+		"dctree_queries_total 1",
+		`dctree_splits_total{kind="hierarchy"}`,
+		"dctree_query_duration_seconds_count 1",
+		"dctree_store_pool_hit_ratio ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query -metrics output missing %q in:\n%s", want, out)
+		}
+	}
+
+	out = capture(func() error {
+		return runStats([]string{"-index", indexPath, "-metrics"})
+	})
+	for _, want := range []string{"records: 2", "dctree_records 2", "dctree_height 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats -metrics output missing %q in:\n%s", want, out)
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"github.com/dcindex/dctree/internal/cube"
 	"github.com/dcindex/dctree/internal/hierarchy"
 	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/obs"
 	"github.com/dcindex/dctree/internal/storage"
 )
 
@@ -56,6 +57,20 @@ type (
 	Config = core.Config
 	// QueryStats reports the work a range query performed.
 	QueryStats = core.QueryStats
+	// QueryRequest describes one range query for Tree.Execute, the
+	// context-aware entry point every other query method delegates to.
+	QueryRequest = core.QueryRequest
+	// QueryResult is the outcome of Tree.Execute.
+	QueryResult = core.QueryResult
+	// Metrics is the typed snapshot returned by Tree.Metrics; its
+	// WriteProm method renders Prometheus text exposition format.
+	Metrics = core.Metrics
+	// SlowQueryEvent is delivered to the hook installed with
+	// Tree.SetSlowQueryHook for queries over the latency threshold.
+	SlowQueryEvent = core.SlowQueryEvent
+	// HistogramSnapshot is a point-in-time view of a latency histogram
+	// (log2 buckets), as embedded in Metrics.
+	HistogramSnapshot = obs.HistogramSnapshot
 	// LevelStat aggregates node statistics for one tree level.
 	LevelStat = core.LevelStat
 

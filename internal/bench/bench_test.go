@@ -109,3 +109,25 @@ func TestFig13ReportsLevels(t *testing.T) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 }
+
+func TestMetricsDump(t *testing.T) {
+	opt := tinyOptions()
+	opt.Verify = false
+	var b strings.Builder
+	if err := MetricsDump(opt, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"dctree_inserts_total 600",
+		"# TYPE dctree_query_duration_seconds histogram",
+		`dctree_splits_total{kind="hierarchy"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MetricsDump output missing %q", want)
+		}
+	}
+	if err := MetricsDump(Options{}, &b); err == nil {
+		t.Error("MetricsDump accepted empty Options")
+	}
+}

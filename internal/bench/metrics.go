@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// MetricsDump exercises the DC-tree with the standard benchmark workload
+// (build at the smallest configured size, then the random query mix at
+// every selectivity) and writes the tree's observability snapshot in
+// Prometheus text format. It backs `dcbench -metrics`, giving a quick
+// end-to-end view of the instrumentation: insert/query latency histograms,
+// per-kind split counters, materialized-hit and pruning ratios, and the
+// store's I/O counters.
+func MetricsDump(opt Options, w io.Writer) error {
+	if len(opt.Sizes) == 0 {
+		return fmt.Errorf("bench: no data-set size configured")
+	}
+	s, err := build(opt, opt.Sizes[0], buildFlags{dc: true})
+	if err != nil {
+		return err
+	}
+	for _, sel := range []float64{0.01, 0.05, 0.25} {
+		if _, err := s.queryWork(opt, sel); err != nil {
+			return err
+		}
+	}
+	// The roll-up mix exercises the materialized-aggregate shortcut, so the
+	// hit-ratio gauges have content.
+	if _, err := s.rollupWork(opt); err != nil {
+		return err
+	}
+	return s.dc.Metrics().WriteProm(w)
+}

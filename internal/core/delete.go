@@ -27,9 +27,11 @@ func (t *Tree) Delete(rec cube.Record) error {
 		return err
 	}
 	if !found {
+		t.metrics.deleteMisses.Inc()
 		return ErrNotFound
 	}
 	t.count--
+	t.metrics.deletes.Inc()
 
 	// Collapse trivial roots: a directory root with one entry hands the
 	// root role to its only child.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dcindex/dctree/internal/cube"
 	"github.com/dcindex/dctree/internal/hierarchy"
@@ -68,6 +69,7 @@ func (t *Tree) Insert(rec cube.Record) error {
 	if err := t.schema.ValidateRecord(rec); err != nil {
 		return err
 	}
+	start := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -87,6 +89,7 @@ func (t *Tree) Insert(rec cube.Record) error {
 	if res.split {
 		// The root was split: grow the tree by one level (the only way a
 		// DC-tree gains height).
+		t.metrics.rootSplits.Inc()
 		newRoot := t.newNode(false)
 		newRoot.entries = []entry{
 			{MDS: res.origMDS, Agg: res.origAgg, Child: t.root},
@@ -102,6 +105,8 @@ func (t *Tree) Insert(rec cube.Record) error {
 		return err
 	}
 	t.count++
+	t.metrics.inserts.Inc()
+	t.metrics.insertLatency.Observe(time.Since(start))
 	return nil
 }
 

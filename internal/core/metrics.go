@@ -1,0 +1,230 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/obs"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// treeMetrics is the tree's always-on instrumentation: atomic counters and
+// histograms updated on the hot paths (single atomic operations, no locks,
+// no allocation) and read by Tree.Metrics. The zero value is ready to use.
+//
+// Query-side counters are recorded exactly once per query at the Execute
+// choke point, never inside the descent, so they stay consistent across
+// the serial, parallel, and all-measures paths and across every public
+// convenience wrapper.
+type treeMetrics struct {
+	inserts       obs.Counter
+	insertLatency obs.Histogram
+	deletes       obs.Counter
+	deleteMisses  obs.Counter
+
+	queries      obs.Counter
+	queryErrors  obs.Counter
+	queryCancels obs.Counter
+	queryLatency obs.Histogram
+	slowQueries  obs.Counter
+
+	splitsHierarchy  obs.Counter
+	splitsForced     obs.Counter
+	supernodeCreated obs.Counter
+	supernodeGrown   obs.Counter
+	rootSplits       obs.Counter
+
+	qNodesVisited     obs.Counter
+	qEntriesScanned   obs.Counter
+	qEntriesPruned    obs.Counter
+	qMaterializedHits obs.Counter
+	qRecordsMatched   obs.Counter
+}
+
+// Metrics is a point-in-time snapshot of a tree's operational counters,
+// latency histograms and the underlying store's I/O accounting. Counters
+// accumulate since the Tree value was created (reopening an index starts
+// fresh); the snapshot is taken field by field and may be torn by a few
+// concurrent events, which is fine for monitoring.
+type Metrics struct {
+	// Update-path counters.
+	Inserts      int64
+	Deletes      int64
+	DeleteMisses int64 // Delete calls that found no matching record
+
+	// Query-path counters, recorded once per Execute call.
+	Queries      int64
+	QueryErrors  int64
+	QueryCancels int64 // queries aborted by context cancellation/deadline
+	SlowQueries  int64 // queries at or above the slow-query threshold
+
+	// Split behavior, by kind (Fig. 5): accepted hierarchy splits,
+	// forced overlap-minimal fallback splits, and supernode events.
+	SplitsHierarchy   int64
+	SplitsForced      int64
+	SupernodesCreated int64 // node grew from one block to two
+	SupernodesGrown   int64 // supernode gained one more block
+	RootSplits        int64 // root splits, i.e. height increments
+
+	// Aggregated query work (sums of QueryStats over all queries).
+	QueryNodesVisited     int64
+	QueryEntriesScanned   int64
+	QueryEntriesPruned    int64
+	QueryMaterializedHits int64
+	QueryRecordsMatched   int64
+
+	// MaterializedHitRatio is QueryMaterializedHits / QueryEntriesScanned:
+	// the fraction of examined entries answered from a materialized
+	// aggregate without descending. PrunedEntryRatio is the analogous
+	// fraction discarded without overlap. 0 when nothing was scanned.
+	MaterializedHitRatio float64
+	PrunedEntryRatio     float64
+
+	// Latency distributions.
+	InsertLatency obs.HistogramSnapshot
+	QueryLatency  obs.HistogramSnapshot
+
+	// Tree shape.
+	Records     int64
+	Height      int
+	CachedNodes int
+
+	// Store is the underlying store's logical I/O accounting;
+	// StoreHitRatio is Hits / (Hits + Misses) of the buffer pool (1 for
+	// MemStore, which always hits; 0 before any read).
+	Store         storage.Stats
+	StoreHitRatio float64
+}
+
+// Metrics returns a snapshot of the tree's operational metrics.
+func (t *Tree) Metrics() Metrics {
+	m := &t.metrics
+	s := Metrics{
+		Inserts:      m.inserts.Load(),
+		Deletes:      m.deletes.Load(),
+		DeleteMisses: m.deleteMisses.Load(),
+
+		Queries:      m.queries.Load(),
+		QueryErrors:  m.queryErrors.Load(),
+		QueryCancels: m.queryCancels.Load(),
+		SlowQueries:  m.slowQueries.Load(),
+
+		SplitsHierarchy:   m.splitsHierarchy.Load(),
+		SplitsForced:      m.splitsForced.Load(),
+		SupernodesCreated: m.supernodeCreated.Load(),
+		SupernodesGrown:   m.supernodeGrown.Load(),
+		RootSplits:        m.rootSplits.Load(),
+
+		QueryNodesVisited:     m.qNodesVisited.Load(),
+		QueryEntriesScanned:   m.qEntriesScanned.Load(),
+		QueryEntriesPruned:    m.qEntriesPruned.Load(),
+		QueryMaterializedHits: m.qMaterializedHits.Load(),
+		QueryRecordsMatched:   m.qRecordsMatched.Load(),
+
+		InsertLatency: m.insertLatency.Snapshot(),
+		QueryLatency:  m.queryLatency.Snapshot(),
+
+		Records:     t.Count(),
+		Height:      t.Height(),
+		CachedNodes: t.CachedNodes(),
+
+		Store: t.store.Stats(),
+	}
+	if s.QueryEntriesScanned > 0 {
+		s.MaterializedHitRatio = float64(s.QueryMaterializedHits) / float64(s.QueryEntriesScanned)
+		s.PrunedEntryRatio = float64(s.QueryEntriesPruned) / float64(s.QueryEntriesScanned)
+	}
+	if probes := s.Store.Hits + s.Store.Misses; probes > 0 {
+		s.StoreHitRatio = float64(s.Store.Hits) / float64(probes)
+	}
+	return s
+}
+
+// Families renders the snapshot as Prometheus metric families under the
+// dctree_ namespace.
+func (m Metrics) Families() []obs.Family {
+	kind := func(k string) []obs.Label { return []obs.Label{{Key: "kind", Value: k}} }
+	return []obs.Family{
+		obs.CounterFamily("dctree_inserts_total", "Records inserted.", m.Inserts),
+		obs.CounterFamily("dctree_deletes_total", "Records deleted.", m.Deletes),
+		obs.CounterFamily("dctree_delete_misses_total", "Delete calls that matched no record.", m.DeleteMisses),
+		obs.CounterFamily("dctree_queries_total", "Range queries executed (all entrypoints).", m.Queries),
+		obs.CounterFamily("dctree_query_errors_total", "Range queries that failed (excluding cancellations).", m.QueryErrors),
+		obs.CounterFamily("dctree_query_cancels_total", "Range queries aborted by context cancellation or deadline.", m.QueryCancels),
+		obs.CounterFamily("dctree_slow_queries_total", "Queries at or above the slow-query threshold.", m.SlowQueries),
+		{
+			Name: "dctree_splits_total", Help: "Node splits by kind (Fig. 5).", Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: kind("hierarchy"), Value: float64(m.SplitsHierarchy)},
+				{Labels: kind("forced"), Value: float64(m.SplitsForced)},
+			},
+		},
+		{
+			Name: "dctree_supernode_events_total", Help: "Supernode creations and growths.", Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: kind("created"), Value: float64(m.SupernodesCreated)},
+				{Labels: kind("grown"), Value: float64(m.SupernodesGrown)},
+			},
+		},
+		obs.CounterFamily("dctree_root_splits_total", "Root splits (tree height increments).", m.RootSplits),
+		obs.CounterFamily("dctree_query_nodes_visited_total", "Nodes visited by range queries.", m.QueryNodesVisited),
+		obs.CounterFamily("dctree_query_entries_scanned_total", "Directory and data entries examined by range queries.", m.QueryEntriesScanned),
+		obs.CounterFamily("dctree_query_entries_pruned_total", "Directory entries pruned without overlap.", m.QueryEntriesPruned),
+		obs.CounterFamily("dctree_query_materialized_hits_total", "Directory entries answered from materialized aggregates.", m.QueryMaterializedHits),
+		obs.CounterFamily("dctree_query_records_matched_total", "Data records individually matched by range queries.", m.QueryRecordsMatched),
+		obs.GaugeFamily("dctree_materialized_hit_ratio", "Materialized hits per entry scanned.", m.MaterializedHitRatio),
+		obs.GaugeFamily("dctree_pruned_entry_ratio", "Pruned entries per entry scanned.", m.PrunedEntryRatio),
+		obs.HistogramFamily("dctree_insert_duration_seconds", "Single-record insert latency.", m.InsertLatency),
+		obs.HistogramFamily("dctree_query_duration_seconds", "Range query latency (all entrypoints).", m.QueryLatency),
+		obs.GaugeFamily("dctree_records", "Live data records.", float64(m.Records)),
+		obs.GaugeFamily("dctree_height", "Tree height (1 = the root is a data node).", float64(m.Height)),
+		obs.GaugeFamily("dctree_cached_nodes", "Nodes resident in the in-memory cache.", float64(m.CachedNodes)),
+		obs.CounterFamily("dctree_store_reads_total", "Logical extent reads at the store interface.", m.Store.Reads),
+		obs.CounterFamily("dctree_store_writes_total", "Logical extent writes at the store interface.", m.Store.Writes),
+		obs.CounterFamily("dctree_store_allocs_total", "Extent allocations.", m.Store.Allocs),
+		obs.CounterFamily("dctree_store_frees_total", "Extent frees.", m.Store.Frees),
+		obs.CounterFamily("dctree_store_pool_hits_total", "Reads served by the buffer pool.", m.Store.Hits),
+		obs.CounterFamily("dctree_store_pool_misses_total", "Reads faulted from the backing file.", m.Store.Misses),
+		obs.CounterFamily("dctree_store_bytes_read_total", "Payload bytes read.", m.Store.BytesRead),
+		obs.CounterFamily("dctree_store_bytes_written_total", "Payload bytes written.", m.Store.BytesWritten),
+		obs.GaugeFamily("dctree_store_pool_hit_ratio", "Buffer-pool hits per read probe.", m.StoreHitRatio),
+	}
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format.
+func (m Metrics) WriteProm(w io.Writer) error {
+	return obs.WriteProm(w, m.Families())
+}
+
+// SlowQueryEvent is handed to the slow-query hook for every query whose
+// wall-clock latency reaches the configured threshold.
+type SlowQueryEvent struct {
+	// Query is a copy of the query MDS (safe to retain).
+	Query mds.MDS
+	// Elapsed is the query's wall-clock duration.
+	Elapsed time.Duration
+	// Stats is the work the query performed.
+	Stats QueryStats
+}
+
+// slowQueryHook pairs the threshold with the callback; stored behind an
+// atomic pointer so the hot path is one pointer load when disabled.
+type slowQueryHook struct {
+	threshold time.Duration
+	fn        func(SlowQueryEvent)
+}
+
+// SetSlowQueryHook installs a slow-query log hook: every query (any
+// entrypoint — they all funnel through Execute) whose latency is ≥
+// threshold increments the SlowQueries counter and, if fn is non-nil,
+// invokes fn synchronously on the query path with the query MDS, latency
+// and work counters. Keep fn fast or hand off to a channel. A negative
+// threshold removes the hook. Safe to call concurrently with queries.
+func (t *Tree) SetSlowQueryHook(threshold time.Duration, fn func(SlowQueryEvent)) {
+	if threshold < 0 {
+		t.slowHook.Store(nil)
+		return
+	}
+	t.slowHook.Store(&slowQueryHook{threshold: threshold, fn: fn})
+}

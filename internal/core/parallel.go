@@ -1,72 +1,89 @@
 package core
 
 import (
-	"runtime"
+	"context"
 	"sync"
 
 	"github.com/dcindex/dctree/internal/cube"
-	"github.com/dcindex/dctree/internal/mds"
 )
 
-// RangeAggParallel answers the same query as RangeAgg using a worker pool:
-// the subtrees of the shallowest directory levels are fanned out across
-// goroutines and their partial aggregates merged. Queries only read the
-// tree (inserts are excluded by the tree lock for the duration), so the
-// descent parallelizes embarrassingly; this helps the large
-// low-selectivity queries whose cost is dominated by leaf scans.
-// workers ≤ 0 selects GOMAXPROCS.
-func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, error) {
-	if measure < 0 || measure >= t.schema.Measures() {
-		return cube.Agg{}, ErrBadMeasure
-	}
-	if err := q.Validate(t.space()); err != nil {
-		return cube.Agg{}, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-
-	ctx, err := t.newQueryCtx(q)
-	if err != nil {
-		return cube.Agg{}, err
+// executeParallel runs one range query over a worker pool: the subtrees of
+// the shallowest directory levels are fanned out across goroutines and
+// their partial aggregates merged. Queries only read the tree (inserts are
+// excluded by the tree lock for the duration), so the descent parallelizes
+// embarrassingly; this helps the large low-selectivity queries whose cost
+// is dominated by leaf scans.
+//
+// Every worker runs its own descent over the shared query context, so
+// cancellation is polled per worker and each worker's QueryStats are
+// merged into the result — the parallel path reports the same work
+// counters as the serial one (the pruning decisions are identical; only
+// the traversal order differs).
+//
+// Called from Execute with the tree read lock held and req.Parallel ≥ 1.
+func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryRequest) (QueryResult, error) {
+	var res QueryResult
+	measures := t.schema.Measures()
+	var vec cube.AggVector
+	if req.AllMeasures {
+		vec = cube.NewAggVector(measures)
 	}
 
 	// Collect the frontier: the roots of independent subtrees to fan out,
 	// answering or pruning what can be decided on the way. The frontier is
 	// grown breadth-first until it has enough tasks to occupy the workers.
-	var result cube.Agg
+	// The expansion itself is accounted on d0, the coordinator's descent.
+	d0 := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
 	type task struct{ id nodeID }
 	frontier := []task{{id: t.root}}
-	for len(frontier) < workers*4 {
+	for len(frontier) < req.Parallel*4 {
 		next := make([]task, 0, len(frontier)*8)
 		expanded := false
 		for _, tk := range frontier {
 			n, err := t.getNode(tk.id)
 			if err != nil {
-				return cube.Agg{}, err
+				res.Stats = d0.st
+				return res, err
 			}
 			if n.leaf {
 				// Leaves at the frontier are cheap: answer inline.
-				var st QueryStats
-				if err := t.queryNode(tk.id, ctx, measure, &result, &st); err != nil {
-					return cube.Agg{}, err
+				var err error
+				if req.AllMeasures {
+					err = t.queryNodeAll(tk.id, d0, vec)
+				} else {
+					err = t.queryNode(tk.id, d0, req.Measure, &res.Agg)
+				}
+				if err != nil {
+					res.Agg = cube.Agg{}
+					res.Stats = d0.st
+					return res, err
 				}
 				continue
 			}
 			expanded = true
+			if err := d0.visit(); err != nil {
+				res.Stats = d0.st
+				return res, err
+			}
 			for i := range n.entries {
 				e := &n.entries[i]
-				overlaps, contained, err := ctx.matchEntry(t, e.MDS)
+				d0.st.EntriesScanned++
+				overlaps, contained, err := qc.matchEntry(t, e.MDS)
 				if err != nil {
-					return cube.Agg{}, err
+					res.Stats = d0.st
+					return res, err
 				}
 				if !overlaps {
+					d0.st.EntriesPruned++
 					continue
 				}
 				if t.cfg.Materialize && contained {
-					result.Merge(e.Agg[measure])
+					if req.AllMeasures {
+						vec.Merge(e.Agg)
+					} else {
+						res.Agg.Merge(e.Agg[req.Measure])
+					}
+					d0.st.MaterializedHits++
 					continue
 				}
 				next = append(next, task{id: e.Child})
@@ -78,37 +95,62 @@ func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, 
 		}
 	}
 	if len(frontier) == 0 {
-		return result, nil
+		if req.AllMeasures {
+			res.AggVector = vec
+		}
+		res.Stats = d0.st
+		return res, nil
 	}
 
-	// Fan the frontier out over the workers.
+	// Fan the frontier out over the workers. Each worker accumulates a
+	// private aggregate and descent; both are merged under mu at the end,
+	// so no shared state is touched on the hot path.
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		workErr error
 	)
 	tasks := make(chan task)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < req.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var local cube.Agg
-			var st QueryStats
+			var localVec cube.AggVector
+			if req.AllMeasures {
+				localVec = cube.NewAggVector(measures)
+			}
+			d := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
+			fail := func(err error) {
+				mu.Lock()
+				if workErr == nil {
+					workErr = err
+				}
+				d0.st.add(d.st)
+				mu.Unlock()
+				// Drain remaining tasks so the sender never blocks.
+				for range tasks {
+				}
+			}
 			for tk := range tasks {
-				if err := t.queryNode(tk.id, ctx, measure, &local, &st); err != nil {
-					mu.Lock()
-					if workErr == nil {
-						workErr = err
-					}
-					mu.Unlock()
-					// Drain remaining tasks so the sender never blocks.
-					for range tasks {
-					}
+				var err error
+				if req.AllMeasures {
+					err = t.queryNodeAll(tk.id, d, localVec)
+				} else {
+					err = t.queryNode(tk.id, d, req.Measure, &local)
+				}
+				if err != nil {
+					fail(err)
 					return
 				}
 			}
 			mu.Lock()
-			result.Merge(local)
+			if req.AllMeasures {
+				vec.Merge(localVec)
+			} else {
+				res.Agg.Merge(local)
+			}
+			d0.st.add(d.st)
 			mu.Unlock()
 		}()
 	}
@@ -117,8 +159,12 @@ func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, 
 	}
 	close(tasks)
 	wg.Wait()
+	res.Stats = d0.st
 	if workErr != nil {
-		return cube.Agg{}, workErr
+		return QueryResult{Stats: d0.st}, workErr
 	}
-	return result, nil
+	if req.AllMeasures {
+		res.AggVector = vec
+	}
+	return res, nil
 }

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"runtime"
 
 	"github.com/dcindex/dctree/internal/cube"
 	"github.com/dcindex/dctree/internal/mds"
@@ -13,6 +14,9 @@ type QueryStats struct {
 	NodesVisited int
 	// EntriesScanned counts directory and data entries examined.
 	EntriesScanned int
+	// EntriesPruned counts directory entries discarded without descending
+	// because their MDS does not overlap the query range.
+	EntriesPruned int
 	// MaterializedHits counts directory entries fully contained in the
 	// query range whose materialized aggregate answered their subtree
 	// without descending — the DC-tree's core advantage.
@@ -21,109 +25,135 @@ type QueryStats struct {
 	RecordsMatched int
 }
 
+// add accumulates another query's (or worker's) counters.
+func (s *QueryStats) add(o QueryStats) {
+	s.NodesVisited += o.NodesVisited
+	s.EntriesScanned += o.EntriesScanned
+	s.EntriesPruned += o.EntriesPruned
+	s.MaterializedHits += o.MaterializedHits
+	s.RecordsMatched += o.RecordsMatched
+}
+
+// descent carries the per-goroutine state of one range-query walk: the
+// shared read-only query context, the cancellation context with its poll
+// countdown, and the work counters. Parallel queries give every worker its
+// own descent over the same queryCtx.
+type descent struct {
+	qc    *queryCtx
+	ctx   context.Context
+	check int // node visits until the next ctx poll
+	st    QueryStats
+}
+
+// visit accounts one node and polls the context every ctxCheckInterval
+// visits, so even a full scan of a large tree notices cancellation within
+// a bounded amount of work.
+func (d *descent) visit() error {
+	d.st.NodesVisited++
+	d.check--
+	if d.check <= 0 {
+		d.check = ctxCheckInterval
+		if err := d.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RangeQuery answers a general range query (Fig. 7): q selects, per
 // dimension, a set of attribute values at one hierarchy level (use
 // mds.AllDim() for unconstrained dimensions); op aggregates the chosen
 // measure over every data record in the selected subcube.
+//
+// RangeQuery is a convenience form of Execute; behavior is identical to
+// Execute with a background context.
 func (t *Tree) RangeQuery(q mds.MDS, op cube.Op, measure int) (float64, error) {
-	v, _, err := t.RangeQueryStats(q, op, measure)
-	return v, err
+	res, err := t.Execute(context.Background(), QueryRequest{Query: q, Measure: measure})
+	if err != nil {
+		return 0, err
+	}
+	return res.Agg.Value(op), nil
 }
 
 // RangeAgg returns the full aggregate (sum, count, min, max) of a measure
 // over the query range, from which every supported operator can be read.
+// It is a convenience form of Execute.
 func (t *Tree) RangeAgg(q mds.MDS, measure int) (cube.Agg, error) {
-	agg, _, err := t.rangeAgg(q, measure)
-	return agg, err
+	res, err := t.Execute(context.Background(), QueryRequest{Query: q, Measure: measure})
+	return res.Agg, err
 }
 
-// RangeQueryStats is RangeQuery plus work counters.
+// RangeQueryStats is RangeQuery plus work counters. It is a convenience
+// form of Execute with CollectStats set.
 func (t *Tree) RangeQueryStats(q mds.MDS, op cube.Op, measure int) (float64, QueryStats, error) {
-	agg, st, err := t.rangeAgg(q, measure)
+	res, err := t.Execute(context.Background(),
+		QueryRequest{Query: q, Measure: measure, CollectStats: true})
 	if err != nil {
-		return 0, st, err
+		return 0, res.Stats, err
 	}
-	return agg.Value(op), st, nil
-}
-
-func (t *Tree) rangeAgg(q mds.MDS, measure int) (cube.Agg, QueryStats, error) {
-	var st QueryStats
-	if measure < 0 || measure >= t.schema.Measures() {
-		return cube.Agg{}, st, fmt.Errorf("%w: %d", ErrBadMeasure, measure)
-	}
-	if err := q.Validate(t.space()); err != nil {
-		return cube.Agg{}, st, fmt.Errorf("%w: %v", ErrBadQuery, err)
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-
-	ctx, err := t.newQueryCtx(q)
-	if err != nil {
-		return cube.Agg{}, st, err
-	}
-	var result cube.Agg
-	if err := t.queryNode(t.root, ctx, measure, &result, &st); err != nil {
-		return cube.Agg{}, st, err
-	}
-	return result, st, nil
+	return res.Agg.Value(op), res.Stats, nil
 }
 
 // RangeAggAll aggregates every measure of the schema over the query range
 // in a single descent — the natural form for reports that show several
-// measures side by side.
+// measures side by side. It is a convenience form of Execute with
+// AllMeasures and CollectStats set.
 func (t *Tree) RangeAggAll(q mds.MDS) (cube.AggVector, QueryStats, error) {
-	var st QueryStats
-	if err := q.Validate(t.space()); err != nil {
-		return nil, st, fmt.Errorf("%w: %v", ErrBadQuery, err)
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-
-	ctx, err := t.newQueryCtx(q)
-	if err != nil {
-		return nil, st, err
-	}
-	result := cube.NewAggVector(t.schema.Measures())
-	if err := t.queryNodeAll(t.root, ctx, result, &st); err != nil {
-		return nil, st, err
-	}
-	return result, st, nil
+	res, err := t.Execute(context.Background(),
+		QueryRequest{Query: q, AllMeasures: true, CollectStats: true})
+	return res.AggVector, res.Stats, err
 }
 
-func (t *Tree) queryNodeAll(id nodeID, ctx *queryCtx, result cube.AggVector, st *QueryStats) error {
+// RangeAggParallel answers the same query as RangeAgg using a worker pool;
+// workers ≤ 0 selects GOMAXPROCS. It is a convenience form of Execute with
+// Parallel set.
+func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := t.Execute(context.Background(),
+		QueryRequest{Query: q, Measure: measure, Parallel: workers})
+	return res.Agg, err
+}
+
+// queryNodeAll is queryNode generalized to every measure of the schema.
+func (t *Tree) queryNodeAll(id nodeID, d *descent, result cube.AggVector) error {
 	n, err := t.getNode(id)
 	if err != nil {
 		return err
 	}
-	st.NodesVisited++
+	if err := d.visit(); err != nil {
+		return err
+	}
 
 	if n.leaf {
 		for i := range n.entries {
 			e := &n.entries[i]
-			st.EntriesScanned++
-			if ctx.recordInRange(e.Rec.Coords) {
+			d.st.EntriesScanned++
+			if d.qc.recordInRange(e.Rec.Coords) {
 				result.AddRecord(e.Rec.Measures)
-				st.RecordsMatched++
+				d.st.RecordsMatched++
 			}
 		}
 		return nil
 	}
 	for i := range n.entries {
 		e := &n.entries[i]
-		st.EntriesScanned++
-		overlaps, contained, err := ctx.matchEntry(t, e.MDS)
+		d.st.EntriesScanned++
+		overlaps, contained, err := d.qc.matchEntry(t, e.MDS)
 		if err != nil {
 			return err
 		}
 		if !overlaps {
+			d.st.EntriesPruned++
 			continue
 		}
 		if t.cfg.Materialize && contained {
 			result.Merge(e.Agg)
-			st.MaterializedHits++
+			d.st.MaterializedHits++
 			continue
 		}
-		if err := t.queryNodeAll(e.Child, ctx, result, st); err != nil {
+		if err := t.queryNodeAll(e.Child, d, result); err != nil {
 			return err
 		}
 	}
@@ -135,20 +165,22 @@ func (t *Tree) queryNodeAll(id nodeID, ctx *queryCtx, result cube.AggVector, st 
 // Contains adapt internally); entries without overlap are pruned, entries
 // fully contained in the range contribute their materialized aggregate,
 // and partially overlapping directory entries are descended into.
-func (t *Tree) queryNode(id nodeID, ctx *queryCtx, measure int, result *cube.Agg, st *QueryStats) error {
+func (t *Tree) queryNode(id nodeID, d *descent, measure int, result *cube.Agg) error {
 	n, err := t.getNode(id)
 	if err != nil {
 		return err
 	}
-	st.NodesVisited++
+	if err := d.visit(); err != nil {
+		return err
+	}
 
 	if n.leaf {
 		for i := range n.entries {
 			e := &n.entries[i]
-			st.EntriesScanned++
-			if ctx.recordInRange(e.Rec.Coords) {
+			d.st.EntriesScanned++
+			if d.qc.recordInRange(e.Rec.Coords) {
 				result.Add(e.Rec.Measures[measure])
-				st.RecordsMatched++
+				d.st.RecordsMatched++
 			}
 		}
 		return nil
@@ -156,20 +188,21 @@ func (t *Tree) queryNode(id nodeID, ctx *queryCtx, measure int, result *cube.Agg
 
 	for i := range n.entries {
 		e := &n.entries[i]
-		st.EntriesScanned++
-		overlaps, contained, err := ctx.matchEntry(t, e.MDS)
+		d.st.EntriesScanned++
+		overlaps, contained, err := d.qc.matchEntry(t, e.MDS)
 		if err != nil {
 			return err
 		}
 		if !overlaps {
+			d.st.EntriesPruned++
 			continue
 		}
 		if t.cfg.Materialize && contained {
 			result.Merge(e.Agg[measure])
-			st.MaterializedHits++
+			d.st.MaterializedHits++
 			continue
 		}
-		if err := t.queryNode(e.Child, ctx, measure, result, st); err != nil {
+		if err := t.queryNode(e.Child, d, measure, result); err != nil {
 			return err
 		}
 	}

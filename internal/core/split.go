@@ -75,6 +75,7 @@ func (t *Tree) splitNode(n *node, nodeMDS mds.MDS) (insertResult, error) {
 			}
 			balanced := len(g1) >= minFill && len(g2) >= minFill
 			if balanced && ratio <= t.cfg.MaxOverlapRatio {
+				t.metrics.splitsHierarchy.Inc()
 				return t.buildSplit(n, g1, g2, adapted)
 			}
 			if fallback == nil || ratio < fallback.ratio {
@@ -86,15 +87,18 @@ func (t *Tree) splitNode(n *node, nodeMDS mds.MDS) (insertResult, error) {
 	// No acceptable split in any dimension (Fig. 5: "Create supernode").
 	mayGrow := !t.cfg.DisableSupernodes &&
 		(t.cfg.MaxSupernodeBlocks == 0 || n.blocks < t.cfg.MaxSupernodeBlocks)
-	if mayGrow {
+	if mayGrow || fallback == nil {
+		// fallback == nil cannot happen with ≥ 2 entries, but guard by
+		// growing anyway.
+		if n.blocks == 1 {
+			t.metrics.supernodeCreated.Inc()
+		} else {
+			t.metrics.supernodeGrown.Inc()
+		}
 		n.blocks++
 		return insertResult{}, nil
 	}
-	if fallback == nil {
-		// Cannot happen with ≥ 2 entries, but guard anyway: grow.
-		n.blocks++
-		return insertResult{}, nil
-	}
+	t.metrics.splitsForced.Inc()
 	return t.buildSplit(n, fallback.g1, fallback.g2, fallback.adapted)
 }
 

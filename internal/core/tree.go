@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dcindex/dctree/internal/cube"
 	"github.com/dcindex/dctree/internal/mds"
@@ -47,6 +48,12 @@ type Tree struct {
 	cacheMu sync.Mutex
 	cache   map[nodeID]*node
 	dirty   map[nodeID]bool
+
+	// metrics is the always-on observability instrumentation (atomic-only
+	// on hot paths); slowHook optionally records queries over a latency
+	// threshold. Both are usable at their zero value.
+	metrics  treeMetrics
+	slowHook atomic.Pointer[slowQueryHook]
 }
 
 // New creates an empty DC-tree on the given store. The store's metadata

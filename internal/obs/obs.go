@@ -1,0 +1,151 @@
+// Package obs provides the lock-cheap observability primitives used by the
+// DC-tree: monotone counters, gauges and log2-bucketed latency histograms,
+// all updated with single atomic operations so they can sit on the index's
+// hot paths (insert, delete, range-query descent) without measurable
+// overhead, plus a Prometheus-text encoder for exporting snapshots.
+//
+// The primitives are usable at their zero value and safe for concurrent
+// use. Snapshots are taken field by field, not under a global lock, so a
+// snapshot racing with updates may be torn by a few events — fine for
+// monitoring, where the counters are only ever read as trends.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the counter to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of finite histogram buckets: bucket i holds
+// observations with d ≤ 2^i microseconds, so the finite range spans 1 µs to
+// 2^27 µs ≈ 134 s; slower observations land in the +Inf overflow bucket.
+const histBuckets = 28
+
+// Histogram is a latency histogram with power-of-two bucket bounds.
+// Observe is two atomic adds plus one atomic increment — no locks, no
+// allocation — so it can time every operation of a hot path.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	buckets [histBuckets + 1]atomic.Int64 // last bucket is +Inf
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	idx := bits.Len64(uint64(d / time.Microsecond))
+	if idx > histBuckets {
+		idx = histBuckets // +Inf bucket
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot: Count
+// observations were ≤ Le seconds (Le is +Inf for the final bucket).
+type Bucket struct {
+	Le    float64
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram in the
+// cumulative-bucket form Prometheus expects.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets []Bucket
+}
+
+// Snapshot copies the histogram. Trailing empty buckets (beyond the largest
+// observation) are trimmed; the +Inf bucket is always present.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sumNano.Load()),
+	}
+	var raw [histBuckets + 1]int64
+	last := 0
+	for i := range h.buckets {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 && i < histBuckets {
+			last = i + 1
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= last; i++ {
+		cum += raw[i]
+		// Bucket i's upper bound is 2^i µs, i.e. 2^i * 1e-6 s.
+		s.Buckets = append(s.Buckets, Bucket{Le: math.Ldexp(1e-6, i), Count: cum})
+	}
+	for i := last + 1; i <= histBuckets; i++ {
+		cum += raw[i]
+	}
+	s.Buckets = append(s.Buckets, Bucket{Le: math.Inf(1), Count: cum})
+	return s
+}
+
+// Quantile estimates the q-th latency quantile (0 ≤ q ≤ 1) from the bucket
+// counts, attributing each bucket's mass to its upper bound — a
+// conservative (over-)estimate, like Prometheus's histogram_quantile over
+// coarse buckets. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			if math.IsInf(b.Le, 1) {
+				break
+			}
+			return time.Duration(b.Le * float64(time.Second))
+		}
+	}
+	// Everything above the finite range: report the largest finite bound.
+	if len(s.Buckets) >= 2 {
+		return time.Duration(s.Buckets[len(s.Buckets)-2].Le * float64(time.Second))
+	}
+	return s.Sum
+}
+
+// Mean returns the average observed duration (0 for an empty histogram).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Sub-microsecond observations land in the first bucket (le 1µs).
+	h.Observe(500 * time.Nanosecond)
+	// 1µs ≤ d < 2µs lands in bucket le 2µs.
+	h.Observe(1 * time.Microsecond)
+	// 3µs lands in bucket le 4µs.
+	h.Observe(3 * time.Microsecond)
+	// Far beyond the finite range: overflow (+Inf).
+	h.Observe(10 * time.Minute)
+	// Negative durations clamp to zero instead of corrupting a bucket.
+	h.Observe(-time.Second)
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	wantSum := 500*time.Nanosecond + time.Microsecond + 3*time.Microsecond + 10*time.Minute
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	at := func(le float64) int64 {
+		for _, b := range s.Buckets {
+			if b.Le == le {
+				return b.Count
+			}
+		}
+		t.Fatalf("no bucket le=%g in %+v", le, s.Buckets)
+		return 0
+	}
+	if got := at(1e-6); got != 2 { // two zero-ish + the clamp
+		t.Fatalf("le=1µs cumulative = %d", got)
+	}
+	if got := at(2e-6); got != 3 {
+		t.Fatalf("le=2µs cumulative = %d", got)
+	}
+	if got := at(4e-6); got != 4 {
+		t.Fatalf("le=4µs cumulative = %d", got)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.Le, 1) || last.Count != 5 {
+		t.Fatalf("+Inf bucket = %+v", last)
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("non-monotone buckets: %+v", s.Buckets)
+		}
+	}
+}
+
+func TestHistogramQuantileMean(t *testing.T) {
+	var h Histogram
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// p50 must land at the 10µs observations' bucket bound (16µs).
+	if q := s.Quantile(0.5); q != 16*time.Microsecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	// p99 must land at the 5ms observations' bucket bound (8.192ms).
+	if q := s.Quantile(0.99); q != 8192*time.Microsecond {
+		t.Fatalf("p99 = %v", q)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[len(s.Buckets)-1].Count != workers*per {
+		t.Fatalf("+Inf cumulative = %d", s.Buckets[len(s.Buckets)-1].Count)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+
+	fams := []Family{
+		CounterFamily("dctree_inserts_total", "Records inserted.", 7),
+		GaugeFamily("dctree_hit_ratio", "Hit ratio.", 0.25),
+		{
+			Name: "dctree_splits_total", Help: "Splits by kind.", Type: TypeCounter,
+			Samples: []Sample{
+				{Labels: []Label{{Key: "kind", Value: "hierarchy"}}, Value: 3},
+				{Labels: []Label{{Key: "kind", Value: "forced"}}, Value: 1},
+			},
+		},
+		HistogramFamily("dctree_query_duration_seconds", "Query latency.", h.Snapshot()),
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP dctree_inserts_total Records inserted.\n",
+		"# TYPE dctree_inserts_total counter\n",
+		"dctree_inserts_total 7\n",
+		"dctree_hit_ratio 0.25\n",
+		`dctree_splits_total{kind="hierarchy"} 3` + "\n",
+		`dctree_splits_total{kind="forced"} 1` + "\n",
+		"# TYPE dctree_query_duration_seconds histogram\n",
+		`dctree_query_duration_seconds_bucket{le="4e-06"} 1` + "\n",
+		`dctree_query_duration_seconds_bucket{le="+Inf"} 1` + "\n",
+		"dctree_query_duration_seconds_sum 3e-06\n",
+		"dctree_query_duration_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteProm(&buf, []Family{{}}); err == nil {
+		t.Fatal("empty family name accepted")
+	}
+	if err := WriteProm(&buf, []Family{{Name: "x", Type: TypeHistogram}}); err == nil {
+		t.Fatal("histogram without snapshot accepted")
+	}
+}

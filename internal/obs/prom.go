@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// FamilyType is the Prometheus metric type of a Family.
+type FamilyType string
+
+// Supported family types.
+const (
+	TypeCounter   FamilyType = "counter"
+	TypeGauge     FamilyType = "gauge"
+	TypeHistogram FamilyType = "histogram"
+)
+
+// Label is one key="value" pair of a sample.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Sample is one time series of a counter or gauge family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one named metric in a snapshot: a counter or gauge with one or
+// more labeled samples, or a histogram. It is the unit WriteProm encodes.
+type Family struct {
+	Name    string
+	Help    string
+	Type    FamilyType
+	Samples []Sample           // counter and gauge families
+	Hist    *HistogramSnapshot // histogram families
+}
+
+// CounterFamily builds a single-sample counter family.
+func CounterFamily(name, help string, value int64) Family {
+	return Family{Name: name, Help: help, Type: TypeCounter,
+		Samples: []Sample{{Value: float64(value)}}}
+}
+
+// GaugeFamily builds a single-sample gauge family.
+func GaugeFamily(name, help string, value float64) Family {
+	return Family{Name: name, Help: help, Type: TypeGauge,
+		Samples: []Sample{{Value: value}}}
+}
+
+// HistogramFamily builds a histogram family from a snapshot.
+func HistogramFamily(name, help string, s HistogramSnapshot) Family {
+	return Family{Name: name, Help: help, Type: TypeHistogram, Hist: &s}
+}
+
+// WriteProm encodes the families in the Prometheus text exposition format
+// (version 0.0.4): per family a # HELP and # TYPE line followed by its
+// samples; histograms expand to cumulative _bucket series plus _sum and
+// _count.
+func WriteProm(w io.Writer, families []Family) error {
+	for _, f := range families {
+		if f.Name == "" {
+			return fmt.Errorf("obs: family with empty name")
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		if f.Type == TypeHistogram {
+			if f.Hist == nil {
+				return fmt.Errorf("obs: histogram family %s without snapshot", f.Name)
+			}
+			if err := writeHist(w, f.Name, *f.Hist); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range f.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, formatLabels(s.Labels), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, name string, s HistogramSnapshot) error {
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.Le, 1) {
+			le = formatValue(b.Le)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(s.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -11,7 +11,7 @@ type MemStore struct {
 	next      PageID
 	extents   map[PageID]memExtent
 	meta      []byte
-	stats     Stats
+	stats     statsCounters
 	closed    bool
 }
 
@@ -46,7 +46,7 @@ func (s *MemStore) Alloc(blocks int) (PageID, error) {
 	id := s.next
 	s.next += PageID(blocks)
 	s.extents[id] = memExtent{blocks: blocks}
-	s.stats.Allocs++
+	s.stats.allocs.Add(1)
 	return id, nil
 }
 
@@ -67,8 +67,8 @@ func (s *MemStore) Write(id PageID, blocks int, data []byte) error {
 	}
 	e.data = append(e.data[:0], data...)
 	s.extents[id] = e
-	s.stats.Writes++
-	s.stats.BytesWritten += int64(len(data))
+	s.stats.writes.Add(1)
+	s.stats.bytesWritten.Add(int64(len(data)))
 	return nil
 }
 
@@ -81,9 +81,9 @@ func (s *MemStore) Read(id PageID) ([]byte, int, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	s.stats.Reads++
-	s.stats.Hits++
-	s.stats.BytesRead += int64(len(e.data))
+	s.stats.reads.Add(1)
+	s.stats.hits.Add(1)
+	s.stats.bytesRead.Add(int64(len(e.data)))
 	return e.data, e.blocks, nil
 }
 
@@ -100,7 +100,7 @@ func (s *MemStore) Free(id PageID, blocks int) error {
 		return fmt.Errorf("%w: extent %d has %d blocks, got %d", ErrBadExtent, id, e.blocks, blocks)
 	}
 	delete(s.extents, id)
-	s.stats.Frees++
+	s.stats.frees.Add(1)
 	return nil
 }
 
@@ -125,10 +125,10 @@ func (s *MemStore) GetMeta() ([]byte, error) {
 }
 
 // Stats implements Store.
-func (s *MemStore) Stats() Stats { return s.stats }
+func (s *MemStore) Stats() Stats { return s.stats.snapshot() }
 
 // ResetStats implements Store.
-func (s *MemStore) ResetStats() { s.stats = Stats{} }
+func (s *MemStore) ResetStats() { s.stats.reset() }
 
 // Sync implements Store (no-op).
 func (s *MemStore) Sync() error {

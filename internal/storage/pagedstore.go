@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // PagedStore is a file-backed Store with a write-through LRU buffer pool.
@@ -19,7 +20,14 @@ import (
 // The freelist and the user metadata blob are themselves stored as extents
 // and re-written on Sync/Close. Reads served from the buffer pool count as
 // Hits; reads that fault from the file count as Misses.
+//
+// PagedStore is safe for concurrent use. Reads in particular may run
+// concurrently with each other (the DC-tree serves queries under a shared
+// read lock, so several goroutines can fault nodes at once): the pool is
+// consulted and refilled under the store mutex, but the file fault itself
+// runs unlocked on os.File.ReadAt, which is safe for concurrent callers.
 type PagedStore struct {
+	mu          sync.Mutex // guards everything below except stats and f
 	f           *os.File
 	blockSize   int
 	next        PageID
@@ -30,7 +38,7 @@ type PagedStore struct {
 	freeBlk     int
 	pool        *lruPool
 	pendingFree []extentSpan
-	stats       Stats
+	stats       statsCounters
 	closed      bool
 	dirtyHdr    bool
 }
@@ -134,13 +142,19 @@ func (s *PagedStore) BlockSize() int { return s.blockSize }
 
 // Alloc implements Store.
 func (s *PagedStore) Alloc(blocks int) (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocLocked(blocks)
+}
+
+func (s *PagedStore) allocLocked(blocks int) (PageID, error) {
 	if s.closed {
 		return NilPage, ErrClosed
 	}
 	if blocks < 1 {
 		return NilPage, ErrBadExtent
 	}
-	s.stats.Allocs++
+	s.stats.allocs.Add(1)
 	if ids := s.free[blocks]; len(ids) > 0 {
 		id := ids[len(ids)-1]
 		s.free[blocks] = ids[:len(ids)-1]
@@ -154,6 +168,8 @@ func (s *PagedStore) Alloc(blocks int) (PageID, error) {
 
 // Write implements Store.
 func (s *PagedStore) Write(id PageID, blocks int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -163,8 +179,8 @@ func (s *PagedStore) Write(id PageID, blocks int, data []byte) error {
 	if len(data) > ExtentCapacity(s.blockSize, blocks) {
 		return fmt.Errorf("%w: %d bytes into %d blocks of %d", ErrTooLarge, len(data), blocks, s.blockSize)
 	}
-	s.stats.Writes++
-	s.stats.BytesWritten += int64(len(data))
+	s.stats.writes.Add(1)
+	s.stats.bytesWritten.Add(int64(len(data)))
 	return s.writeExtent(id, blocks, data)
 }
 
@@ -180,27 +196,38 @@ func (s *PagedStore) writeExtent(id PageID, blocks int, data []byte) error {
 	return nil
 }
 
-// Read implements Store.
+// Read implements Store. Concurrent Reads are safe and overlap on the file
+// fault: only the pool lookup and refill hold the store mutex.
 func (s *PagedStore) Read(id PageID) ([]byte, int, error) {
-	if s.closed {
-		return nil, 0, ErrClosed
-	}
 	if id == NilPage {
 		return nil, 0, fmt.Errorf("%w: nil page", ErrNotFound)
 	}
-	s.stats.Reads++
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	s.stats.reads.Add(1)
 	if data, blocks, ok := s.pool.get(id); ok {
-		s.stats.Hits++
-		s.stats.BytesRead += int64(len(data))
+		s.mu.Unlock()
+		s.stats.hits.Add(1)
+		s.stats.bytesRead.Add(int64(len(data)))
 		return data, blocks, nil
 	}
-	s.stats.Misses++
+	s.mu.Unlock()
+
+	s.stats.misses.Add(1)
 	data, blocks, err := s.readExtent(id)
 	if err != nil {
 		return nil, 0, err
 	}
-	s.stats.BytesRead += int64(len(data))
-	s.pool.put(id, blocks, data)
+	s.stats.bytesRead.Add(int64(len(data)))
+
+	s.mu.Lock()
+	if !s.closed {
+		s.pool.put(id, blocks, data)
+	}
+	s.mu.Unlock()
 	return data, blocks, nil
 }
 
@@ -224,6 +251,12 @@ func (s *PagedStore) readExtent(id PageID) ([]byte, int, error) {
 
 // Free implements Store.
 func (s *PagedStore) Free(id PageID, blocks int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeLocked(id, blocks)
+}
+
+func (s *PagedStore) freeLocked(id PageID, blocks int) error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -237,7 +270,7 @@ func (s *PagedStore) Free(id PageID, blocks int) error {
 	}
 	s.free[blocks] = append(s.free[blocks], id)
 	s.pool.drop(id)
-	s.stats.Frees++
+	s.stats.frees.Add(1)
 	return nil
 }
 
@@ -246,11 +279,13 @@ func (s *PagedStore) Free(id PageID, blocks int) error {
 // only after the next Sync has durably pointed the header at the new one
 // — so a crash anywhere in between still reopens with the old metadata.
 func (s *PagedStore) SetMeta(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
 	blocks := BlocksFor(s.blockSize, len(data))
-	id, err := s.Alloc(blocks)
+	id, err := s.allocLocked(blocks)
 	if err != nil {
 		return err
 	}
@@ -267,6 +302,8 @@ func (s *PagedStore) SetMeta(data []byte) error {
 
 // GetMeta implements Store.
 func (s *PagedStore) GetMeta() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -278,14 +315,20 @@ func (s *PagedStore) GetMeta() ([]byte, error) {
 }
 
 // Stats implements Store.
-func (s *PagedStore) Stats() Stats { return s.stats }
+func (s *PagedStore) Stats() Stats { return s.stats.snapshot() }
 
 // ResetStats implements Store.
-func (s *PagedStore) ResetStats() { s.stats = Stats{} }
+func (s *PagedStore) ResetStats() { s.stats.reset() }
 
 // Sync implements Store: persists the freelist and header, fsyncs, and
 // only then releases extents whose replacement the header now references.
 func (s *PagedStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *PagedStore) syncLocked() error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -299,7 +342,7 @@ func (s *PagedStore) Sync() error {
 		return err
 	}
 	for _, span := range s.pendingFree {
-		if err := s.Free(span.id, span.blocks); err != nil {
+		if err := s.freeLocked(span.id, span.blocks); err != nil {
 			return err
 		}
 	}
@@ -309,10 +352,12 @@ func (s *PagedStore) Sync() error {
 
 // Close implements Store.
 func (s *PagedStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.Sync(); err != nil {
+	if err := s.syncLocked(); err != nil {
 		s.f.Close()
 		s.closed = true
 		return err

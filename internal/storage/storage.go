@@ -15,7 +15,10 @@
 // structures.
 package storage
 
-import "errors"
+import (
+	"errors"
+	"sync/atomic"
+)
 
 // PageID addresses an extent by its first block. 0 is the nil PageID.
 type PageID uint64
@@ -61,6 +64,42 @@ func (s Stats) Sub(t Stats) Stats {
 		BytesRead:    s.BytesRead - t.BytesRead,
 		BytesWritten: s.BytesWritten - t.BytesWritten,
 	}
+}
+
+// statsCounters is the stores' internal, atomically updated form of Stats:
+// concurrent readers (the DC-tree runs queries under a shared read lock,
+// so several goroutines may fault nodes at once) and metrics snapshots
+// never race with each other or with updates.
+type statsCounters struct {
+	reads, writes, allocs, frees atomic.Int64
+	hits, misses                 atomic.Int64
+	bytesRead, bytesWritten      atomic.Int64
+}
+
+// snapshot materializes the counters as a Stats value.
+func (c *statsCounters) snapshot() Stats {
+	return Stats{
+		Reads:        c.reads.Load(),
+		Writes:       c.writes.Load(),
+		Allocs:       c.allocs.Load(),
+		Frees:        c.frees.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// reset zeroes every counter.
+func (c *statsCounters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
 }
 
 // Store is a block-extent store.
