@@ -14,6 +14,10 @@
 //	-seed int       workload seed (default 1)
 //	-verify         cross-check all systems' answers on every query
 //	-csv            emit CSV instead of aligned tables
+//	-workers-sweep  sweep parallel query worker counts (-sweep-workers,
+//	                default 1,2,4,8) at the smallest size and print
+//	                per-worker-count throughput JSON; the cold variant
+//	                charges -cold-read-latency per node fault
 //
 // Example (the paper's full sweep — takes a while):
 //
@@ -21,11 +25,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/dcindex/dctree/internal/bench"
 )
@@ -39,6 +45,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	skipAblation := flag.Bool("skip-ablation", false, "omit the ablation table from -exp all")
 	metrics := flag.Bool("metrics", false, "run the query workload at the smallest size and dump DC-tree metrics in Prometheus text format")
+	workersSweep := flag.Bool("workers-sweep", false, "sweep parallel query worker counts at the smallest size and print per-worker-count throughput JSON")
+	sweepWorkers := flag.String("sweep-workers", "1,2,4,8", "comma-separated worker counts for -workers-sweep")
+	coldLatency := flag.Duration("cold-read-latency", 100*time.Microsecond, "per-node-fault read latency charged by the cold variant of -workers-sweep")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -60,6 +69,28 @@ func main() {
 
 	if *metrics {
 		if err := bench.MetricsDump(opt, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *workersSweep {
+		var workers []int
+		for _, part := range strings.Split(*sweepWorkers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w <= 0 {
+				fmt.Fprintf(os.Stderr, "dcbench: bad worker count %q\n", part)
+				os.Exit(2)
+			}
+			workers = append(workers, w)
+		}
+		res, err := bench.WorkersSweep(opt, workers, *coldLatency)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
 			fatal(err)
 		}
 		return

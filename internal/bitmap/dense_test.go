@@ -1,0 +1,51 @@
+package bitmap
+
+import "testing"
+
+func TestDenseSetGet(t *testing.T) {
+	d := NewDense(200)
+	if len(d) != DenseWords(200) {
+		t.Fatalf("words = %d, want %d", len(d), DenseWords(200))
+	}
+	codes := []uint32{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, c := range codes {
+		d.Set(c)
+	}
+	for _, c := range codes {
+		if !d.Get(c) {
+			t.Errorf("Get(%d) = false after Set", c)
+		}
+	}
+	for _, c := range []uint32{2, 62, 66, 126, 129, 198} {
+		if d.Get(c) {
+			t.Errorf("Get(%d) = true, never set", c)
+		}
+	}
+	if got := d.Count(); got != len(codes) {
+		t.Errorf("Count = %d, want %d", got, len(codes))
+	}
+	// Codes beyond the backing words read as absent (concurrent inserts may
+	// register values after a query snapshot was taken).
+	if d.Get(4096) {
+		t.Error("out-of-range Get = true")
+	}
+	d.Clear()
+	if d.Count() != 0 {
+		t.Errorf("Count after Clear = %d", d.Count())
+	}
+	for _, c := range codes {
+		if d.Get(c) {
+			t.Errorf("Get(%d) = true after Clear", c)
+		}
+	}
+}
+
+func TestDenseZeroLength(t *testing.T) {
+	var d Dense
+	if d.Get(0) || d.Count() != 0 {
+		t.Error("zero-length Dense is not empty")
+	}
+	if DenseWords(0) != 0 || DenseWords(1) != 1 || DenseWords(64) != 1 || DenseWords(65) != 2 {
+		t.Error("DenseWords boundaries wrong")
+	}
+}

@@ -125,6 +125,10 @@ func (t *Tree) execute(ctx context.Context, req QueryRequest) (QueryResult, erro
 	if err != nil {
 		return res, err
 	}
+	// The context and its mask arenas go back to the pool once the descent
+	// is done; executeParallel joins every worker before returning, so no
+	// goroutine holds qc past this function.
+	defer t.putQueryCtx(qc)
 	if req.Parallel > 0 {
 		return t.executeParallel(ctx, qc, req)
 	}

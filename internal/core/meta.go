@@ -169,8 +169,7 @@ func Open(store storage.Store) (*Tree, error) {
 		count:   count,
 		nextID:  nextID,
 		table:   table,
-		cache:   make(map[nodeID]*node),
-		dirty:   make(map[nodeID]bool),
+		nc:      newNodeCache(),
 	}
 	if _, ok := t.table[root]; !ok {
 		return nil, fmt.Errorf("%w: root node %d missing from table", ErrCorrupt, root)

@@ -40,6 +40,16 @@ type treeMetrics struct {
 	qEntriesPruned    obs.Counter
 	qMaterializedHits obs.Counter
 	qRecordsMatched   obs.Counter
+
+	// Read-path concurrency instrumentation: sharded node cache, pooled
+	// query-mask arenas, and the work-stealing parallel descent.
+	cacheHits         obs.Counter
+	cacheMisses       obs.Counter
+	cacheFaultsShared obs.Counter
+	maskPoolHits      obs.Counter
+	maskPoolMisses    obs.Counter
+	stealSpawned      obs.Counter
+	stealStolen       obs.Counter
 }
 
 // Metrics is a point-in-time snapshot of a tree's operational counters,
@@ -73,6 +83,27 @@ type Metrics struct {
 	QueryEntriesPruned    int64
 	QueryMaterializedHits int64
 	QueryRecordsMatched   int64
+
+	// Sharded node cache: hits resolved under a shard read lock, misses
+	// faulted from the store, and misses that piggybacked on another
+	// goroutine's in-flight decode (singleflight). CacheHitRatio is
+	// CacheHits / (CacheHits + CacheMisses); 0 before any access.
+	CacheHits         int64
+	CacheMisses       int64
+	CacheFaultsShared int64
+	CacheHitRatio     float64
+
+	// Query-mask arena pool: queries whose queryCtx was recycled from the
+	// pool vs. freshly allocated. MaskPoolHitRatio is hits per query.
+	MaskPoolHits     int64
+	MaskPoolMisses   int64
+	MaskPoolHitRatio float64
+
+	// Work-stealing parallel descent: subtree tasks pushed back onto the
+	// shared queue (beyond the root seed) and tasks taken by a worker other
+	// than the one that pushed them.
+	ParallelTasksSpawned int64
+	ParallelTasksStolen  int64
 
 	// MaterializedHitRatio is QueryMaterializedHits / QueryEntriesScanned:
 	// the fraction of examined entries answered from a materialized
@@ -122,6 +153,16 @@ func (t *Tree) Metrics() Metrics {
 		QueryMaterializedHits: m.qMaterializedHits.Load(),
 		QueryRecordsMatched:   m.qRecordsMatched.Load(),
 
+		CacheHits:         m.cacheHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		CacheFaultsShared: m.cacheFaultsShared.Load(),
+
+		MaskPoolHits:   m.maskPoolHits.Load(),
+		MaskPoolMisses: m.maskPoolMisses.Load(),
+
+		ParallelTasksSpawned: m.stealSpawned.Load(),
+		ParallelTasksStolen:  m.stealStolen.Load(),
+
 		InsertLatency: m.insertLatency.Snapshot(),
 		QueryLatency:  m.queryLatency.Snapshot(),
 
@@ -137,6 +178,12 @@ func (t *Tree) Metrics() Metrics {
 	}
 	if probes := s.Store.Hits + s.Store.Misses; probes > 0 {
 		s.StoreHitRatio = float64(s.Store.Hits) / float64(probes)
+	}
+	if probes := s.CacheHits + s.CacheMisses; probes > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(probes)
+	}
+	if probes := s.MaskPoolHits + s.MaskPoolMisses; probes > 0 {
+		s.MaskPoolHitRatio = float64(s.MaskPoolHits) / float64(probes)
 	}
 	return s
 }
@@ -173,6 +220,15 @@ func (m Metrics) Families() []obs.Family {
 		obs.CounterFamily("dctree_query_entries_pruned_total", "Directory entries pruned without overlap.", m.QueryEntriesPruned),
 		obs.CounterFamily("dctree_query_materialized_hits_total", "Directory entries answered from materialized aggregates.", m.QueryMaterializedHits),
 		obs.CounterFamily("dctree_query_records_matched_total", "Data records individually matched by range queries.", m.QueryRecordsMatched),
+		obs.CounterFamily("dctree_node_cache_hits_total", "Node reads served by the sharded in-memory cache.", m.CacheHits),
+		obs.CounterFamily("dctree_node_cache_misses_total", "Node reads faulted from the store.", m.CacheMisses),
+		obs.CounterFamily("dctree_node_cache_shared_faults_total", "Cache misses that piggybacked on another goroutine's in-flight decode.", m.CacheFaultsShared),
+		obs.GaugeFamily("dctree_node_cache_hit_ratio", "Sharded node cache hits per access.", m.CacheHitRatio),
+		obs.CounterFamily("dctree_mask_pool_hits_total", "Queries whose membership-mask arena was recycled from the pool.", m.MaskPoolHits),
+		obs.CounterFamily("dctree_mask_pool_misses_total", "Queries that allocated a fresh membership-mask arena.", m.MaskPoolMisses),
+		obs.GaugeFamily("dctree_mask_pool_hit_ratio", "Mask-arena pool hits per query.", m.MaskPoolHitRatio),
+		obs.CounterFamily("dctree_parallel_tasks_spawned_total", "Subtree tasks pushed onto the shared work-stealing queue.", m.ParallelTasksSpawned),
+		obs.CounterFamily("dctree_parallel_tasks_stolen_total", "Subtree tasks executed by a worker other than the one that pushed them.", m.ParallelTasksStolen),
 		obs.GaugeFamily("dctree_materialized_hit_ratio", "Materialized hits per entry scanned.", m.MaterializedHitRatio),
 		obs.GaugeFamily("dctree_pruned_entry_ratio", "Pruned entries per entry scanned.", m.PrunedEntryRatio),
 		obs.HistogramFamily("dctree_insert_duration_seconds", "Single-record insert latency.", m.InsertLatency),

@@ -1,0 +1,182 @@
+package core
+
+import "sync"
+
+// The node cache is sharded so that concurrent query workers resolving
+// cache hits never contend on a single lock: a hit takes only one shard
+// RLock, which scales with cores. 2^cacheShardBits shards keep the modulo a
+// mask; 16 shards comfortably exceed the worker counts the parallel descent
+// runs at while keeping the per-tree footprint trivial. Node IDs are
+// sequential, so they are spread over shards with a Fibonacci multiplicative
+// hash rather than by their low bits.
+const (
+	cacheShardBits = 4
+	cacheShards    = 1 << cacheShardBits
+)
+
+// cacheShard is one lock domain of the node cache. nodes holds the resident
+// nodes, dirty the IDs awaiting the next Flush, and inflight the
+// singleflight table: at most one goroutine faults a given node from the
+// store while every concurrent requester waits on its done channel instead
+// of decoding the same extent again.
+type cacheShard struct {
+	mu       sync.RWMutex
+	nodes    map[nodeID]*node
+	dirty    map[nodeID]bool
+	inflight map[nodeID]*nodeFault
+}
+
+// nodeFault is one in-progress fault; n and err are published before done
+// is closed.
+type nodeFault struct {
+	done chan struct{}
+	n    *node
+	err  error
+}
+
+// nodeCache is the tree's sharded in-memory node cache.
+type nodeCache struct {
+	shards [cacheShards]cacheShard
+}
+
+func newNodeCache() *nodeCache {
+	c := &nodeCache{}
+	for i := range c.shards {
+		c.shards[i].nodes = make(map[nodeID]*node)
+		c.shards[i].dirty = make(map[nodeID]bool)
+	}
+	return c
+}
+
+// shard maps a node ID to its shard.
+func (c *nodeCache) shard(id nodeID) *cacheShard {
+	return &c.shards[(uint64(id)*0x9E3779B97F4A7C15)>>(64-cacheShardBits)]
+}
+
+// get returns the cached node or nil, taking only the shard read lock.
+func (c *nodeCache) get(id nodeID) *node {
+	sh := c.shard(id)
+	sh.mu.RLock()
+	n := sh.nodes[id]
+	sh.mu.RUnlock()
+	return n
+}
+
+// putNew inserts a freshly allocated node and marks it dirty.
+func (c *nodeCache) putNew(n *node) {
+	sh := c.shard(n.id)
+	sh.mu.Lock()
+	sh.nodes[n.id] = n
+	sh.dirty[n.id] = true
+	sh.mu.Unlock()
+}
+
+// markDirty flags a node for the next Flush.
+func (c *nodeCache) markDirty(id nodeID) {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	sh.dirty[id] = true
+	sh.mu.Unlock()
+}
+
+// drop removes a node and its dirty flag.
+func (c *nodeCache) drop(id nodeID) {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	delete(sh.nodes, id)
+	delete(sh.dirty, id)
+	sh.mu.Unlock()
+}
+
+// dirtyIDs snapshots the IDs currently flagged dirty.
+func (c *nodeCache) dirtyIDs() []nodeID {
+	var ids []nodeID
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for id := range sh.dirty {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return ids
+}
+
+// clearDirty removes the dirty flags of flushed nodes.
+func (c *nodeCache) clearDirty(ids []nodeID) {
+	for _, id := range ids {
+		sh := c.shard(id)
+		sh.mu.Lock()
+		delete(sh.dirty, id)
+		sh.mu.Unlock()
+	}
+}
+
+// evictClean drops every node that is not dirty. Dirty nodes carry
+// un-persisted state, so they stay resident until the next Flush.
+func (c *nodeCache) evictClean() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for id := range sh.nodes {
+			if !sh.dirty[id] {
+				delete(sh.nodes, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// len reports the number of resident nodes.
+func (c *nodeCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.nodes)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// fault resolves a cache miss with singleflight semantics: the first
+// requester loads and decodes the extent, every concurrent requester for the
+// same node blocks on the leader's done channel and shares the result.
+// load runs without any shard lock held. shared reports whether this call
+// piggybacked on another goroutine's load.
+func (c *nodeCache) fault(id nodeID, load func() (*node, error)) (n *node, shared bool, err error) {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if n := sh.nodes[id]; n != nil {
+		sh.mu.Unlock()
+		return n, true, nil
+	}
+	if f := sh.inflight[id]; f != nil {
+		sh.mu.Unlock()
+		<-f.done
+		return f.n, true, f.err
+	}
+	f := &nodeFault{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = make(map[nodeID]*nodeFault)
+	}
+	sh.inflight[id] = f
+	sh.mu.Unlock()
+
+	n, err = load()
+	sh.mu.Lock()
+	delete(sh.inflight, id)
+	if err == nil {
+		// A writer may have installed (or re-created) the node meanwhile;
+		// keep the resident copy.
+		if prev := sh.nodes[id]; prev != nil {
+			n = prev
+		} else {
+			sh.nodes[id] = n
+		}
+	}
+	sh.mu.Unlock()
+	f.n, f.err = n, err
+	close(f.done)
+	return n, false, err
+}

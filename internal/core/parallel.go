@@ -7,18 +7,117 @@ import (
 	"github.com/dcindex/dctree/internal/cube"
 )
 
-// executeParallel runs one range query over a worker pool: the subtrees of
-// the shallowest directory levels are fanned out across goroutines and
-// their partial aggregates merged. Queries only read the tree (inserts are
-// excluded by the tree lock for the duration), so the descent parallelizes
-// embarrassingly; this helps the large low-selectivity queries whose cost
-// is dominated by leaf scans.
+// The parallel descent is morsel-style work stealing: one shared queue of
+// subtree tasks, seeded with the root. Each worker drains a task depth-first
+// over a private stack, but whenever it uncovers a partially-overlapping
+// child while the queue is hungry (an idle worker, or fewer queued tasks
+// than workers) it pushes the child onto the queue instead — so a skewed
+// supernode subtree is split up and redistributed on the fly rather than
+// pinning the whole pool behind one straggler, and every other worker keeps
+// locality by staying on its own stack while the queue is primed.
+//
+// Queries only read the tree (inserts are excluded by the tree lock for the
+// duration), so no task ever touches shared mutable state: workers hold a
+// private aggregate and descent, merged once at the end.
+
+// stealTask is one subtree handed through the shared queue. origin is the
+// worker index that pushed it (-1 for the root seed), which lets the queue
+// count cross-worker steals.
+type stealTask struct {
+	id     nodeID
+	origin int
+}
+
+// stealQueue is the shared LIFO work queue. pending counts queued plus
+// in-flight tasks; the descent is complete when it reaches zero.
+type stealQueue struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	tasks   []stealTask
+	pending int
+	waiting int
+	workers int
+	aborted bool
+	spawned int64 // tasks pushed beyond the root seed
+	stolen  int64 // tasks popped by a worker other than their pusher
+}
+
+func newStealQueue(workers int, seed nodeID) *stealQueue {
+	q := &stealQueue{
+		workers: workers,
+		pending: 1,
+		tasks:   []stealTask{{id: seed, origin: -1}},
+	}
+	q.cond.L = &q.mu
+	return q
+}
+
+// pop blocks until a task is available, the descent completes, or an abort.
+func (q *stealQueue) pop(w int) (nodeID, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.aborted || q.pending == 0 {
+			return nilNode, false
+		}
+		if n := len(q.tasks); n > 0 {
+			tk := q.tasks[n-1]
+			q.tasks = q.tasks[:n-1]
+			if tk.origin >= 0 && tk.origin != w {
+				q.stolen++
+			}
+			return tk.id, true
+		}
+		q.waiting++
+		q.cond.Wait()
+		q.waiting--
+	}
+}
+
+// trySpawn offers a subtree to the queue. It accepts only while the queue
+// is hungry; otherwise the caller keeps the subtree on its local stack and
+// avoids the shared-queue round trip.
+func (q *stealQueue) trySpawn(id nodeID, w int) bool {
+	q.mu.Lock()
+	if q.aborted || (q.waiting == 0 && len(q.tasks) >= q.workers) {
+		q.mu.Unlock()
+		return false
+	}
+	q.tasks = append(q.tasks, stealTask{id: id, origin: w})
+	q.pending++
+	q.spawned++
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// done retires one popped task; the last retirement releases every waiter.
+func (q *stealQueue) done() {
+	q.mu.Lock()
+	q.pending--
+	finished := q.pending == 0
+	q.mu.Unlock()
+	if finished {
+		q.cond.Broadcast()
+	}
+}
+
+// abort makes further pops fail and wakes every waiter. Workers already
+// inside a task notice through their own error or context poll.
+func (q *stealQueue) abort() {
+	q.mu.Lock()
+	q.aborted = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// executeParallel runs one range query over a work-stealing worker pool.
 //
 // Every worker runs its own descent over the shared query context, so
-// cancellation is polled per worker and each worker's QueryStats are
-// merged into the result — the parallel path reports the same work
-// counters as the serial one (the pruning decisions are identical; only
-// the traversal order differs).
+// cancellation is polled per worker and each worker's QueryStats are merged
+// into the result — the parallel path reports exactly the serial path's
+// work counters (every overlapping node is visited once; only the traversal
+// order differs).
 //
 // Called from Execute with the tree read lock held and req.Parallel ≥ 1.
 func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryRequest) (QueryResult, error) {
@@ -29,142 +128,127 @@ func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryReque
 		vec = cube.NewAggVector(measures)
 	}
 
-	// Collect the frontier: the roots of independent subtrees to fan out,
-	// answering or pruning what can be decided on the way. The frontier is
-	// grown breadth-first until it has enough tasks to occupy the workers.
-	// The expansion itself is accounted on d0, the coordinator's descent.
-	d0 := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
-	type task struct{ id nodeID }
-	frontier := []task{{id: t.root}}
-	for len(frontier) < req.Parallel*4 {
-		next := make([]task, 0, len(frontier)*8)
-		expanded := false
-		for _, tk := range frontier {
-			n, err := t.getNode(tk.id)
-			if err != nil {
-				res.Stats = d0.st
-				return res, err
-			}
-			if n.leaf {
-				// Leaves at the frontier are cheap: answer inline.
-				var err error
-				if req.AllMeasures {
-					err = t.queryNodeAll(tk.id, d0, vec)
-				} else {
-					err = t.queryNode(tk.id, d0, req.Measure, &res.Agg)
-				}
-				if err != nil {
-					res.Agg = cube.Agg{}
-					res.Stats = d0.st
-					return res, err
-				}
-				continue
-			}
-			expanded = true
-			if err := d0.visit(); err != nil {
-				res.Stats = d0.st
-				return res, err
-			}
-			for i := range n.entries {
-				e := &n.entries[i]
-				d0.st.EntriesScanned++
-				overlaps, contained, err := qc.matchEntry(t, e.MDS)
-				if err != nil {
-					res.Stats = d0.st
-					return res, err
-				}
-				if !overlaps {
-					d0.st.EntriesPruned++
-					continue
-				}
-				if t.cfg.Materialize && contained {
-					if req.AllMeasures {
-						vec.Merge(e.Agg)
-					} else {
-						res.Agg.Merge(e.Agg[req.Measure])
-					}
-					d0.st.MaterializedHits++
-					continue
-				}
-				next = append(next, task{id: e.Child})
-			}
-		}
-		frontier = next
-		if !expanded || len(frontier) == 0 {
-			break
-		}
-	}
-	if len(frontier) == 0 {
-		if req.AllMeasures {
-			res.AggVector = vec
-		}
-		res.Stats = d0.st
-		return res, nil
-	}
-
-	// Fan the frontier out over the workers. Each worker accumulates a
-	// private aggregate and descent; both are merged under mu at the end,
-	// so no shared state is touched on the hot path.
+	q := newStealQueue(req.Parallel, t.root)
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		workErr error
+		st      QueryStats
 	)
-	tasks := make(chan task)
 	for w := 0; w < req.Parallel; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			d := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
 			var local cube.Agg
 			var localVec cube.AggVector
 			if req.AllMeasures {
 				localVec = cube.NewAggVector(measures)
 			}
-			d := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
-			fail := func(err error) {
-				mu.Lock()
-				if workErr == nil {
-					workErr = err
-				}
-				d0.st.add(d.st)
-				mu.Unlock()
-				// Drain remaining tasks so the sender never blocks.
-				for range tasks {
-				}
-			}
-			for tk := range tasks {
-				var err error
-				if req.AllMeasures {
-					err = t.queryNodeAll(tk.id, d, localVec)
-				} else {
-					err = t.queryNode(tk.id, d, req.Measure, &local)
-				}
-				if err != nil {
-					fail(err)
-					return
-				}
+			err := t.stealWorker(w, q, d, req, &local, localVec)
+			if err != nil {
+				q.abort()
 			}
 			mu.Lock()
+			if err != nil && workErr == nil {
+				workErr = err
+			}
+			st.add(d.st)
 			if req.AllMeasures {
 				vec.Merge(localVec)
 			} else {
 				res.Agg.Merge(local)
 			}
-			d0.st.add(d.st)
 			mu.Unlock()
-		}()
+		}(w)
 	}
-	for _, tk := range frontier {
-		tasks <- tk
-	}
-	close(tasks)
 	wg.Wait()
-	res.Stats = d0.st
+	t.metrics.stealSpawned.Add(q.spawned)
+	t.metrics.stealStolen.Add(q.stolen)
+	res.Stats = st
 	if workErr != nil {
-		return QueryResult{Stats: d0.st}, workErr
+		return QueryResult{Stats: st}, workErr
 	}
 	if req.AllMeasures {
 		res.AggVector = vec
 	}
 	return res, nil
+}
+
+// stealWorker pops subtree tasks until the descent completes or aborts.
+func (t *Tree) stealWorker(w int, q *stealQueue, d *descent, req QueryRequest, agg *cube.Agg, vec cube.AggVector) error {
+	var stack []nodeID
+	for {
+		id, ok := q.pop(w)
+		if !ok {
+			return nil
+		}
+		err := t.stealDescend(id, w, q, d, req, agg, vec, &stack)
+		q.done()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// stealDescend drains one subtree with an explicit stack, answering or
+// pruning what can be decided per entry and offering partially-overlapping
+// children to the shared queue while it is hungry. The stack's backing
+// array is reused across tasks.
+func (t *Tree) stealDescend(root nodeID, w int, q *stealQueue, d *descent, req QueryRequest, agg *cube.Agg, vec cube.AggVector, stack *[]nodeID) error {
+	s := (*stack)[:0]
+	defer func() { *stack = s }()
+	s = append(s, root)
+	for len(s) > 0 {
+		id := s[len(s)-1]
+		s = s[:len(s)-1]
+		n, err := t.getNode(id)
+		if err != nil {
+			return err
+		}
+		if err := d.visit(); err != nil {
+			return err
+		}
+		if n.leaf {
+			for i := range n.entries {
+				e := &n.entries[i]
+				d.st.EntriesScanned++
+				if d.qc.recordInRange(e.Rec.Coords) {
+					if req.AllMeasures {
+						vec.AddRecord(e.Rec.Measures)
+					} else {
+						agg.Add(e.Rec.Measures[req.Measure])
+					}
+					d.st.RecordsMatched++
+				}
+			}
+			continue
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			d.st.EntriesScanned++
+			overlaps, contained, err := d.qc.matchEntry(t, e.MDS)
+			if err != nil {
+				return err
+			}
+			if !overlaps {
+				d.st.EntriesPruned++
+				continue
+			}
+			if t.cfg.Materialize && contained {
+				if req.AllMeasures {
+					vec.Merge(e.Agg)
+				} else {
+					agg.Merge(e.Agg[req.Measure])
+				}
+				d.st.MaterializedHits++
+				continue
+			}
+			if q.trySpawn(e.Child, w) {
+				continue
+			}
+			s = append(s, e.Child)
+		}
+	}
+	return nil
 }

@@ -1,72 +1,144 @@
 package core
 
 import (
+	"github.com/dcindex/dctree/internal/bitmap"
 	"github.com/dcindex/dctree/internal/hierarchy"
 	"github.com/dcindex/dctree/internal/mds"
 )
 
 // queryCtx precomputes, per constrained dimension, a membership mask for
-// every hierarchy level at or below the query's level: mask[L][c] reports
+// every hierarchy level at or below the query's level: masks[d][L] reports
 // whether the value MakeID(L, c) lies under some query value. Masks are
-// built once per query by propagating the query's value set down the
-// dense father tables; afterwards every membership test on the descent —
-// per directory-entry value and per data record — is a single indexed
-// load instead of an ancestor walk plus binary search.
+// built once per query by propagating the query's value set down the dense
+// father tables; afterwards every membership test on the descent — per
+// directory-entry value and per data record — is a single word load.
+//
+// The masks are word-packed bitmap.Dense bitsets (8× denser than the []bool
+// they replace) carved out of two arenas owned by the queryCtx, and whole
+// queryCtx values are recycled through the tree's qcPool: a steady-state
+// query builds its masks without allocating. Execute releases the context
+// back to the pool after the descent — no goroutine may retain it past the
+// query (parallel workers are joined before release).
 type queryCtx struct {
 	q mds.MDS
 	// masks[d] is nil for unconstrained (ALL) dimensions; otherwise
 	// masks[d][L] is non-nil for 0 ≤ L ≤ q[d].Level.
-	masks [][][]bool
+	masks [][]bitmap.Dense
+	// slab is the word arena backing every mask; lvlSlab the arena backing
+	// the per-dimension level slices. Both grow to the largest query seen
+	// and are reused verbatim afterwards.
+	slab    []uint64
+	lvlSlab []bitmap.Dense
 }
 
 func (t *Tree) newQueryCtx(q mds.MDS) (*queryCtx, error) {
 	space := t.space()
-	ctx := &queryCtx{q: q, masks: make([][][]bool, len(q))}
+	qc, _ := t.qcPool.Get().(*queryCtx)
+	if qc == nil {
+		qc = &queryCtx{}
+		t.metrics.maskPoolMisses.Inc()
+	} else {
+		t.metrics.maskPoolHits.Inc()
+	}
+	qc.q = q
+	if cap(qc.masks) < len(q) {
+		qc.masks = make([][]bitmap.Dense, len(q))
+	} else {
+		qc.masks = qc.masks[:len(q)]
+	}
+
+	// First pass: size the arenas. CountAt is a dictionary lookup, so the
+	// extra pass costs nothing next to allocating per-level masks would.
+	totalWords, totalLevels := 0, 0
+	for d, h := range space {
+		lq := q[d].Level
+		if lq == hierarchy.LevelALL {
+			qc.masks[d] = nil
+			continue
+		}
+		totalLevels += lq + 1
+		for l := 0; l <= lq; l++ {
+			count, err := h.CountAt(l)
+			if err != nil {
+				t.putQueryCtx(qc)
+				return nil, err
+			}
+			totalWords += bitmap.DenseWords(count)
+		}
+	}
+	if cap(qc.slab) < totalWords {
+		qc.slab = make([]uint64, totalWords)
+	} else {
+		qc.slab = qc.slab[:totalWords]
+		clear(qc.slab)
+	}
+	if cap(qc.lvlSlab) < totalLevels {
+		qc.lvlSlab = make([]bitmap.Dense, totalLevels)
+	} else {
+		qc.lvlSlab = qc.lvlSlab[:totalLevels]
+	}
+
+	// Second pass: carve the masks and propagate the query's value set
+	// down the father tables.
+	wOff, lOff := 0, 0
 	for d, h := range space {
 		lq := q[d].Level
 		if lq == hierarchy.LevelALL {
 			continue
 		}
-		levels := make([][]bool, lq+1)
-		count, err := h.CountAt(lq)
-		if err != nil {
-			return nil, err
+		levels := qc.lvlSlab[lOff : lOff+lq+1 : lOff+lq+1]
+		lOff += lq + 1
+		for l := 0; l <= lq; l++ {
+			count, err := h.CountAt(l)
+			if err != nil {
+				t.putQueryCtx(qc)
+				return nil, err
+			}
+			w := bitmap.DenseWords(count)
+			levels[l] = bitmap.Dense(qc.slab[wOff : wOff+w : wOff+w])
+			wOff += w
 		}
-		top := make([]bool, count)
+		top := levels[lq]
 		for _, id := range q[d].IDs {
-			top[id.Code()] = true
+			top.Set(id.Code())
 		}
-		levels[lq] = top
 		for l := lq - 1; l >= 0; l-- {
 			parents, err := h.ParentTable(l)
 			if err != nil {
+				t.putQueryCtx(qc)
 				return nil, err
 			}
-			m := make([]bool, len(parents))
-			up := levels[l+1]
+			m, up := levels[l], levels[l+1]
 			for c, p := range parents {
-				m[c] = up[p.Code()]
+				if up.Get(p.Code()) {
+					m.Set(uint32(c))
+				}
 			}
-			levels[l] = m
 		}
-		ctx.masks[d] = levels
+		qc.masks[d] = levels
 	}
-	return ctx, nil
+	return qc, nil
+}
+
+// putQueryCtx returns a query context's arenas to the pool. The caller must
+// guarantee no descent still references it.
+func (t *Tree) putQueryCtx(qc *queryCtx) {
+	qc.q = nil // do not retain the caller's query MDS
+	t.qcPool.Put(qc)
 }
 
 // recordInRange reports whether a data record lies inside the query range:
-// one mask load per constrained dimension.
+// one mask word load per constrained dimension.
 func (ctx *queryCtx) recordInRange(coords []hierarchy.ID) bool {
 	for d, levels := range ctx.masks {
 		if levels == nil {
 			continue
 		}
-		c := coords[d]
 		// Records may carry values registered after the query context was
-		// built (concurrent inserts between queries); treat unknown codes
-		// as outside the range, consistent with the query's snapshot.
-		m := levels[0]
-		if int(c.Code()) >= len(m) || !m[c.Code()] {
+		// built (concurrent inserts between queries); Dense.Get treats
+		// codes beyond the mask as outside the range, consistent with the
+		// query's snapshot.
+		if !levels[0].Get(coords[d].Code()) {
 			return false
 		}
 	}
@@ -99,12 +171,12 @@ func (ctx *queryCtx) matchEntry(t *Tree, m mds.MDS) (overlaps, contained bool, e
 			contained = false
 			continue
 		}
-		// Entry at or below the query level: single mask per value.
+		// Entry at or below the query level: single mask word per value.
 		mask := levels[e.Level]
 		dimOverlap := false
 		dimContained := true
 		for _, v := range e.IDs {
-			if int(v.Code()) < len(mask) && mask[v.Code()] {
+			if mask.Get(v.Code()) {
 				dimOverlap = true
 			} else {
 				dimContained = false

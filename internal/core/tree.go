@@ -45,9 +45,13 @@ type Tree struct {
 	// released only after the next durable metadata swap (shadow paging).
 	pendingFree []extentRef
 
-	cacheMu sync.Mutex
-	cache   map[nodeID]*node
-	dirty   map[nodeID]bool
+	// nc is the sharded node cache: hits on the concurrent read path take
+	// one shard RLock, misses decode once per node via singleflight.
+	nc *nodeCache
+
+	// qcPool recycles queryCtx mask arenas so steady-state queries build
+	// their membership masks without allocating.
+	qcPool sync.Pool
 
 	// metrics is the always-on observability instrumentation (atomic-only
 	// on hot paths); slowHook optionally records queries over a latency
@@ -74,8 +78,7 @@ func New(store storage.Store, schema *cube.Schema, cfg Config) (*Tree, error) {
 		height:  1,
 		nextID:  1,
 		table:   make(map[nodeID]extentRef),
-		cache:   make(map[nodeID]*node),
-		dirty:   make(map[nodeID]bool),
+		nc:      newNodeCache(),
 	}
 	root := t.newNode(true)
 	t.root = root.id
@@ -118,22 +121,28 @@ func (t *Tree) newNode(leaf bool) *node {
 	id := t.nextID
 	t.nextID++
 	n := &node{id: id, leaf: leaf, blocks: 1}
-	t.cacheMu.Lock()
-	t.cache[id] = n
-	t.dirty[id] = true
-	t.cacheMu.Unlock()
+	t.nc.putNew(n)
 	return n
 }
 
-// getNode returns a node, faulting it from the store if necessary.
+// getNode returns a node, faulting it from the store if necessary. Hits
+// take only a shard read lock; concurrent misses on the same node decode
+// its extent once (singleflight) and share the result.
 func (t *Tree) getNode(id nodeID) (*node, error) {
-	t.cacheMu.Lock()
-	if n, ok := t.cache[id]; ok {
-		t.cacheMu.Unlock()
+	if n := t.nc.get(id); n != nil {
+		t.metrics.cacheHits.Inc()
 		return n, nil
 	}
-	t.cacheMu.Unlock()
+	t.metrics.cacheMisses.Inc()
+	n, shared, err := t.nc.fault(id, func() (*node, error) { return t.loadNode(id) })
+	if shared {
+		t.metrics.cacheFaultsShared.Inc()
+	}
+	return n, err
+}
 
+// loadNode reads and decodes a node's extent from the store.
+func (t *Tree) loadNode(id nodeID) (*node, error) {
 	ref, ok := t.table[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: node %d has no extent", ErrCorrupt, id)
@@ -142,26 +151,12 @@ func (t *Tree) getNode(id nodeID) (*node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dctree: reading node %d: %w", id, err)
 	}
-	n, err := decodeNode(id, payload, t.schema.Dims(), t.schema.Measures())
-	if err != nil {
-		return nil, err
-	}
-	t.cacheMu.Lock()
-	// Another goroutine may have faulted it concurrently; keep the first.
-	if prev, ok := t.cache[id]; ok {
-		n = prev
-	} else {
-		t.cache[id] = n
-	}
-	t.cacheMu.Unlock()
-	return n, nil
+	return decodeNode(id, payload, t.schema.Dims(), t.schema.Measures())
 }
 
 // markDirty flags a node for the next Flush.
 func (t *Tree) markDirty(n *node) {
-	t.cacheMu.Lock()
-	t.dirty[n.id] = true
-	t.cacheMu.Unlock()
+	t.nc.markDirty(n.id)
 }
 
 // dropNode removes a node from the cache and schedules its extent (if
@@ -170,10 +165,7 @@ func (t *Tree) markDirty(n *node) {
 // the persisted metadata still references if the process dies before the
 // next Flush.
 func (t *Tree) dropNode(id nodeID) error {
-	t.cacheMu.Lock()
-	delete(t.cache, id)
-	delete(t.dirty, id)
-	t.cacheMu.Unlock()
+	t.nc.drop(id)
 	if ref, ok := t.table[id]; ok {
 		delete(t.table, id)
 		t.pendingFree = append(t.pendingFree, ref)
@@ -196,19 +188,12 @@ func (t *Tree) Flush() error {
 // therefore leaves the previously persisted tree fully intact — the old
 // metadata still references only untouched extents.
 func (t *Tree) flushLocked() error {
-	t.cacheMu.Lock()
-	ids := make([]nodeID, 0, len(t.dirty))
-	for id := range t.dirty {
-		ids = append(ids, id)
-	}
-	t.cacheMu.Unlock()
+	ids := t.nc.dirtyIDs()
 
 	var superseded []extentRef
 	written := make([]nodeID, 0, len(ids))
 	for _, id := range ids {
-		t.cacheMu.Lock()
-		n := t.cache[id]
-		t.cacheMu.Unlock()
+		n := t.nc.get(id)
 		if n == nil {
 			// Dirty but evicted/dropped: nothing to write.
 			continue
@@ -252,34 +237,24 @@ func (t *Tree) flushLocked() error {
 			return err
 		}
 	}
-	t.cacheMu.Lock()
-	for _, id := range written {
-		delete(t.dirty, id)
-	}
-	t.cacheMu.Unlock()
+	t.nc.clearDirty(written)
 	return nil
 }
 
 // EvictCache drops all clean nodes from the in-memory cache; subsequent
-// accesses fault them back from the store. Used by tests and by benchmarks
-// that measure cold-cache I/O.
+// accesses fault them back from the store. Dirty nodes are kept: their
+// in-memory state has not been persisted yet, so evicting them would lose
+// every mutation since the last Flush. Used by tests and by benchmarks that
+// measure cold-cache I/O.
 func (t *Tree) EvictCache() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.cacheMu.Lock()
-	defer t.cacheMu.Unlock()
-	for id := range t.cache {
-		if !t.dirty[id] {
-			delete(t.cache, id)
-		}
-	}
+	t.nc.evictClean()
 }
 
 // CachedNodes reports how many nodes are resident in the cache.
 func (t *Tree) CachedNodes() int {
-	t.cacheMu.Lock()
-	defer t.cacheMu.Unlock()
-	return len(t.cache)
+	return t.nc.len()
 }
 
 // Store exposes the underlying store (for I/O statistics in experiments).
