@@ -18,6 +18,9 @@
 //	                default 1,2,4,8) at the smallest size and print
 //	                per-worker-count throughput JSON; the cold variant
 //	                charges -cold-read-latency per node fault
+//	-wal            benchmark durable-insert throughput (WAL group commit
+//	                vs fsync per insert) and print JSON; tune with -wal-n,
+//	                -wal-workers, -wal-interval
 //
 // Example (the paper's full sweep — takes a while):
 //
@@ -48,6 +51,11 @@ func main() {
 	workersSweep := flag.Bool("workers-sweep", false, "sweep parallel query worker counts at the smallest size and print per-worker-count throughput JSON")
 	sweepWorkers := flag.String("sweep-workers", "1,2,4,8", "comma-separated worker counts for -workers-sweep")
 	coldLatency := flag.Duration("cold-read-latency", 100*time.Microsecond, "per-node-fault read latency charged by the cold variant of -workers-sweep")
+	walBench := flag.Bool("wal", false, "benchmark durable-insert throughput: WAL group commit vs fsync per insert, JSON output")
+	walN := flag.Int("wal-n", 5000, "records inserted per variant of -wal")
+	walWorkers := flag.Int("wal-workers", 8, "concurrent inserters in the group-commit variants of -wal")
+	walInterval := flag.Duration("wal-interval", 2*time.Millisecond, "tuned commit interval for the tuned variants of -wal (the first group variant uses the default)")
+	walSyncDelay := flag.Duration("wal-sync-delay", 2*time.Millisecond, "modeled log-device latency for the -wal modeled-disk variants (added to every fsync)")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -69,6 +77,19 @@ func main() {
 
 	if *metrics {
 		if err := bench.MetricsDump(opt, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *walBench {
+		res, err := bench.WALBench(opt, *walN, *walWorkers, *walInterval, *walSyncDelay, "")
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
 			fatal(err)
 		}
 		return

@@ -8,6 +8,11 @@
 //	             -where 'Time.Year=1996' -op SUM -measure ExtendedPrice
 //	dctool stats -index out.dc
 //	dctool fsck  -index out.dc
+//	dctool recover -index out.dc -wal out
+//
+// `recover` reopens a WAL-backed index after a crash: it replays the log
+// tail past the last checkpoint, verifies the result, and (unless
+// -checkpoint=false) writes a fresh checkpoint that truncates the log.
 //
 // `query` and `stats` accept -metrics to append the tree's observability
 // snapshot in Prometheus text format.
@@ -55,6 +60,8 @@ func main() {
 		err = runFsck(os.Args[2:])
 	case "export":
 		err = runExport(os.Args[2:])
+	case "recover":
+		err = runRecover(os.Args[2:])
 	default:
 		usage()
 	}
@@ -65,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|export|recover} [flags]")
 	os.Exit(2)
 }
 
@@ -449,6 +456,43 @@ func runExport(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "exported %d records\n", n)
 	return nil
+}
+
+// runRecover is the operator-facing crash-recovery entry point: replay the
+// WAL tail into the index, validate, checkpoint.
+func runRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	indexPath := fs.String("index", "index.dc", "index file")
+	walPrefix := fs.String("wal", "", "write-ahead log file prefix (<prefix>.<n>.wal)")
+	checkpoint := fs.Bool("checkpoint", true, "write a checkpoint after replay, truncating the log")
+	fs.Parse(args)
+	if *walPrefix == "" {
+		return fmt.Errorf("-wal is required")
+	}
+
+	cfg := dctree.DefaultConfig()
+	store, err := dctree.OpenFileStore(*indexPath, cfg.BlockSize, 0)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	tree, err := dctree.OpenDurable(store, *walPrefix)
+	if err != nil {
+		return err
+	}
+	m := tree.Metrics()
+	fmt.Printf("replayed %d log records; index now holds %d records (height %d)\n",
+		m.RecoveryReplayedRecords, tree.Count(), tree.Height())
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("recovered index failed validation: %w", err)
+	}
+	if *checkpoint {
+		if err := tree.Flush(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Println("checkpoint written; log truncated")
+	}
+	return tree.Close()
 }
 
 func runFsck(args []string) error {

@@ -32,6 +32,16 @@
 //	    Build()
 //	total, _ := tree.RangeQuery(q, dctree.Sum, 0)
 //
+// # Durability
+//
+// A tree from New/NewInMemory/Open holds updates in memory until Flush.
+// For crash safety use NewDurable/OpenDurable: every acknowledged Insert
+// and Delete is then written ahead to a log and group-committed, and
+// OpenDurable replays the log tail after a crash. On a durable tree,
+// Flush is a checkpoint that compacts the log — NOT the durability
+// boundary; mutations are safe as soon as the call returns. See
+// DURABILITY.md for the protocol.
+//
 // The subpackages under internal implement the machinery: concept
 // hierarchies and dictionaries, MDS algebra, the tree itself, the paged
 // storage substrate, and the X-tree / sequential-scan baselines used by
@@ -144,6 +154,25 @@ func NewInMemory(schema *Schema) (*Tree, error) {
 
 // Open reopens a DC-tree persisted by Tree.Flush from its store.
 func Open(store Store) (*Tree, error) { return core.Open(store) }
+
+// NewDurable creates an empty WAL-backed DC-tree: acknowledged mutations
+// are durable (write-ahead logged and group-committed) before Insert or
+// Delete returns. walPrefix names the log's segment files
+// (<prefix>.<n>.wal); Config.CommitInterval and Config.CommitBytes tune
+// the group commit. Close the tree with Tree.Close to checkpoint and
+// release the log.
+func NewDurable(store Store, schema *Schema, cfg Config, walPrefix string) (*Tree, error) {
+	return core.NewDurable(store, schema, cfg, walPrefix)
+}
+
+// OpenDurable reopens a WAL-backed DC-tree, replaying any log records past
+// the last checkpoint — the crash-recovery path.
+func OpenDurable(store Store, walPrefix string) (*Tree, error) {
+	return core.OpenDurable(store, walPrefix)
+}
+
+// WALStats is the write-ahead log's activity snapshot (Tree.WALStats).
+type WALStats = storage.WALStats
 
 // NewMemStore creates an in-memory block store with full I/O accounting.
 func NewMemStore(blockSize int) Store { return storage.NewMemStore(blockSize) }

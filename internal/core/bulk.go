@@ -141,6 +141,13 @@ func (t *Tree) BulkLoad(recs []cube.Record) error {
 	t.root = root.id
 	t.rootMDS = level[0].mds
 	t.count = int64(len(recs))
+
+	// A WAL-backed tree checkpoints immediately: bulk loading bypasses the
+	// log, so until the flush lands nothing of the load would survive a
+	// crash — and the log must not claim otherwise.
+	if t.wal != nil {
+		return t.flushLocked()
+	}
 	return nil
 }
 

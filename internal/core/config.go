@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Config carries the tuning knobs of a DC-tree. The zero value is not
@@ -75,6 +76,19 @@ type Config struct {
 	// one new region costs the same as one new customer — and the tree
 	// degenerates into unsplittable supernodes; see DESIGN.md §3.1.
 	FlatChooseSubtree bool
+
+	// CommitInterval is the group-commit window of a WAL-backed tree
+	// (NewDurable/OpenDurable): an acknowledged Insert/Delete waits at most
+	// this long for the committer to batch concurrent appends into one
+	// fsync. 0 selects the 2 ms default; a negative value disables group
+	// commit entirely and fsyncs after every append (the naive baseline —
+	// maximally eager, minimally fast). Ignored by trees without a WAL.
+	CommitInterval time.Duration
+
+	// CommitBytes closes a group-commit batch early once this many payload
+	// bytes are pending, bounding the data at risk inside one window under
+	// write bursts. 0 selects the 256 KiB default.
+	CommitBytes int
 }
 
 // DefaultConfig returns the configuration used by the paper reproduction.
@@ -88,6 +102,8 @@ func DefaultConfig() Config {
 		MaxSupernodeBlocks: 64,
 		RefineBound:        8,
 		Materialize:        true,
+		CommitInterval:     2 * time.Millisecond,
+		CommitBytes:        256 << 10,
 	}
 }
 
@@ -124,6 +140,12 @@ func (c *Config) Normalize() error {
 	if c.RefineBound == 0 {
 		c.RefineBound = d.RefineBound
 	}
+	if c.CommitInterval == 0 {
+		c.CommitInterval = d.CommitInterval
+	}
+	if c.CommitBytes == 0 {
+		c.CommitBytes = d.CommitBytes
+	}
 	switch {
 	case c.BlockSize < 256:
 		return fmt.Errorf("%w: block size %d < 256", ErrBadConfig, c.BlockSize)
@@ -139,6 +161,8 @@ func (c *Config) Normalize() error {
 		return fmt.Errorf("%w: negative supernode cap", ErrBadConfig)
 	case c.RefineBound < -1:
 		return fmt.Errorf("%w: refine bound below -1", ErrBadConfig)
+	case c.CommitBytes < 0:
+		return fmt.Errorf("%w: negative commit bytes", ErrBadConfig)
 	}
 	return nil
 }

@@ -3,9 +3,13 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
 	"github.com/dcindex/dctree/internal/storage"
 )
 
@@ -211,6 +215,167 @@ func TestCrashAfterDeleteFlush(t *testing.T) {
 	got, _ := reopened.RangeAgg(reopened.RootMDS(), 0)
 	if got.Count != total.Count {
 		t.Fatalf("agg count %d want %d", got.Count, total.Count)
+	}
+}
+
+// TestGroupCommitCrashStress drives the group-commit path from many
+// goroutines — with checkpoints racing the committer's fsync — then
+// snapshots the files mid-flight as a crash image and proves the
+// durability contract: every Insert acknowledged before the snapshot is
+// present in the recovered tree. Run under -race this also exercises the
+// Sync-vs-Truncate interaction between the committer and Flush.
+func TestGroupCommitCrashStress(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 120
+	)
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "store.dc")
+	walPrefix := filepath.Join(dir, "idx")
+	cfg := smallConfig()
+	cfg.CommitInterval = 500 * time.Microsecond
+	cfg.CommitBytes = 64 << 10
+
+	st, err := storage.OpenPagedStore(storePath, cfg.BlockSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	schema := testSchema(t)
+	tree, err := NewDurable(st, schema, cfg, walPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	// Pre-generate records with a unique measure key per record so
+	// membership in the recovered tree is unambiguous.
+	rng := rand.New(rand.NewSource(99))
+	recs := genRecords(t, schema, rng, workers*perWorker)
+	for i := range recs {
+		recs[i].Measures[0] = float64(i) + 0.125
+	}
+
+	var (
+		ackedMu sync.Mutex
+		acked   []cube.Record
+	)
+	ackedCount := func() int {
+		ackedMu.Lock()
+		defer ackedMu.Unlock()
+		return len(acked)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := recs[w*perWorker+i]
+				if err := tree.Insert(r); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				ackedMu.Lock()
+				acked = append(acked, r)
+				ackedMu.Unlock()
+			}
+		}(w)
+	}
+
+	// Checkpoints concurrent with appends and group commits: Flush
+	// truncates the log out from under the committer's in-flight fsync,
+	// which must be absorbed, not surface as a commit failure.
+	for i := 0; i < 5; i++ {
+		if err := tree.Flush(); err != nil {
+			t.Fatalf("concurrent checkpoint %d: %v", i, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	afterCheckpoints := ackedCount()
+
+	// Let more inserts land past the last checkpoint, then snapshot the
+	// files as a crash image while workers keep appending. No checkpoint
+	// runs concurrently with the copy, so the store file is quiescent;
+	// the WAL tail may be torn mid-frame, which recovery must absorb.
+	for ackedCount() < afterCheckpoints+200 && ackedCount() < workers*perWorker {
+		time.Sleep(200 * time.Microsecond)
+	}
+	ackedMu.Lock()
+	ackedSnapshot := make([]cube.Record, len(acked))
+	copy(ackedSnapshot, acked)
+	ackedMu.Unlock()
+	crashDir := filepath.Join(dir, "crash")
+	imgStore, imgPrefix := copyCrashImage(t, storePath, walPrefix, crashDir)
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The live tree must have batched: strictly fewer fsyncs than appends.
+	stats := tree.WALStats()
+	if stats.Appends == 0 || stats.Syncs == 0 {
+		t.Fatalf("no WAL activity recorded: %+v", stats)
+	}
+	if stats.Syncs >= stats.Appends {
+		t.Errorf("group commit did not batch: %d syncs for %d appends", stats.Syncs, stats.Appends)
+	}
+
+	// Recover the crash image. The image's own log tail plus its
+	// checkpoint define the exact recovered record set.
+	inserts, deletes := imageRecords(t, schema, imgStore, imgPrefix, cfg.BlockSize)
+	if len(deletes) != 0 {
+		t.Fatalf("image log holds %d deletes, workload had none", len(deletes))
+	}
+	cst, err := storage.OpenPagedStore(imgStore, cfg.BlockSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cst.Close()
+	ctree, err := OpenDurable(cst, imgPrefix)
+	if err != nil {
+		t.Fatalf("crash image failed to reopen: %v", err)
+	}
+	defer ctree.Close()
+	if got, want := ctree.Metrics().RecoveryReplayedRecords, int64(len(inserts)); got != want {
+		t.Fatalf("replayed %d records, image log holds %d", got, want)
+	}
+	if err := ctree.Validate(); err != nil {
+		t.Fatalf("recovered tree invalid: %v", err)
+	}
+
+	// Durability: every acknowledged insert is in the recovered tree —
+	// either replayed from the log or inside the checkpointed state.
+	replayed := make(map[float64]bool, len(inserts))
+	for _, r := range inserts {
+		replayed[r.Measures[0]] = true
+	}
+	checkpointed := int(ctree.Count()) - len(inserts)
+	if checkpointed < 0 {
+		t.Fatalf("image replayed %d inserts into a tree of %d", len(inserts), ctree.Count())
+	}
+	missing := 0
+	for _, r := range ackedSnapshot {
+		if !replayed[r.Measures[0]] {
+			missing++ // must be covered by the checkpoint instead
+		}
+	}
+	if missing > checkpointed {
+		t.Fatalf("%d acked records in neither the replayable log nor the checkpoint (checkpoint holds %d)",
+			missing-checkpointed, checkpointed)
+	}
+	if got, want := int(ctree.Count()), len(ackedSnapshot); got < want {
+		t.Fatalf("recovered %d records, but %d were acknowledged before the crash", got, want)
+	}
+
+	// The root aggregate must account for every recovered record.
+	all, err := ctree.RangeAgg(mds.Top(schema.Dims()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(all.Count) != ctree.Count() {
+		t.Fatalf("root aggregate count %v != tree count %d", all.Count, ctree.Count())
 	}
 }
 

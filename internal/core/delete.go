@@ -19,16 +19,25 @@ func (t *Tree) Delete(rec cube.Record) error {
 		return err
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	recMDS := mds.FromLeaves(rec.Coords)
-	found, err := t.deleteFrom(t.root, rec, recMDS)
+	lsn, err := t.deleteLocked(rec, true)
+	t.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	return t.waitDurable(lsn)
+}
+
+// deleteLocked applies one delete under the tree write lock, appending the
+// logical record after the mutation when log is true (see insertLocked).
+func (t *Tree) deleteLocked(rec cube.Record, log bool) (uint64, error) {
+	recMDS := mds.FromLeaves(rec.Coords)
+	found, err := t.deleteFrom(t.root, rec, recMDS)
+	if err != nil {
+		return 0, err
+	}
 	if !found {
 		t.metrics.deleteMisses.Inc()
-		return ErrNotFound
+		return 0, ErrNotFound
 	}
 	t.count--
 	t.metrics.deletes.Inc()
@@ -38,14 +47,14 @@ func (t *Tree) Delete(rec cube.Record) error {
 	for {
 		root, err := t.getNode(t.root)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if root.leaf || len(root.entries) != 1 {
 			break
 		}
 		child := root.entries[0].Child
 		if err := t.dropNode(root.id); err != nil {
-			return err
+			return 0, err
 		}
 		t.root = child
 		t.height--
@@ -54,17 +63,20 @@ func (t *Tree) Delete(rec cube.Record) error {
 	// Refresh the root MDS exactly.
 	root, err := t.getNode(t.root)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(root.entries) == 0 {
 		t.rootMDS = mds.Top(t.schema.Dims())
 	} else {
 		t.rootMDS, err = root.cover(t.space())
 		if err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	if !log {
+		return 0, nil
+	}
+	return t.logMutation(walOpDelete, rec)
 }
 
 // deleteFrom removes the record from the subtree at id. It probes every

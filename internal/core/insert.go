@@ -65,17 +65,38 @@ func (t *Tree) newRecContext(rec cube.Record) (*recContext, error) {
 // and materialized aggregates on the insertion path (Fig. 4). The record's
 // coordinates must be leaf-level IDs registered in the schema's dimension
 // hierarchies (use cube.Schema.InternRecord to produce them).
+//
+// On a WAL-backed tree (NewDurable/OpenDurable), a nil return means the
+// record is durable: its logical log record was fsynced (group commit) or
+// superseded by a checkpoint. The durability wait happens outside the
+// tree lock, so concurrent inserts batch into shared fsyncs.
 func (t *Tree) Insert(rec cube.Record) error {
 	if err := t.schema.ValidateRecord(rec); err != nil {
 		return err
 	}
 	start := time.Now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	rc, err := t.newRecContext(rec)
+	lsn, err := t.insertLocked(rec, true)
+	t.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	if err := t.waitDurable(lsn); err != nil {
+		return err
+	}
+	t.metrics.insertLatency.Observe(time.Since(start))
+	return nil
+}
+
+// insertLocked applies one insert under the tree write lock. When log is
+// true and the tree has a WAL, the logical record is appended AFTER the
+// mutation succeeds (same lock, so log order equals mutation order) and
+// its LSN returned for the caller to await; recovery replays with log
+// false, since the records it applies are already in the log.
+func (t *Tree) insertLocked(rec cube.Record, log bool) (uint64, error) {
+	rc, err := t.newRecContext(rec)
+	if err != nil {
+		return 0, err
 	}
 	recMDS := rc.recMDS
 
@@ -84,7 +105,7 @@ func (t *Tree) Insert(rec cube.Record) error {
 	// named level (the paper's initial MDS, §3.2).
 	res, err := t.insertInto(t.root, mds.Top(t.schema.Dims()), rc)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if res.split {
 		// The root was split: grow the tree by one level (the only way a
@@ -102,12 +123,14 @@ func (t *Tree) Insert(rec cube.Record) error {
 		t.rootMDS, err = mds.Cover(t.space(), t.rootMDS, recMDS)
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	t.count++
 	t.metrics.inserts.Inc()
-	t.metrics.insertLatency.Observe(time.Since(start))
-	return nil
+	if !log {
+		return 0, nil
+	}
+	return t.logMutation(walOpInsert, rec)
 }
 
 // insertInto inserts the record into the subtree rooted at id, whose

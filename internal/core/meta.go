@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/dcindex/dctree/internal/cube"
 	"github.com/dcindex/dctree/internal/hierarchy"
@@ -16,7 +17,14 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-const metaMagic = "DCMETA01"
+// Two format versions are in play: v2 ("DCMETA02") extends v1 with the
+// group-commit knobs (after the config flags byte) and the WAL checkpoint
+// LSN (after nextID). Writing always produces v2; reading accepts both,
+// with the v2 fields defaulting to zero on a v1 blob.
+const (
+	metaMagic   = "DCMETA02"
+	metaMagicV1 = "DCMETA01"
+)
 
 func (t *Tree) encodeMeta() ([]byte, error) {
 	buf := []byte(metaMagic)
@@ -40,12 +48,15 @@ func (t *Tree) encodeMeta() ([]byte, error) {
 		flags |= 4
 	}
 	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, int64(t.cfg.CommitInterval))
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.CommitBytes))
 
 	// Tree shape.
 	buf = binary.AppendUvarint(buf, uint64(t.root))
 	buf = binary.AppendUvarint(buf, uint64(t.height))
 	buf = binary.AppendVarint(buf, t.count)
 	buf = binary.AppendUvarint(buf, uint64(t.nextID))
+	buf = binary.AppendUvarint(buf, t.checkpointLSN)
 	buf = t.rootMDS.AppendEncode(buf)
 
 	// Schema: dimensions with full dictionaries, then measure names.
@@ -83,7 +94,15 @@ func Open(store storage.Store) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dctree: reading metadata: %w", err)
 	}
-	if len(meta) < len(metaMagic) || string(meta[:len(metaMagic)]) != metaMagic {
+	if len(meta) < len(metaMagic) {
+		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
+	}
+	var v1 bool
+	switch string(meta[:len(metaMagic)]) {
+	case metaMagic:
+	case metaMagicV1:
+		v1 = true
+	default:
 		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
 	}
 	r := metaReader{buf: meta, off: len(metaMagic)}
@@ -100,11 +119,19 @@ func Open(store storage.Store) (*Tree, error) {
 	cfg.Materialize = flags&1 != 0
 	cfg.DisableSupernodes = flags&2 != 0
 	cfg.FlatChooseSubtree = flags&4 != 0
+	if !v1 {
+		cfg.CommitInterval = time.Duration(r.varint())
+		cfg.CommitBytes = int(r.uvarint())
+	}
 
 	root := nodeID(r.uvarint())
 	height := int(r.uvarint())
 	count := r.varint()
 	nextID := nodeID(r.uvarint())
+	var checkpointLSN uint64
+	if !v1 {
+		checkpointLSN = r.uvarint()
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: metadata header: %v", ErrCorrupt, r.err)
 	}
@@ -160,16 +187,17 @@ func Open(store storage.Store) (*Tree, error) {
 			ErrCorrupt, cfg.BlockSize, store.BlockSize())
 	}
 	t := &Tree{
-		schema:  schema,
-		cfg:     cfg,
-		store:   store,
-		root:    root,
-		rootMDS: rootMDS,
-		height:  height,
-		count:   count,
-		nextID:  nextID,
-		table:   table,
-		nc:      newNodeCache(),
+		schema:        schema,
+		cfg:           cfg,
+		store:         store,
+		root:          root,
+		rootMDS:       rootMDS,
+		height:        height,
+		count:         count,
+		nextID:        nextID,
+		checkpointLSN: checkpointLSN,
+		table:         table,
+		nc:            newNodeCache(),
 	}
 	if _, ok := t.table[root]; !ok {
 		return nil, fmt.Errorf("%w: root node %d missing from table", ErrCorrupt, root)

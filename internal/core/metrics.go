@@ -50,6 +50,17 @@ type treeMetrics struct {
 	maskPoolMisses    obs.Counter
 	stealSpawned      obs.Counter
 	stealStolen       obs.Counter
+
+	// Durable write path: WAL appends, fsyncs issued by the group
+	// committer (or inline in naive mode), commit batches with their
+	// record totals and high-water size, and records re-applied by
+	// OpenDurable recovery.
+	walAppends       obs.Counter
+	walFsyncs        obs.Counter
+	walBatches       obs.Counter
+	walBatchRecords  obs.Counter
+	walBatchMax      obs.Gauge
+	recoveryReplayed obs.Counter
 }
 
 // Metrics is a point-in-time snapshot of a tree's operational counters,
@@ -104,6 +115,14 @@ type Metrics struct {
 	// than the one that pushed them.
 	ParallelTasksSpawned int64
 	ParallelTasksStolen  int64
+
+	// Durable write path (all zero on trees without a WAL). Batch mean is
+	// records per group-commit batch; max is the largest batch observed.
+	WALAppends              int64
+	WALFsyncs               int64
+	WALGroupCommitBatchMean float64
+	WALGroupCommitBatchMax  int64
+	RecoveryReplayedRecords int64
 
 	// MaterializedHitRatio is QueryMaterializedHits / QueryEntriesScanned:
 	// the fraction of examined entries answered from a materialized
@@ -163,6 +182,11 @@ func (t *Tree) Metrics() Metrics {
 		ParallelTasksSpawned: m.stealSpawned.Load(),
 		ParallelTasksStolen:  m.stealStolen.Load(),
 
+		WALAppends:              m.walAppends.Load(),
+		WALFsyncs:               m.walFsyncs.Load(),
+		WALGroupCommitBatchMax:  m.walBatchMax.Load(),
+		RecoveryReplayedRecords: m.recoveryReplayed.Load(),
+
 		InsertLatency: m.insertLatency.Snapshot(),
 		QueryLatency:  m.queryLatency.Snapshot(),
 
@@ -184,6 +208,9 @@ func (t *Tree) Metrics() Metrics {
 	}
 	if probes := s.MaskPoolHits + s.MaskPoolMisses; probes > 0 {
 		s.MaskPoolHitRatio = float64(s.MaskPoolHits) / float64(probes)
+	}
+	if batches := m.walBatches.Load(); batches > 0 {
+		s.WALGroupCommitBatchMean = float64(m.walBatchRecords.Load()) / float64(batches)
 	}
 	return s
 }
@@ -229,6 +256,16 @@ func (m Metrics) Families() []obs.Family {
 		obs.GaugeFamily("dctree_mask_pool_hit_ratio", "Mask-arena pool hits per query.", m.MaskPoolHitRatio),
 		obs.CounterFamily("dctree_parallel_tasks_spawned_total", "Subtree tasks pushed onto the shared work-stealing queue.", m.ParallelTasksSpawned),
 		obs.CounterFamily("dctree_parallel_tasks_stolen_total", "Subtree tasks executed by a worker other than the one that pushed them.", m.ParallelTasksStolen),
+		obs.CounterFamily("dctree_wal_appends_total", "Logical records appended to the write-ahead log.", m.WALAppends),
+		obs.CounterFamily("dctree_wal_fsyncs_total", "WAL fsyncs issued (one per group-commit batch, or per append in naive mode).", m.WALFsyncs),
+		{
+			Name: "dctree_wal_group_commit_batch_size", Help: "Records per group-commit batch.", Type: obs.TypeGauge,
+			Samples: []obs.Sample{
+				{Labels: []obs.Label{{Key: "stat", Value: "mean"}}, Value: m.WALGroupCommitBatchMean},
+				{Labels: []obs.Label{{Key: "stat", Value: "max"}}, Value: float64(m.WALGroupCommitBatchMax)},
+			},
+		},
+		obs.CounterFamily("dctree_recovery_replayed_records_total", "WAL records re-applied by OpenDurable crash recovery.", m.RecoveryReplayedRecords),
 		obs.GaugeFamily("dctree_materialized_hit_ratio", "Materialized hits per entry scanned.", m.MaterializedHitRatio),
 		obs.GaugeFamily("dctree_pruned_entry_ratio", "Pruned entries per entry scanned.", m.PrunedEntryRatio),
 		obs.HistogramFamily("dctree_insert_duration_seconds", "Single-record insert latency.", m.InsertLatency),

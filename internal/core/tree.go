@@ -45,6 +45,13 @@ type Tree struct {
 	// released only after the next durable metadata swap (shadow paging).
 	pendingFree []extentRef
 
+	// wal, when non-nil (NewDurable/OpenDurable), makes every acknowledged
+	// Insert/Delete durable via write-ahead logging with group commit.
+	// checkpointLSN is the WAL frontier the last durable checkpoint
+	// superseded: recovery replays only records strictly beyond it.
+	wal           *walState
+	checkpointLSN uint64
+
 	// nc is the sharded node cache: hits on the concurrent read path take
 	// one shard RLock, misses decode once per node via singleflight.
 	nc *nodeCache
@@ -175,6 +182,10 @@ func (t *Tree) dropNode(id nodeID) error {
 
 // Flush writes all dirty nodes and the tree metadata to the store and
 // syncs it. After a successful Flush the tree can be reopened with Open.
+// On a WAL-backed tree, Flush is a CHECKPOINT: the durable metadata
+// records the log frontier it supersedes and the log is truncated. It is
+// not the durability boundary — acknowledged mutations are already safe
+// in the log before Flush runs.
 func (t *Tree) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -188,6 +199,12 @@ func (t *Tree) Flush() error {
 // therefore leaves the previously persisted tree fully intact — the old
 // metadata still references only untouched extents.
 func (t *Tree) flushLocked() error {
+	// Checkpoint stamp: everything logged so far is reflected in the state
+	// this flush persists (appends happen under the tree write lock), so
+	// the durable metadata can declare the whole current log superseded.
+	if t.wal != nil {
+		t.checkpointLSN = t.wal.w.LastLSN()
+	}
 	ids := t.nc.dirtyIDs()
 
 	var superseded []extentRef
@@ -238,6 +255,16 @@ func (t *Tree) flushLocked() error {
 		}
 	}
 	t.nc.clearDirty(written)
+
+	// Truncate the superseded log. A crash before (or during) the
+	// truncation is safe: recovery filters replay by the checkpoint LSN
+	// just persisted, so leftover records are skipped, never re-applied.
+	if t.wal != nil {
+		if err := t.wal.w.Truncate(); err != nil {
+			return err
+		}
+		t.wal.checkpointDone(t.checkpointLSN)
+	}
 	return nil
 }
 

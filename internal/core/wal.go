@@ -1,0 +1,465 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// This file wires the storage-layer WAL into the tree's write path.
+//
+// Durability contract of a WAL-backed tree (NewDurable/OpenDurable):
+// when Insert or Delete returns nil, the mutation's logical record is on
+// stable storage and survives a crash — either inside the WAL tail, to be
+// replayed by OpenDurable, or inside a checkpoint (Flush) that superseded
+// it. The record is appended under the tree write lock AFTER the in-memory
+// mutation succeeds, so the append order equals the mutation order and
+// only acknowledged-able mutations are logged; the caller then blocks
+// OUTSIDE the lock until the group committer's next fsync covers its LSN.
+//
+// Checkpoints: Flush persists the full tree with shadow paging, stamps the
+// WAL's last LSN into the metadata blob as the checkpoint LSN, and then
+// truncates the log. Recovery replays only records with LSN strictly
+// greater than the checkpoint LSN, so a crash BETWEEN the durable metadata
+// swap and the truncation is safe: the leftover records replay as no-ops
+// filtered by LSN, not as double-applied mutations.
+//
+// Logical records encode per-dimension top-down *string* paths rather than
+// interned hierarchy IDs: dictionary registrations are only durable at
+// checkpoint time, so a replayed record may mention values the reopened
+// dictionaries have never seen. Re-interning through Schema.InternRecord
+// re-registers them exactly as the original insert did.
+
+// walOp discriminates logical WAL records.
+const (
+	walOpInsert byte = 1
+	walOpDelete byte = 2
+)
+
+// ErrWALRejected is returned by NewDurable when the WAL already holds
+// records: creating a fresh tree over a log tail would silently discard
+// recoverable mutations — use OpenDurable instead.
+var ErrWALRejected = errors.New("dctree: wal holds unreplayed records")
+
+// walState runs group commit for one tree's WAL: appenders (holding the
+// tree write lock) register their appended LSN, a committer goroutine
+// batches all registrations inside a CommitInterval window (closed early
+// at CommitBytes pending payload) into one fsync, and acknowledgment
+// waiters block outside the tree lock until the durable frontier covers
+// their LSN. With a negative CommitInterval there is no committer: every
+// append fsyncs inline (the naive baseline dcbench -wal compares against).
+type walState struct {
+	w        *storage.WAL
+	interval time.Duration
+	bytes    int64
+	m        *treeMetrics
+
+	mu sync.Mutex
+	// Two condition variables on one mutex keep the wakeups targeted: an
+	// append signals only the committer; a finished batch broadcasts only
+	// to acknowledgment waiters. A single shared cond would wake every
+	// blocked appender on every append — a thundering herd that dominates
+	// the commit path's cost at high fan-in.
+	commitCond *sync.Cond // committer waits here for pending appends
+	ackCond    *sync.Cond // waitDurable blocks here for the frontier
+	durableLSN uint64     // highest LSN known durable (fsync or checkpoint)
+	pendingLSN uint64     // highest appended LSN
+	pendingB   int64      // payload bytes appended since the last batch closed
+	err        error      // sticky: a failed fsync poisons the write path
+	closing    bool
+	done       chan struct{}
+}
+
+func newWALState(w *storage.WAL, cfg *Config, m *treeMetrics) *walState {
+	ws := &walState{
+		w:        w,
+		interval: cfg.CommitInterval,
+		bytes:    int64(cfg.CommitBytes),
+		m:        m,
+		done:     make(chan struct{}),
+	}
+	ws.commitCond = sync.NewCond(&ws.mu)
+	ws.ackCond = sync.NewCond(&ws.mu)
+	ws.durableLSN = w.SyncedLSN()
+	ws.pendingLSN = w.LastLSN()
+	if ws.interval >= 0 {
+		go ws.run()
+	} else {
+		close(ws.done)
+	}
+	return ws
+}
+
+// append writes one logical record and registers it for the next commit
+// batch. Called with the tree write lock held — it must not block on disk
+// in group-commit mode (the fsync happens on the committer goroutine).
+func (ws *walState) append(payload []byte) (uint64, error) {
+	ws.mu.Lock()
+	if err := ws.err; err != nil {
+		ws.mu.Unlock()
+		return 0, err
+	}
+	ws.mu.Unlock()
+
+	lsn, err := ws.w.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	ws.m.walAppends.Inc()
+
+	if ws.interval < 0 {
+		// Naive mode: one fsync per append, inline.
+		covered, err := ws.w.Sync()
+		if err != nil {
+			ws.poison(err)
+			return 0, err
+		}
+		ws.m.walFsyncs.Inc()
+		ws.m.walBatches.Inc()
+		ws.m.walBatchRecords.Inc()
+		ws.noteDurable(covered)
+		return lsn, nil
+	}
+
+	ws.mu.Lock()
+	if lsn > ws.pendingLSN {
+		ws.pendingLSN = lsn
+	}
+	ws.pendingB += int64(len(payload))
+	ws.commitCond.Signal() // wake the committer
+	ws.mu.Unlock()
+	return lsn, nil
+}
+
+// waitDurable blocks until lsn is durable (or the write path is
+// poisoned). Called WITHOUT the tree lock, so concurrent mutators keep
+// filling the current batch while earlier callers wait on it.
+func (ws *walState) waitDurable(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for ws.durableLSN < lsn && ws.err == nil {
+		if ws.closing {
+			return ErrClosed
+		}
+		ws.ackCond.Wait()
+	}
+	return ws.err
+}
+
+// run is the group committer: wait for pending appends, let the batch
+// window fill, fsync once, publish the new durable frontier.
+func (ws *walState) run() {
+	defer close(ws.done)
+	for {
+		ws.mu.Lock()
+		for ws.pendingLSN <= ws.durableLSN && !ws.closing && ws.err == nil {
+			ws.commitCond.Wait()
+		}
+		if ws.err != nil || (ws.closing && ws.pendingLSN <= ws.durableLSN) {
+			ws.mu.Unlock()
+			return
+		}
+		fill := !ws.closing && ws.pendingB < ws.bytes
+		ws.mu.Unlock()
+
+		if fill && ws.interval > 0 {
+			time.Sleep(ws.interval)
+		}
+
+		ws.mu.Lock()
+		prev := ws.durableLSN
+		ws.pendingB = 0
+		ws.mu.Unlock()
+
+		covered, err := ws.w.Sync()
+		if err != nil {
+			ws.poison(err)
+			return
+		}
+		ws.m.walFsyncs.Inc()
+		if batch := int64(covered) - int64(prev); batch > 0 {
+			ws.m.walBatches.Inc()
+			ws.m.walBatchRecords.Add(batch)
+			if batch > ws.m.walBatchMax.Load() {
+				ws.m.walBatchMax.Set(batch)
+			}
+		}
+		ws.noteDurable(covered)
+	}
+}
+
+// noteDurable advances the durable frontier and wakes acknowledgment
+// waiters.
+func (ws *walState) noteDurable(lsn uint64) {
+	ws.mu.Lock()
+	if lsn > ws.durableLSN {
+		ws.durableLSN = lsn
+	}
+	ws.ackCond.Broadcast()
+	ws.mu.Unlock()
+}
+
+// poison records a write-path failure; every waiter and later append sees
+// it. Durability can no longer be promised, so the tree stays read-only
+// in practice until reopened.
+func (ws *walState) poison(err error) {
+	ws.mu.Lock()
+	if ws.err == nil {
+		ws.err = err
+	}
+	ws.commitCond.Signal()
+	ws.ackCond.Broadcast()
+	ws.mu.Unlock()
+}
+
+// checkpointDone is called by flushLocked after a durable checkpoint
+// truncated the log: everything up to lsn is durable via the checkpoint,
+// so waiters on those records unblock even though their fsync never
+// happened.
+func (ws *walState) checkpointDone(lsn uint64) {
+	ws.mu.Lock()
+	if lsn > ws.durableLSN {
+		ws.durableLSN = lsn
+	}
+	ws.pendingB = 0
+	ws.ackCond.Broadcast()
+	ws.mu.Unlock()
+}
+
+// shutdown stops the committer (flushing any pending batch) and closes
+// the log files.
+func (ws *walState) shutdown() error {
+	ws.mu.Lock()
+	ws.closing = true
+	ws.commitCond.Signal()
+	ws.ackCond.Broadcast()
+	ws.mu.Unlock()
+	<-ws.done
+	return ws.w.Close()
+}
+
+// ErrClosed is returned by operations on a closed tree.
+var ErrClosed = errors.New("dctree: tree is closed")
+
+// encodeWALRecord serializes one logical mutation: op byte, measures, then
+// per dimension the top-down path of value names (length-prefixed each, so
+// names may contain any byte).
+func (t *Tree) encodeWALRecord(op byte, rec cube.Record) ([]byte, error) {
+	buf := []byte{op}
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Measures)))
+	for _, m := range rec.Measures {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m))
+	}
+	space := t.space()
+	buf = binary.AppendUvarint(buf, uint64(len(space)))
+	for d, h := range space {
+		depth := h.Depth()
+		names := make([]string, depth)
+		cur := rec.Coords[d]
+		for l := 0; l < depth; l++ {
+			name, err := h.ValueName(cur)
+			if err != nil {
+				return nil, err
+			}
+			names[l] = name
+			if l+1 < depth {
+				cur, err = h.Parent(cur)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(depth))
+		for l := depth - 1; l >= 0; l-- { // top-down
+			buf = binary.AppendUvarint(buf, uint64(len(names[l])))
+			buf = append(buf, names[l]...)
+		}
+	}
+	return buf, nil
+}
+
+// decodeWALRecord parses a logical record and re-interns it through the
+// schema, re-registering any dictionary values the checkpoint predates.
+func decodeWALRecord(schema *cube.Schema, payload []byte) (byte, cube.Record, error) {
+	r := metaReader{buf: payload}
+	if len(payload) < 1 {
+		return 0, cube.Record{}, fmt.Errorf("%w: empty wal record", ErrCorrupt)
+	}
+	op := r.byte()
+	if op != walOpInsert && op != walOpDelete {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record op %d", ErrCorrupt, op)
+	}
+	nm := int(r.uvarint())
+	if r.err != nil || nm != schema.Measures() {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record measures", ErrCorrupt)
+	}
+	measures := make([]float64, nm)
+	for j := range measures {
+		measures[j] = r.float64()
+	}
+	nd := int(r.uvarint())
+	if r.err != nil || nd != schema.Dims() {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record dims", ErrCorrupt)
+	}
+	paths := make([][]string, nd)
+	for d := range paths {
+		depth := int(r.uvarint())
+		if r.err != nil || depth < 1 || depth > 64 {
+			return 0, cube.Record{}, fmt.Errorf("%w: wal record dim %d depth", ErrCorrupt, d)
+		}
+		path := make([]string, depth)
+		for l := range path {
+			path[l] = r.string()
+		}
+		paths[d] = path
+	}
+	if r.err != nil {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record: %v", ErrCorrupt, r.err)
+	}
+	rec, err := schema.InternRecord(paths, measures)
+	if err != nil {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record intern: %v", ErrCorrupt, err)
+	}
+	return op, rec, nil
+}
+
+// logMutation appends the logical record for an applied mutation. Called
+// under the tree write lock, after the in-memory mutation succeeded.
+// Returns the LSN to wait on (0 when the tree has no WAL).
+func (t *Tree) logMutation(op byte, rec cube.Record) (uint64, error) {
+	if t.wal == nil {
+		return 0, nil
+	}
+	payload, err := t.encodeWALRecord(op, rec)
+	if err != nil {
+		return 0, err
+	}
+	return t.wal.append(payload)
+}
+
+// waitDurable blocks until the given LSN is durable. No-op for trees
+// without a WAL.
+func (t *Tree) waitDurable(lsn uint64) error {
+	if t.wal == nil {
+		return nil
+	}
+	return t.wal.waitDurable(lsn)
+}
+
+// NewDurable creates an empty WAL-backed DC-tree: the write-ahead log at
+// walPrefix protects every acknowledged mutation, and the group-commit
+// knobs come from cfg (CommitInterval/CommitBytes). The WAL must be empty;
+// a log with records belongs to an existing tree and must go through
+// OpenDurable, or its recoverable mutations would be silently discarded.
+func NewDurable(store storage.Store, schema *cube.Schema, cfg Config, walPrefix string) (*Tree, error) {
+	return NewDurableOpts(store, schema, cfg, walPrefix, storage.WALOptions{})
+}
+
+// NewDurableOpts is NewDurable with explicit WAL options (segment size,
+// and the benchmarks' modeled sync delay).
+func NewDurableOpts(store storage.Store, schema *cube.Schema, cfg Config, walPrefix string, wopts storage.WALOptions) (*Tree, error) {
+	t, err := New(store, schema, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := storage.OpenWAL(walPrefix, wopts)
+	if err != nil {
+		return nil, err
+	}
+	if w.Records() > 0 {
+		w.Close()
+		return nil, ErrWALRejected
+	}
+	t.checkpointLSN = w.LastLSN()
+	// Initial checkpoint: the store must hold valid (empty-tree) metadata
+	// before the first log record is acknowledged, or a crash before the
+	// first Flush would leave a log tail with no tree to replay it into.
+	if err := t.flushLocked(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	t.wal = newWALState(w, &t.cfg, &t.metrics)
+	return t, nil
+}
+
+// OpenDurable reopens a WAL-backed tree: the last checkpoint is loaded
+// from the store, then every log record past the checkpoint LSN is
+// replayed through the normal insert/delete path, rebuilding MDSs,
+// materialized aggregates and split history exactly as the lost process
+// built them. The replayed state is in memory (and still covered by the
+// log); the next Flush checkpoints it.
+func OpenDurable(store storage.Store, walPrefix string) (*Tree, error) {
+	t, err := Open(store)
+	if err != nil {
+		return nil, err
+	}
+	w, err := storage.OpenWAL(walPrefix, storage.WALOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := t.recoverFrom(w); err != nil {
+		w.Close()
+		return nil, err
+	}
+	t.wal = newWALState(w, &t.cfg, &t.metrics)
+	return t, nil
+}
+
+// recoverFrom replays the WAL tail past the tree's checkpoint LSN.
+func (t *Tree) recoverFrom(w *storage.WAL) error {
+	return w.Replay(func(lsn uint64, payload []byte) error {
+		if lsn <= t.checkpointLSN {
+			return nil // superseded by the checkpoint
+		}
+		op, rec, err := decodeWALRecord(t.schema, payload)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case walOpInsert:
+			if _, err := t.insertLocked(rec, false); err != nil {
+				return fmt.Errorf("dctree: replaying insert lsn %d: %w", lsn, err)
+			}
+		case walOpDelete:
+			if _, err := t.deleteLocked(rec, false); err != nil && !errors.Is(err, ErrNotFound) {
+				return fmt.Errorf("dctree: replaying delete lsn %d: %w", lsn, err)
+			}
+		}
+		t.metrics.recoveryReplayed.Inc()
+		return nil
+	})
+}
+
+// Close checkpoints the tree (Flush) and shuts down the WAL committer and
+// log files. The underlying store remains open — its lifecycle belongs to
+// the caller. Safe on trees without a WAL, where it is equivalent to
+// Flush.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	err := t.flushLocked()
+	t.mu.Unlock()
+	if t.wal != nil {
+		if werr := t.wal.shutdown(); err == nil {
+			err = werr
+		}
+		t.wal = nil
+	}
+	return err
+}
+
+// WALStats exposes the log's activity counters (zero value without a WAL).
+func (t *Tree) WALStats() storage.WALStats {
+	if t.wal == nil {
+		return storage.WALStats{}
+	}
+	return t.wal.w.Stats()
+}

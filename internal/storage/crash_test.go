@@ -80,6 +80,119 @@ func TestMetaDoubleBufferSurvivesCrash(t *testing.T) {
 	}
 }
 
+// TestFreelistDoubleBufferSurvivesTornWrite is the regression test for the
+// crash window between storeFreelist and the header write: the freelist
+// must never be rewritten in place, or a torn write there corrupts the
+// state the current durable header points to. The test stops the sync
+// exactly after the freelist extent is written (before the header), tears
+// that write in the crash image, and requires the image to reopen with the
+// previously committed freelist.
+func TestFreelistDoubleBufferSurvivesTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.dc")
+	s, err := OpenPagedStore(path, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed state: two freed extents on the durable freelist.
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := s.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write(id, 1, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Free(ids[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(ids[1], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	committedFree := len(s.free[1])
+
+	// Mutate the list, then run only the freelist half of the next sync —
+	// the crash happens before the header write.
+	if err := s.Free(ids[2], 1); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	if err := s.storeFreelist(); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	newFreeID, newFreeBlk := s.freeID, s.freeBlk
+	s.mu.Unlock()
+
+	crashImage := filepath.Join(dir, "crash.dc")
+	snapshot(t, path, crashImage)
+	s.Close()
+
+	// Tear the in-flight freelist write: scribble over the extent that was
+	// being written when the crash hit.
+	img, err := os.OpenFile(crashImage, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := bytes.Repeat([]byte{0xff}, newFreeBlk*128)
+	if _, err := img.WriteAt(garbage, int64(newFreeID)*128); err != nil {
+		t.Fatal(err)
+	}
+	img.Close()
+
+	crashed, err := OpenPagedStore(crashImage, 128, 0)
+	if err != nil {
+		t.Fatalf("crash image with torn freelist write failed to reopen: %v", err)
+	}
+	defer crashed.Close()
+	if got := len(crashed.free[1]); got != committedFree {
+		t.Fatalf("crash image freelist has %d single-block extents, want the committed %d", got, committedFree)
+	}
+}
+
+// TestCloseDurablyPersistsFreelist: freed extents must survive Close and be
+// reused after reopening.
+func TestCloseDurablyPersistsFreelist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.dc")
+	s, err := OpenPagedStore(path, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(a, 2, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenPagedStore(path, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, err := reopened.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("Alloc after reopen = %d, want freed extent %d reused", got, a)
+	}
+}
+
 // TestMetaExtentNotRecycledBeforeSync hammers SetMeta without Sync and
 // verifies the old committed metadata never gets overwritten by extent
 // reuse.

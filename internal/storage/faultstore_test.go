@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultStoreFailStopBudget(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(128))
+	fs.Arm(FailStop, 2)
+
+	// Two ops within budget succeed.
+	id, err := fs.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(id, 1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// The third fires and every later op stays failed.
+	if err := fs.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op past budget: %v", err)
+	}
+	if !fs.Fired() {
+		t.Fatal("Fired() = false after injection")
+	}
+	if _, err := fs.Alloc(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op after crash: %v", err)
+	}
+	if _, _, err := fs.Read(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after crash: %v", err)
+	}
+
+	// Disarm models the post-crash reopen: the store works again.
+	fs.Disarm()
+	if data, _, err := fs.Read(id); err != nil || !bytes.Equal(data, []byte("ok")) {
+		t.Fatalf("read after disarm: %q, %v", data, err)
+	}
+}
+
+func TestFaultStoreTornWrite(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(128))
+	id, err := fs.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(TornWrite, 0)
+	payload := []byte("abcdefgh")
+	if err := fs.Write(id, 1, payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: %v", err)
+	}
+	fs.Disarm()
+	data, _, err := fs.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("abcd"), make([]byte, 4)...)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("torn payload = %q, want prefix+zeros %q", data, want)
+	}
+}
+
+func TestFaultStoreShortRead(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(128))
+	id, err := fs.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(id, 1, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(ShortRead, 0)
+	data, _, err := fs.Read(id)
+	if err != nil {
+		t.Fatalf("short read should not error: %v", err)
+	}
+	if !bytes.Equal(data, []byte("abcd")) {
+		t.Fatalf("short read = %q, want %q", data, "abcd")
+	}
+}
+
+func TestFaultStoreCrashPointHook(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(128))
+	var seen []string
+	fs.SetCrashPoint(func(op string, remaining int64) { seen = append(seen, op) })
+	id, _ := fs.Alloc(1)
+	fs.Write(id, 1, []byte("x"))
+	fs.Sync()
+	want := []string{"alloc", "write", "sync"}
+	if len(seen) != len(want) {
+		t.Fatalf("crash points %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("crash points %v, want %v", seen, want)
+		}
+	}
+	if fs.Ops() != 3 {
+		t.Fatalf("Ops() = %d", fs.Ops())
+	}
+}

@@ -366,31 +366,48 @@ func (s *PagedStore) Close() error {
 	return s.f.Close()
 }
 
-// storeFreelist serializes the freelist into its own extent. The freelist
-// extent itself is excluded from the list it stores (it is reused in place
-// when possible, or carved fresh from the tail).
-func (s *PagedStore) storeFreelist() error {
+// encodeFreelist serializes a free map as a count followed by (id, blocks)
+// uvarint pairs.
+func encodeFreelist(free map[int][]PageID) []byte {
 	var buf []byte
 	n := 0
-	for _, ids := range s.free {
+	for _, ids := range free {
 		n += len(ids)
 	}
 	buf = binary.AppendUvarint(buf, uint64(n))
-	for blocks, ids := range s.free {
+	for blocks, ids := range free {
 		for _, id := range ids {
 			buf = binary.AppendUvarint(buf, uint64(id))
 			buf = binary.AppendUvarint(buf, uint64(blocks))
 		}
 	}
-	blocks := BlocksFor(s.blockSize, len(buf))
-	if s.freeID == NilPage || blocks > s.freeBlk {
-		// Carve a fresh extent from the tail, bypassing the freelist so the
-		// serialized contents stay consistent with what is on disk.
-		s.freeID = s.next
-		s.freeBlk = blocks
-		s.next += PageID(blocks)
+	return buf
+}
+
+// storeFreelist serializes the freelist into its own extent. Like the
+// metadata blob, the list is double-buffered: it is always written to a
+// fresh extent and the previous one is released only after the next durable
+// header write, so a write torn by a crash can never corrupt the freelist
+// the current on-disk header references.
+func (s *PagedStore) storeFreelist() error {
+	old := extentSpan{id: s.freeID, blocks: s.freeBlk}
+	// Size the extent with the current map, allocate (which may pop a free
+	// entry — shrinking the list, so the bound still holds), then serialize
+	// the final state.
+	blocks := BlocksFor(s.blockSize, len(encodeFreelist(s.free)))
+	id, err := s.allocLocked(blocks)
+	if err != nil {
+		return err
 	}
-	return s.writeExtent(s.freeID, s.freeBlk, buf)
+	if err := s.writeExtent(id, blocks, encodeFreelist(s.free)); err != nil {
+		return err
+	}
+	s.freeID, s.freeBlk = id, blocks
+	s.dirtyHdr = true
+	if old.id != NilPage {
+		s.pendingFree = append(s.pendingFree, old)
+	}
+	return nil
 }
 
 func (s *PagedStore) loadFreelist() error {

@@ -1,0 +1,619 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WAL is a segmented, append-only write-ahead log. The DC-tree appends one
+// logical record per acknowledged mutation before it is reflected in any
+// durable tree state; replaying the log past the last checkpoint therefore
+// reconstructs every acknowledged update after a crash.
+//
+// On-disk layout: a log is a set of segment files named
+//
+//	<prefix>.<index>.wal
+//
+// where <index> is a monotonically increasing 8-digit decimal. Each segment
+// starts with a 24-byte header (magic, segment index, LSN of its first
+// record) followed by framed records:
+//
+//	uint32  payload length
+//	uint32  CRC32 (IEEE) of the payload
+//	bytes   payload
+//
+// Records carry log sequence numbers (LSNs), assigned 1,2,3,… and monotone
+// across segment rotation AND across Truncate, so a checkpoint can durably
+// record "everything ≤ L is superseded" and recovery can skip exactly those
+// records even if the truncation itself was lost to a crash.
+//
+// Crash behavior: a torn append leaves an invalid frame at the tail of the
+// last segment; OpenWAL truncates the file back to the last valid frame, so
+// the log always reopens to a clean prefix of the append order. An invalid
+// frame in any non-final position is corruption and fails Replay.
+//
+// Concurrency: Append serializes on an internal mutex; Sync snapshots the
+// active file and runs the fsync outside the mutex, so appenders are never
+// blocked behind a disk flush — the property group commit relies on.
+//
+// Appends are buffered in memory: Append performs no syscall, and Sync
+// writes the accumulated frames with a single write before the fsync. A
+// buffered record is exactly as volatile as an unsynced page-cache write,
+// so the durability contract is unchanged — nothing is acknowledged until
+// Sync covers it — while the per-append cost drops to a memcpy, which is
+// what lets the group committer drain many appenders per disk flush.
+type WAL struct {
+	mu       sync.Mutex
+	prefix   string
+	opts     WALOptions
+	f        *os.File // active segment
+	active   walSegment
+	size     int64  // logical bytes in the active segment (flushed + buffered)
+	flushed  int64  // bytes actually written to the active file
+	buf      []byte // frames appended but not yet written to the file
+	nextLSN  uint64
+	records  int64 // records currently stored across all segments
+	sealed   []walSegment
+	closed   bool
+	appends  atomic.Int64
+	syncs    atomic.Int64
+	appended atomic.Int64 // payload bytes appended
+	// syncedLSN/syncedSize track the durable frontier (updated by Sync);
+	// tests use them to chop crash images strictly beyond acknowledged data.
+	syncedLSN  uint64
+	syncedSize int64
+}
+
+// walSegment identifies one segment file.
+type walSegment struct {
+	index    uint64
+	path     string
+	firstLSN uint64
+	f        *os.File // sealed segments keep their handle until Truncate/Close
+}
+
+// WALOptions tunes a write-ahead log.
+type WALOptions struct {
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// ≤ 0 selects the 4 MiB default.
+	SegmentBytes int64
+	// SyncDelay models a slower log device by sleeping this long inside
+	// every Sync, on top of the real fsync. Benchmarks use it to study the
+	// disk-bound regime (commit latencies in the milliseconds) that fast
+	// container filesystems hide. 0 in production.
+	SyncDelay time.Duration
+}
+
+// WALStats is a snapshot of the log's activity counters.
+type WALStats struct {
+	Appends       int64 // records appended
+	Syncs         int64 // fsync calls issued
+	BytesAppended int64 // payload bytes appended
+	Records       int64 // records currently stored (since last truncate)
+	Segments      int   // segment files currently on disk
+}
+
+// Errors returned by the WAL.
+var (
+	ErrWALClosed  = errors.New("storage: wal is closed")
+	ErrWALCorrupt = errors.New("storage: wal corrupt")
+	ErrWALRecord  = errors.New("storage: wal record too large")
+)
+
+// errWALNoHeader marks a segment file with no valid header. For the final
+// segment this means a crash during segment creation (the file holds no
+// records and is safely discarded); anywhere else it is corruption.
+var errWALNoHeader = fmt.Errorf("%w: no valid segment header", ErrWALCorrupt)
+
+const (
+	walMagic         = "DCWAL001"
+	walSegHeaderSize = 8 + 8 + 8 // magic, segment index, first LSN
+	walFrameOverhead = 8         // uint32 length + uint32 crc
+	walMaxRecord     = 64 << 20
+	walDefaultSeg    = 4 << 20
+)
+
+// walSegmentPath names segment files: <prefix>.<index 8-digit>.wal.
+func walSegmentPath(prefix string, index uint64) string {
+	return fmt.Sprintf("%s.%08d.wal", prefix, index)
+}
+
+// OpenWAL opens (or creates) the write-ahead log with the given file
+// prefix. Existing segments are scanned front to back: every frame is
+// CRC-checked, LSN continuity across segments is verified, and a torn tail
+// in the final segment is truncated away, so the reopened log is exactly
+// the valid prefix of what was appended before the crash.
+func OpenWAL(prefix string, opts WALOptions) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = walDefaultSeg
+	}
+	if opts.SegmentBytes < walSegHeaderSize+walFrameOverhead {
+		return nil, fmt.Errorf("%w: segment size %d too small", ErrBadExtent, opts.SegmentBytes)
+	}
+	w := &WAL{prefix: prefix, opts: opts, nextLSN: 1}
+
+	segs, err := findSegments(prefix)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.createSegment(1, 1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+
+	// Scan every segment in order. All but the last must be fully valid;
+	// the last may have a torn tail, which is truncated, or — after a crash
+	// during segment creation — no valid header at all, in which case it
+	// holds no records and is replaced.
+	for i := range segs {
+		last := i == len(segs)-1
+		info, err := scanSegment(segs[i].path, last)
+		if err != nil {
+			if last && errors.Is(err, errWALNoHeader) {
+				if err := os.Remove(segs[i].path); err != nil {
+					return nil, err
+				}
+				break
+			}
+			return nil, err
+		}
+		if info.index != segs[i].index {
+			return nil, fmt.Errorf("%w: segment %s header index %d", ErrWALCorrupt, segs[i].path, info.index)
+		}
+		if i > 0 && info.firstLSN != w.nextLSN {
+			return nil, fmt.Errorf("%w: segment %s starts at lsn %d, want %d",
+				ErrWALCorrupt, segs[i].path, info.firstLSN, w.nextLSN)
+		}
+		if i == 0 {
+			w.nextLSN = info.firstLSN
+		}
+		w.nextLSN += uint64(info.records)
+		w.records += info.records
+		seg := walSegment{index: info.index, path: segs[i].path, firstLSN: info.firstLSN}
+		if last {
+			f, err := os.OpenFile(segs[i].path, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			if info.validSize < info.fileSize {
+				// Torn tail: cut back to the last valid frame and make the
+				// truncation durable before accepting new appends.
+				if err := f.Truncate(info.validSize); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			w.f = f
+			w.active = seg
+			w.size = info.validSize
+			w.flushed = info.validSize
+			w.syncedSize = info.validSize
+		} else {
+			w.sealed = append(w.sealed, seg)
+		}
+	}
+	if w.f == nil {
+		// The final segment was discarded (torn creation): continue in a
+		// fresh one right after it.
+		if err := w.createSegment(segs[len(segs)-1].index+1, w.nextLSN); err != nil {
+			return nil, err
+		}
+	}
+	w.syncedLSN = w.nextLSN - 1
+	return w, nil
+}
+
+// walSegFile is one discovered segment file.
+type walSegFile struct {
+	index uint64
+	path  string
+}
+
+// findSegments lists the segment files of a prefix in index order.
+func findSegments(prefix string) ([]walSegFile, error) {
+	matches, err := filepath.Glob(prefix + ".*.wal")
+	if err != nil {
+		return nil, err
+	}
+	var cands []walSegFile
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(m, prefix+"."), ".wal")
+		idx, err := strconv.ParseUint(base, 10, 64)
+		if err != nil {
+			continue // unrelated file
+		}
+		cands = append(cands, walSegFile{index: idx, path: m})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].index < cands[j].index })
+	return cands, nil
+}
+
+// segmentInfo is the result of validating one segment file.
+type segmentInfo struct {
+	index     uint64
+	firstLSN  uint64
+	records   int64
+	validSize int64 // offset just past the last valid frame
+	fileSize  int64
+}
+
+// scanSegment validates a segment's header and frames. When tolerateTail
+// is true an invalid frame ends the scan cleanly (torn tail of the final
+// segment); otherwise it is corruption.
+func scanSegment(path string, tolerateTail bool) (segmentInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segmentInfo{}, err
+	}
+	info := segmentInfo{fileSize: int64(len(data))}
+	if len(data) < walSegHeaderSize || string(data[:8]) != walMagic {
+		return segmentInfo{}, fmt.Errorf("%w: segment %s header", errWALNoHeader, path)
+	}
+	info.index = binary.LittleEndian.Uint64(data[8:])
+	info.firstLSN = binary.LittleEndian.Uint64(data[16:])
+	off := int64(walSegHeaderSize)
+	for {
+		n, ok := frameAt(data, off)
+		if !ok {
+			if off < int64(len(data)) && !tolerateTail {
+				return segmentInfo{}, fmt.Errorf("%w: segment %s bad frame at %d", ErrWALCorrupt, path, off)
+			}
+			break
+		}
+		off += n
+		info.records++
+	}
+	info.validSize = off
+	return info, nil
+}
+
+// frameAt validates the frame starting at off and returns its total size.
+func frameAt(data []byte, off int64) (int64, bool) {
+	if int64(len(data))-off < walFrameOverhead {
+		return 0, false
+	}
+	length := int64(binary.LittleEndian.Uint32(data[off:]))
+	if length == 0 || length > walMaxRecord {
+		return 0, false
+	}
+	if int64(len(data))-off < walFrameOverhead+length {
+		return 0, false
+	}
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	payload := data[off+walFrameOverhead : off+walFrameOverhead+length]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, false
+	}
+	return walFrameOverhead + length, true
+}
+
+// createSegment creates and syncs a fresh active segment (called with the
+// caller holding w.mu or during construction).
+func (w *WAL) createSegment(index, firstLSN uint64) error {
+	path := walSegmentPath(w.prefix, index)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, walSegHeaderSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], index)
+	binary.LittleEndian.PutUint64(hdr[16:], firstLSN)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return err
+	}
+	// The header (and the file's existence) must survive a crash before the
+	// first Sync, or recovery would see a headerless tail segment.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	w.f = f
+	w.active = walSegment{index: index, path: path, firstLSN: firstLSN}
+	w.size = walSegHeaderSize
+	w.flushed = walSegHeaderSize
+	w.buf = w.buf[:0]
+	w.syncedSize = walSegHeaderSize
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so file creation/removal is
+// durable (not all filesystems support it; errors are ignored).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Append frames one record into the log's buffer and returns its LSN. No
+// syscall is made; the record reaches the file (in one batched write) and
+// the disk only when a subsequent Sync returns (group commit batches many
+// appends into one Sync).
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 || len(payload) > walMaxRecord {
+		return 0, fmt.Errorf("%w: %d bytes", ErrWALRecord, len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [walFrameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	w.buf = append(append(w.buf, hdr[:]...), payload...)
+	w.size += walFrameOverhead + int64(len(payload))
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.records++
+	w.appends.Add(1)
+	w.appended.Add(int64(len(payload)))
+	return lsn, nil
+}
+
+// flushLocked writes the buffered frames to the active file in one
+// syscall. Caller holds w.mu.
+func (w *WAL) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.WriteAt(w.buf, w.flushed); err != nil {
+		return err
+	}
+	w.flushed += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// rotateLocked seals the active segment (fsyncing it, so everything in a
+// sealed segment is durable) and opens the next one.
+func (w *WAL) rotateLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs.Add(1)
+	sealed := w.active
+	sealed.f = w.f
+	if w.nextLSN-1 > w.syncedLSN {
+		w.syncedLSN = w.nextLSN - 1
+	}
+	if err := w.createSegment(w.active.index+1, w.nextLSN); err != nil {
+		// Keep appending to the old segment; rotation retries next time.
+		w.f = sealed.f
+		return err
+	}
+	w.sealed = append(w.sealed, sealed)
+	return nil
+}
+
+// Sync makes every record appended so far durable and returns the highest
+// LSN covered: the buffered frames are written with a single syscall, then
+// fsynced. The fsync runs outside the WAL mutex: concurrent Appends
+// proceed (their records are simply not covered by this Sync).
+func (w *WAL) Sync() (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrWALClosed
+	}
+	if err := w.flushLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	f := w.f
+	target := w.nextLSN - 1
+	size := w.size
+	w.mu.Unlock()
+
+	if err := f.Sync(); err != nil {
+		w.mu.Lock()
+		stillActive := f == w.f
+		synced := w.syncedLSN
+		w.mu.Unlock()
+		if stillActive {
+			return 0, err
+		}
+		// The segment was truncated away while the fsync was in flight
+		// (a concurrent checkpoint): its records are superseded and the
+		// durable frontier already covers everything that matters.
+		return synced, nil
+	}
+	w.syncs.Add(1)
+	if w.opts.SyncDelay > 0 {
+		time.Sleep(w.opts.SyncDelay)
+	}
+
+	w.mu.Lock()
+	if target > w.syncedLSN {
+		w.syncedLSN = target
+	}
+	if f == w.f && size > w.syncedSize {
+		w.syncedSize = size
+	}
+	w.mu.Unlock()
+	return target, nil
+}
+
+// Replay calls fn for every record in the log in append order. It re-reads
+// the segment files, so it reflects exactly what recovery after a crash
+// would see. fn errors abort the replay.
+func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWALClosed
+	}
+	// Replay reads the segment files, so buffered frames must reach them
+	// first (they are part of the log's contents, just not yet durable).
+	if err := w.flushLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	segs := make([]walSegment, 0, len(w.sealed)+1)
+	segs = append(segs, w.sealed...)
+	segs = append(segs, w.active)
+	activeSize := w.size
+	w.mu.Unlock()
+
+	for i, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		if i == len(segs)-1 && int64(len(data)) > activeSize {
+			// Appends racing with the replay: ignore frames past the
+			// snapshot taken above.
+			data = data[:activeSize]
+		}
+		if len(data) < walSegHeaderSize || string(data[:8]) != walMagic {
+			return fmt.Errorf("%w: segment %s header", ErrWALCorrupt, seg.path)
+		}
+		lsn := binary.LittleEndian.Uint64(data[16:])
+		off := int64(walSegHeaderSize)
+		for {
+			n, ok := frameAt(data, off)
+			if !ok {
+				if off < int64(len(data)) && i < len(segs)-1 {
+					return fmt.Errorf("%w: segment %s bad frame at %d", ErrWALCorrupt, seg.path, off)
+				}
+				break
+			}
+			if err := fn(lsn, data[off+walFrameOverhead:off+n]); err != nil {
+				return err
+			}
+			lsn++
+			off += n
+		}
+	}
+	return nil
+}
+
+// Truncate discards every record in the log — the checkpoint step after
+// the tree has durably persisted a state that supersedes them. The LSN
+// counter is preserved: a fresh segment whose header carries the next LSN
+// is created and synced FIRST, then the old segments are removed, so a
+// crash at any point leaves a log that replays to a suffix of the original
+// (and the checkpoint LSN recorded by the tree filters that suffix).
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	old := append(append([]walSegment(nil), w.sealed...), walSegment{
+		index: w.active.index, path: w.active.path, f: w.f,
+	})
+	if err := w.createSegment(w.active.index+1, w.nextLSN); err != nil {
+		return err
+	}
+	w.sealed = nil
+	w.records = 0
+	w.syncedLSN = w.nextLSN - 1
+	for _, seg := range old {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return err
+		}
+	}
+	syncDir(filepath.Dir(w.active.path))
+	return nil
+}
+
+// Close syncs and closes the log files.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	w.closed = true
+	err := w.flushLocked()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	for _, seg := range w.sealed {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+	}
+	return err
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 if none
+// was ever appended).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// SyncedLSN returns the highest LSN known durable.
+func (w *WAL) SyncedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedLSN
+}
+
+// Records returns the number of records currently stored in the log.
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// ActiveSegment reports the active segment's path and the byte offset of
+// its durable frontier (everything below it survived the last Sync). Crash
+// tests chop copies of the file strictly beyond this offset to model torn
+// in-flight appends without losing acknowledged records.
+func (w *WAL) ActiveSegment() (path string, syncedBytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.active.path, w.syncedSize
+}
+
+// Stats returns a snapshot of the log's activity counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	segments := len(w.sealed) + 1
+	records := w.records
+	w.mu.Unlock()
+	return WALStats{
+		Appends:       w.appends.Load(),
+		Syncs:         w.syncs.Load(),
+		BytesAppended: w.appended.Load(),
+		Records:       records,
+		Segments:      segments,
+	}
+}
