@@ -56,6 +56,9 @@ func main() {
 	walWorkers := flag.Int("wal-workers", 8, "concurrent inserters in the group-commit variants of -wal")
 	walInterval := flag.Duration("wal-interval", 2*time.Millisecond, "tuned commit interval for the tuned variants of -wal (the first group variant uses the default)")
 	walSyncDelay := flag.Duration("wal-sync-delay", 2*time.Millisecond, "modeled log-device latency for the -wal modeled-disk variants (added to every fsync)")
+	ckptBench := flag.Bool("checkpoint", false, "benchmark insert tail latency under periodic checkpoints: synchronous flush vs fuzzy checkpoint, JSON output")
+	ckptN := flag.Int("checkpoint-n", 20000, "records inserted per variant of -checkpoint")
+	ckptEvery := flag.Duration("checkpoint-every", 25*time.Millisecond, "checkpoint cadence for -checkpoint")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -84,6 +87,19 @@ func main() {
 
 	if *walBench {
 		res, err := bench.WALBench(opt, *walN, *walWorkers, *walInterval, *walSyncDelay, "")
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *ckptBench {
+		res, err := bench.CheckpointBench(opt, *ckptN, *ckptEvery, "")
 		if err != nil {
 			fatal(err)
 		}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	dctree "github.com/dcindex/dctree"
 )
 
 func TestParseWhere(t *testing.T) {
@@ -127,6 +129,51 @@ func TestBuildQueryRoundtrip(t *testing.T) {
 	}
 	if err := runQuery([]string{"-index", filepath.Join(dir, "missing.dc")}); err == nil {
 		t.Fatal("missing index accepted")
+	}
+}
+
+// TestVerifyCommand drives the physical-integrity check: a freshly built
+// index verifies clean, and a single flipped byte in a node extent makes
+// verify fail instead of passing silently.
+func TestVerifyCommand(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.json")
+	csvPath := filepath.Join(dir, "data.csv")
+	indexPath := filepath.Join(dir, "idx.dc")
+	os.WriteFile(schemaPath, []byte(`{
+	  "dimensions": [{"name": "Customer", "levels": ["Customer", "Nation", "Region"]}],
+	  "measures": ["Revenue"]
+	}`), 0o644)
+	os.WriteFile(csvPath, []byte(
+		"Customer.Region,Customer.Nation,Customer.Customer,Revenue\n"+
+			"EUROPE,GERMANY,C1,100.5\n"+
+			"ASIA,JAPAN,C2,400\n"), 0o644)
+	if err := runBuild([]string{"-schema", schemaPath, "-csv", csvPath, "-index", indexPath}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := runVerify([]string{"-index", indexPath}); err != nil {
+		t.Fatalf("verify on fresh index: %v", err)
+	}
+
+	// Flip one payload byte of the first extent (the root node: build
+	// allocates node extents before the metadata and freelist blocks).
+	f, err := os.OpenFile(indexPath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(dctree.DefaultConfig().BlockSize) + 12 + 5
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := runVerify([]string{"-index", indexPath}); err == nil {
+		t.Fatal("verify accepted a damaged index")
 	}
 }
 

@@ -83,6 +83,11 @@ type (
 	HistogramSnapshot = obs.HistogramSnapshot
 	// LevelStat aggregates node statistics for one tree level.
 	LevelStat = core.LevelStat
+	// VerifyReport summarizes Tree.VerifyExtents — a physical scan of
+	// every extent the tree references, checking stored checksums.
+	VerifyReport = core.VerifyReport
+	// VerifyError is one damaged extent in a VerifyReport.
+	VerifyError = core.VerifyError
 
 	// Schema declares a data cube: dimensions with concept hierarchies
 	// plus measure names.
@@ -173,6 +178,12 @@ func OpenDurable(store Store, walPrefix string) (*Tree, error) {
 
 // WALStats is the write-ahead log's activity snapshot (Tree.WALStats).
 type WALStats = storage.WALStats
+
+// ErrChecksum reports a stored page whose checksum no longer matches its
+// contents — on-disk corruption. File stores checksum every extent, the
+// metadata and the freelist; reads fail closed with this error instead of
+// decoding damaged bytes.
+var ErrChecksum = storage.ErrChecksum
 
 // NewMemStore creates an in-memory block store with full I/O accounting.
 func NewMemStore(blockSize int) Store { return storage.NewMemStore(blockSize) }

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dcindex/dctree/internal/core"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// CheckpointVariant is one checkpoint-mode run of the checkpoint benchmark:
+// a single writer inserts records while a background goroutine periodically
+// checkpoints the tree, either with the synchronous baseline (capture,
+// write and install under one continuous hold of the tree write lock) or
+// with the fuzzy protocol (extent writes run without the lock).
+type CheckpointVariant struct {
+	Mode          string  `json:"mode"` // "sync_flush" or "fuzzy_checkpoint"
+	Records       int     `json:"records"`
+	Checkpoints   int64   `json:"checkpoints"`
+	Seconds       float64 `json:"seconds"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	// Insert latency percentiles over every single Insert call. The p99 and
+	// max carry the checkpoint interference: with the synchronous baseline
+	// an insert that lands during a flush waits out the whole store pass.
+	P50InsertUS float64 `json:"p50_insert_us"`
+	P99InsertUS float64 `json:"p99_insert_us"`
+	MaxInsertUS float64 `json:"max_insert_us"`
+	// WriterStallSeconds is the tree's own accounting of how long writers
+	// were excluded by checkpointing (for the fuzzy mode: the capture and
+	// install critical sections only).
+	WriterStallSeconds float64 `json:"writer_stall_seconds"`
+	PagesWritten       int64   `json:"pages_written"`
+	RequeuedNodes      int64   `json:"requeued_nodes"`
+}
+
+// CheckpointBenchResult is the JSON shape dcbench -checkpoint emits.
+type CheckpointBenchResult struct {
+	Records           int                 `json:"records"`
+	CheckpointEveryUS float64             `json:"checkpoint_every_us"`
+	Variants          []CheckpointVariant `json:"variants"`
+	P99Speedup        float64             `json:"p99_speedup"`         // sync p99 / fuzzy p99
+	StallReductionPct float64             `json:"stall_reduction_pct"` // 1 - fuzzy/sync stall
+	ThroughputSpeedup float64             `json:"throughput_speedup"`  // fuzzy / sync inserts/s
+}
+
+// CheckpointBench measures insert tail latency under periodic checkpoints,
+// synchronous versus fuzzy, on a file-backed store and WAL in dir (a temp
+// directory when empty). Both modes run the identical workload: n durable
+// inserts with a checkpoint fired every `every` of wall time.
+func CheckpointBench(opt Options, n int, every time.Duration, dir string) (*CheckpointBenchResult, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "dcckptbench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	res := &CheckpointBenchResult{
+		Records:           n,
+		CheckpointEveryUS: float64(every) / float64(time.Microsecond),
+	}
+	for i, mode := range []string{"sync_flush", "fuzzy_checkpoint"} {
+		sub := filepath.Join(dir, fmt.Sprintf("run%d", i))
+		v, err := runCheckpointVariant(opt, mode, n, every, sub)
+		if err != nil {
+			return nil, err
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	syncV, fuzzyV := res.Variants[0], res.Variants[1]
+	if fuzzyV.P99InsertUS > 0 {
+		res.P99Speedup = syncV.P99InsertUS / fuzzyV.P99InsertUS
+	}
+	if syncV.WriterStallSeconds > 0 {
+		res.StallReductionPct = 100 * (1 - fuzzyV.WriterStallSeconds/syncV.WriterStallSeconds)
+	}
+	if syncV.InsertsPerSec > 0 {
+		res.ThroughputSpeedup = fuzzyV.InsertsPerSec / syncV.InsertsPerSec
+	}
+	return res, nil
+}
+
+func runCheckpointVariant(opt Options, mode string, n int, every time.Duration, dir string) (CheckpointVariant, error) {
+	var v CheckpointVariant
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return v, err
+	}
+	schema, recs, err := walBenchSchema(n)
+	if err != nil {
+		return v, err
+	}
+	cfg := opt.DCConfig
+	st, err := storage.OpenPagedStore(filepath.Join(dir, "store.dc"), cfg.BlockSize, 0)
+	if err != nil {
+		return v, err
+	}
+	defer st.Close()
+	tree, err := core.NewDurable(st, schema, cfg, filepath.Join(dir, "idx"))
+	if err != nil {
+		return v, err
+	}
+
+	stop := make(chan struct{})
+	var ckptErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			var err error
+			if mode == "sync_flush" {
+				err = tree.FlushSync()
+			} else {
+				err = tree.Checkpoint(context.Background())
+			}
+			if err != nil {
+				ckptErr = err
+				return
+			}
+		}
+	}()
+
+	lat := make([]time.Duration, len(recs))
+	start := time.Now()
+	for i, rec := range recs {
+		t0 := time.Now()
+		if err := tree.Insert(rec); err != nil {
+			close(stop)
+			wg.Wait()
+			tree.Close()
+			return v, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if ckptErr != nil {
+		tree.Close()
+		return v, ckptErr
+	}
+	m := tree.Metrics()
+	if err := tree.Close(); err != nil {
+		return v, err
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx]) / float64(time.Microsecond)
+	}
+	v = CheckpointVariant{
+		Mode:               mode,
+		Records:            len(recs),
+		Checkpoints:        m.Checkpoints,
+		Seconds:            elapsed.Seconds(),
+		InsertsPerSec:      float64(len(recs)) / elapsed.Seconds(),
+		P50InsertUS:        pct(0.50),
+		P99InsertUS:        pct(0.99),
+		MaxInsertUS:        float64(lat[len(lat)-1]) / float64(time.Microsecond),
+		WriterStallSeconds: m.CheckpointWriterStallSeconds,
+		PagesWritten:       m.CheckpointPagesWritten,
+		RequeuedNodes:      m.CheckpointRequeuedNodes,
+	}
+	return v, nil
+}

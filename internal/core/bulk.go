@@ -22,16 +22,31 @@ import (
 // makes the trade-off unnecessary.
 func (t *Tree) BulkLoad(recs []cube.Record) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	needFlush, err := t.bulkLoadLocked(recs)
+	t.mu.Unlock()
+	if err != nil || !needFlush {
+		return err
+	}
+	// A WAL-backed tree checkpoints immediately: bulk loading bypasses the
+	// log, so until the flush lands nothing of the load would survive a
+	// crash — and the log must not claim otherwise. The flush runs after
+	// the lock is released: checkpoints take the checkpoint mutex before
+	// the tree lock, never the other way around.
+	return t.Flush()
+}
+
+// bulkLoadLocked builds the packed tree in memory; the caller flushes
+// afterwards when the tree is WAL-backed. Caller holds t.mu.
+func (t *Tree) bulkLoadLocked(recs []cube.Record) (needFlush bool, err error) {
 	if t.count > 0 {
-		return fmt.Errorf("%w: BulkLoad requires an empty tree", ErrBadConfig)
+		return false, fmt.Errorf("%w: BulkLoad requires an empty tree", ErrBadConfig)
 	}
 	if len(recs) == 0 {
-		return nil
+		return false, nil
 	}
 	for i := range recs {
 		if err := t.schema.ValidateRecord(recs[i]); err != nil {
-			return fmt.Errorf("record %d: %w", i, err)
+			return false, fmt.Errorf("record %d: %w", i, err)
 		}
 	}
 	space := t.space()
@@ -57,7 +72,7 @@ func (t *Tree) BulkLoad(recs []cube.Record) error {
 				}
 				anc, err := h.AncestorAt(r.Coords[d], level)
 				if err != nil {
-					return err
+					return false, err
 				}
 				key = append(key, anc.Code())
 			}
@@ -102,7 +117,7 @@ func (t *Tree) BulkLoad(recs []cube.Record) error {
 		}
 		m, err := t.bulkDescribe(n)
 		if err != nil {
-			return err
+			return false, err
 		}
 		level = append(level, built{id: n.id, mds: m, agg: n.aggregate(measures)})
 	}
@@ -122,7 +137,7 @@ func (t *Tree) BulkLoad(recs []cube.Record) error {
 			}
 			m, err := t.bulkDescribe(n)
 			if err != nil {
-				return err
+				return false, err
 			}
 			next = append(next, built{id: n.id, mds: m, agg: n.aggregate(measures)})
 		}
@@ -132,23 +147,16 @@ func (t *Tree) BulkLoad(recs []cube.Record) error {
 
 	root, err := t.getNode(level[0].id)
 	if err != nil {
-		return err
+		return false, err
 	}
 	// Drop the old empty root and install the packed one.
 	if err := t.dropNode(t.root); err != nil {
-		return err
+		return false, err
 	}
 	t.root = root.id
 	t.rootMDS = level[0].mds
 	t.count = int64(len(recs))
-
-	// A WAL-backed tree checkpoints immediately: bulk loading bypasses the
-	// log, so until the flush lands nothing of the load would survive a
-	// crash — and the log must not claim otherwise.
-	if t.wal != nil {
-		return t.flushLocked()
-	}
-	return nil
+	return t.wal != nil, nil
 }
 
 // bulkDescribe computes a node's describing MDS for bulk loading: the

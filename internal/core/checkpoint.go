@@ -1,0 +1,443 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// Fuzzy checkpoints.
+//
+// A checkpoint persists every dirty node with shadow paging and swaps the
+// metadata blob (which carries the node→extent translation table) last, so
+// a crash at any point leaves the previously persisted tree intact. The
+// fuzzy protocol splits the work into three phases so that the expensive
+// part — writing the dirty extents — runs WITHOUT the tree write lock,
+// concurrently with inserts, deletes and queries:
+//
+//  1. Capture (tree write lock): snapshot the checkpoint LSN, encode every
+//     dirty node's payload, copy the metadata fields and the translation
+//     table, and detach the pending-free list. The captured image is
+//     exactly the tree state at the checkpoint LSN: WAL appends happen
+//     under the same lock, so every mutation with LSN ≤ cLSN is in the
+//     image and every later mutation is in the log with LSN > cLSN —
+//     replay after a crash never double-applies.
+//  2. Background write (no tree lock): allocate a fresh extent per captured
+//     node and write the captured payload. Writers running meanwhile only
+//     touch in-memory nodes and the WAL; a node they re-dirty keeps a newer
+//     dirty sequence and is re-captured by the next checkpoint.
+//  3. Install (tree write lock, short): encode and swap the metadata, sync,
+//     then point the live table at the fresh extents, clear the dirty flags
+//     whose sequence is unchanged, and release the shadowed extents.
+//
+// Nothing observable by the live tree changes until the swap succeeded, so
+// any failure rolls back by freeing the fresh extents and re-attaching the
+// captured pending-free list — the table, checkpoint LSN and dirty flags
+// were never touched.
+
+// ckptNode is one dirty node captured for a checkpoint.
+type ckptNode struct {
+	id      nodeID
+	seq     uint64 // dirty sequence at capture; clear-if-unchanged at install
+	payload []byte
+	need    int       // extent size in blocks
+	old     extentRef // extent superseded by this write
+	hasOld  bool
+	fresh   extentRef // assigned by the background write phase
+}
+
+// ckptCapture is the consistent image one checkpoint persists.
+type ckptCapture struct {
+	lsn     uint64
+	skip    bool // nothing dirty, nothing to free, LSN unchanged
+	nodes   []ckptNode
+	meta    metaSnapshot
+	freeNow []extentRef // pending frees detached at capture, released after the swap
+}
+
+// captureLocked snapshots the checkpoint image. Caller holds t.mu.
+func (t *Tree) captureLocked() (*ckptCapture, error) {
+	c := &ckptCapture{lsn: t.checkpointLSN}
+	if t.wal != nil {
+		c.lsn = t.wal.w.LastLSN()
+	}
+	for _, e := range t.nc.dirtySnapshot() {
+		n := t.nc.get(e.id)
+		if n == nil {
+			if _, inTable := t.table[e.id]; inTable {
+				// EvictCache keeps dirty nodes resident and dropNode clears
+				// the flag, so a dirty node with an extent but no in-memory
+				// state has lost unpersisted mutations — fail loudly instead
+				// of silently checkpointing its stale extent as current.
+				return nil, fmt.Errorf("%w: node %d is dirty but not resident", ErrCorrupt, e.id)
+			}
+			// Dirty, absent, and unknown to the table: a leftover flag with
+			// no state behind it. Clear it so it cannot pin cache evictions
+			// or retrigger this path forever.
+			t.nc.clearDirtyIf(e.id, e.seq)
+			continue
+		}
+		payload := n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
+		need := storage.BlocksFor(t.cfg.BlockSize, len(payload))
+		if need < n.blocks {
+			need = n.blocks // supernodes occupy their full logical extent
+		}
+		cn := ckptNode{id: e.id, seq: e.seq, payload: payload, need: need}
+		if old, ok := t.table[e.id]; ok {
+			cn.old, cn.hasOld = old, true
+		}
+		c.nodes = append(c.nodes, cn)
+	}
+	// Deterministic write order (the dirty snapshot walks hash-ordered
+	// shards) keeps crash images reproducible under a given fault budget.
+	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
+
+	c.freeNow = t.pendingFree
+	t.pendingFree = nil
+	c.meta = t.metaSnapshotLocked()
+	c.meta.checkpointLSN = c.lsn
+	c.skip = len(c.nodes) == 0 && len(c.freeNow) == 0 && c.lsn == t.checkpointLSN
+	return c, nil
+}
+
+// writeExtents is the background phase: write every captured payload to a
+// fresh extent and record it in the capture's table copy. Runs without the
+// tree lock; only the store (internally synchronized) is touched.
+func (t *Tree) writeExtents(ctx context.Context, c *ckptCapture) error {
+	for i := range c.nodes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cn := &c.nodes[i]
+		page, err := t.store.Alloc(cn.need)
+		if err != nil {
+			return err
+		}
+		cn.fresh = extentRef{page: page, blocks: cn.need}
+		if err := t.store.Write(page, cn.need, cn.payload); err != nil {
+			return err
+		}
+		c.meta.table[cn.id] = cn.fresh
+	}
+	return nil
+}
+
+// installLocked is the short critical section that makes the checkpoint
+// current: swap the metadata durably, then update the in-memory state.
+// Every error return happens BEFORE any in-memory mutation, so the caller
+// can roll back; once the swap is durable the install cannot fail — frees
+// are retried at the next checkpoint instead of unwinding a committed
+// state. Caller holds t.mu.
+func (t *Tree) installLocked(c *ckptCapture) error {
+	meta, err := t.encodeMeta(c.meta)
+	if err != nil {
+		return err
+	}
+	if err := t.store.SetMeta(meta); err != nil {
+		return err
+	}
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+
+	// The swap is durable. From here on, only bookkeeping.
+	t.checkpointLSN = c.lsn
+	var deferred []extentRef
+	free := func(ref extentRef) {
+		if err := t.store.Free(ref.page, ref.blocks); err != nil {
+			deferred = append(deferred, ref)
+		}
+	}
+	for i := range c.nodes {
+		cn := &c.nodes[i]
+		// A captured node is still live if it has an extent or is resident:
+		// fresh nodes reach their first checkpoint with no table entry yet,
+		// and only dropNode removes a dirty node from both places.
+		_, inTable := t.table[cn.id]
+		if inTable || t.nc.get(cn.id) != nil {
+			t.table[cn.id] = cn.fresh
+			if !t.nc.clearDirtyIf(cn.id, cn.seq) {
+				// Re-dirtied during the background write: the fresh extent
+				// holds the captured (consistent, WAL-covered) version and
+				// the node stays queued for the next checkpoint.
+				t.metrics.checkpointRequeued.Inc()
+			}
+			if cn.hasOld {
+				free(cn.old)
+			}
+		} else {
+			// Dropped during the background write. The metadata just made
+			// durable references the fresh extent, so it must survive until
+			// the NEXT swap supersedes it; dropNode already queued the old
+			// extent the same way.
+			t.pendingFree = append(t.pendingFree, cn.fresh)
+		}
+	}
+	for _, ref := range c.freeNow {
+		free(ref)
+	}
+	if len(deferred) > 0 {
+		// A failed Free after a durable swap is not a checkpoint failure:
+		// the tree is consistent and the extent merely stays allocated.
+		// Keep it queued so the next checkpoint retries the release.
+		t.pendingFree = append(t.pendingFree, deferred...)
+		t.metrics.checkpointFreeDeferred.Add(int64(len(deferred)))
+	}
+
+	if t.wal != nil {
+		// Drop log segments wholly superseded by this checkpoint. Failure
+		// (or a crash before this point) is safe: recovery filters replay
+		// by the checkpoint LSN, so leftover records are skipped, never
+		// re-applied — the log is just larger than it needs to be.
+		_ = t.wal.w.TruncateBefore(c.lsn)
+		t.wal.checkpointDone(c.lsn)
+	}
+	return nil
+}
+
+// rollbackLocked undoes a failed checkpoint: free the fresh extents the
+// background phase allocated (best-effort — on a dead store they are
+// unreachable anyway, the durable metadata never referenced them) and
+// re-attach the captured pending frees. The table, dirty flags and
+// checkpoint LSN were never touched, so the tree continues exactly as if
+// the checkpoint had not been attempted. Caller holds t.mu.
+func (t *Tree) rollbackLocked(c *ckptCapture) {
+	for i := range c.nodes {
+		if fresh := c.nodes[i].fresh; fresh.page != storage.NilPage {
+			_ = t.store.Free(fresh.page, fresh.blocks)
+		}
+	}
+	t.pendingFree = append(c.freeNow, t.pendingFree...)
+}
+
+// Checkpoint persists all dirty nodes and the tree metadata with the fuzzy
+// protocol: writers are stalled only during the capture and install
+// critical sections, not while the dirty extents are written. Concurrent
+// checkpoints serialize. The context cancels only the background write
+// phase (the checkpoint rolls back); a started install always completes.
+func (t *Tree) Checkpoint(ctx context.Context) error {
+	return t.checkpoint(ctx, false)
+}
+
+// Flush writes all dirty nodes and the tree metadata to the store and
+// syncs it, using the fuzzy checkpoint protocol. After a successful Flush
+// the tree can be reopened with Open. On a WAL-backed tree, Flush is a
+// CHECKPOINT: the durable metadata records the log frontier it supersedes
+// and superseded log segments are dropped. It is not the durability
+// boundary — acknowledged mutations are already safe in the log before
+// Flush runs.
+func (t *Tree) Flush() error {
+	return t.checkpoint(context.Background(), false)
+}
+
+// FlushSync is the pre-fuzzy baseline: capture, write and install all run
+// under one continuous hold of the tree write lock, stalling every writer
+// for the full duration. It persists the identical state and exists so the
+// checkpoint benchmark can measure what the fuzzy protocol buys.
+func (t *Tree) FlushSync() error {
+	return t.checkpoint(context.Background(), true)
+}
+
+// checkpoint runs one checkpoint, fuzzy or synchronous. The writer-stall
+// counter accumulates only the time writers were actually excluded, which
+// for the fuzzy path is the two short critical sections.
+func (t *Tree) checkpoint(ctx context.Context, sync bool) error {
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	start := time.Now()
+
+	var (
+		c     *ckptCapture
+		err   error
+		stall time.Duration
+	)
+	if sync {
+		t.mu.Lock()
+		c, err = t.captureLocked()
+		if err == nil && !c.skip {
+			if err = t.writeExtents(ctx, c); err == nil {
+				err = t.installLocked(c)
+			}
+			if err != nil {
+				t.rollbackLocked(c)
+			}
+		}
+		stall = time.Since(start)
+		t.mu.Unlock()
+	} else {
+		t.mu.Lock()
+		capStart := time.Now()
+		c, err = t.captureLocked()
+		stall = time.Since(capStart)
+		t.mu.Unlock()
+		if err == nil && !c.skip {
+			werr := t.writeExtents(ctx, c)
+			t.mu.Lock()
+			insStart := time.Now()
+			if werr == nil {
+				werr = t.installLocked(c)
+			}
+			if werr != nil {
+				t.rollbackLocked(c)
+			}
+			stall += time.Since(insStart)
+			t.mu.Unlock()
+			err = werr
+		}
+	}
+
+	t.metrics.checkpointStallNs.Add(int64(stall))
+	if err != nil {
+		t.metrics.checkpointFailures.Inc()
+		return err
+	}
+	if c.skip {
+		return nil
+	}
+	var bytes int64
+	for i := range c.nodes {
+		bytes += int64(len(c.nodes[i].payload))
+	}
+	t.metrics.checkpoints.Inc()
+	t.metrics.checkpointPages.Add(int64(len(c.nodes)))
+	t.metrics.checkpointBytes.Add(bytes)
+	t.metrics.checkpointLatency.Observe(time.Since(start))
+	return nil
+}
+
+// checkpointer is the background auto-trigger: a WAL-backed tree with
+// CheckpointInterval or CheckpointDirtyBytes set checkpoints itself
+// without the application calling Flush.
+type checkpointer struct {
+	t        *Tree
+	interval time.Duration
+	bytes    int64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// startCheckpointer launches the auto-trigger goroutine if either knob is
+// set. Called once, before the tree is shared.
+func (t *Tree) startCheckpointer() {
+	if t.cfg.CheckpointInterval <= 0 && t.cfg.CheckpointDirtyBytes <= 0 {
+		return
+	}
+	cp := &checkpointer{
+		t:        t,
+		interval: t.cfg.CheckpointInterval,
+		bytes:    int64(t.cfg.CheckpointDirtyBytes),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	t.cp = cp
+	go cp.run()
+}
+
+// run polls until shutdown: on every tick the checkpoint fires if the
+// interval elapsed since the last one or the estimated dirty footprint
+// (dirty nodes × block size) reached the byte threshold. Failures are
+// counted by the checkpoint itself and retried on the next due tick.
+func (cp *checkpointer) run() {
+	defer close(cp.done)
+	const bytePoll = 50 * time.Millisecond
+	tick := cp.interval
+	if cp.bytes > 0 && (tick <= 0 || tick > bytePoll) {
+		tick = bytePoll
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-cp.stop:
+			return
+		case <-ticker.C:
+		}
+		due := cp.interval > 0 && time.Since(last) >= cp.interval
+		if !due && cp.bytes > 0 {
+			due = cp.t.nc.dirtyLen()*int64(cp.t.cfg.BlockSize) >= cp.bytes
+		}
+		if !due {
+			continue
+		}
+		_ = cp.t.Checkpoint(context.Background())
+		last = time.Now()
+	}
+}
+
+// shutdown stops the auto-trigger and waits for an in-flight checkpoint to
+// finish.
+func (cp *checkpointer) shutdown() {
+	close(cp.stop)
+	<-cp.done
+}
+
+// VerifyError is one damaged extent found by VerifyExtents.
+type VerifyError struct {
+	NodeID uint64
+	Page   storage.PageID
+	Blocks int
+	Err    error
+}
+
+// VerifyReport summarizes a physical scan of every extent the tree's
+// translation table references.
+type VerifyReport struct {
+	Extents     int           // extents scanned
+	Checksummed int           // extents carrying a CRC (v2 format)
+	Errors      []VerifyError // damaged extents, in node-ID order
+}
+
+// OK reports whether the scan found no damage.
+func (r VerifyReport) OK() bool { return len(r.Errors) == 0 }
+
+// extentVerifier is implemented by stores that can check an extent's
+// checksum without decoding (and without polluting a buffer pool).
+type extentVerifier interface {
+	VerifyExtent(id storage.PageID) (blocks int, checksummed bool, err error)
+}
+
+// VerifyExtents reads every extent referenced by the translation table and
+// verifies its checksum (on stores that carry them; otherwise the read
+// itself is the check). Damage is collected, not returned early, so one
+// scan reports every bad extent.
+func (t *Tree) VerifyExtents() VerifyReport {
+	t.mu.RLock()
+	refs := make(map[nodeID]extentRef, len(t.table))
+	for id, ref := range t.table {
+		refs[id] = ref
+	}
+	t.mu.RUnlock()
+
+	ids := make([]nodeID, 0, len(refs))
+	for id := range refs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var rep VerifyReport
+	ev, hasVerify := t.store.(extentVerifier)
+	for _, id := range ids {
+		ref := refs[id]
+		rep.Extents++
+		var err error
+		checksummed := false
+		if hasVerify {
+			_, checksummed, err = ev.VerifyExtent(ref.page)
+		} else {
+			_, _, err = t.store.Read(ref.page)
+		}
+		if checksummed {
+			rep.Checksummed++
+		}
+		if err != nil {
+			rep.Errors = append(rep.Errors, VerifyError{
+				NodeID: uint64(id), Page: ref.page, Blocks: ref.blocks, Err: err,
+			})
+		}
+	}
+	return rep
+}

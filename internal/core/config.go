@@ -89,6 +89,19 @@ type Config struct {
 	// bytes are pending, bounding the data at risk inside one window under
 	// write bursts. 0 selects the 256 KiB default.
 	CommitBytes int
+
+	// CheckpointInterval, when positive, makes a WAL-backed tree checkpoint
+	// itself in the background at least this often: dirty nodes are written
+	// with the fuzzy protocol (writers stall only for the capture and
+	// install critical sections) and superseded log segments are dropped.
+	// 0 (the default) disables the timer; Flush/Checkpoint remain available.
+	CheckpointInterval time.Duration
+
+	// CheckpointDirtyBytes, when positive, triggers a background checkpoint
+	// once the estimated dirty footprint (dirty nodes × block size) reaches
+	// this many bytes, bounding both recovery replay work and WAL growth
+	// under sustained writes. 0 (the default) disables the byte trigger.
+	CheckpointDirtyBytes int
 }
 
 // DefaultConfig returns the configuration used by the paper reproduction.
@@ -163,6 +176,10 @@ func (c *Config) Normalize() error {
 		return fmt.Errorf("%w: refine bound below -1", ErrBadConfig)
 	case c.CommitBytes < 0:
 		return fmt.Errorf("%w: negative commit bytes", ErrBadConfig)
+	case c.CheckpointInterval < 0:
+		return fmt.Errorf("%w: negative checkpoint interval", ErrBadConfig)
+	case c.CheckpointDirtyBytes < 0:
+		return fmt.Errorf("%w: negative checkpoint dirty bytes", ErrBadConfig)
 	}
 	return nil
 }

@@ -130,10 +130,12 @@ func TestCrashDuringFlushPreservesLastCheckpoint(t *testing.T) {
 		cs.budget = budget
 		err = tree.Flush()
 		cs.budget = -1
-		if err == nil {
-			t.Fatalf("budget %d: flush unexpectedly survived", budget)
-		}
-		if !errors.Is(err, errCrashed) {
+		// Failures after the durable metadata swap (releasing shadowed
+		// extents) are absorbed and retried at the next checkpoint, so a
+		// large enough budget lets the flush succeed; any reported error
+		// must be the injected crash.
+		flushSucceeded := err == nil
+		if err != nil && !errors.Is(err, errCrashed) {
 			t.Fatalf("budget %d: unexpected flush error %v", budget, err)
 		}
 
@@ -148,6 +150,9 @@ func TestCrashDuringFlushPreservesLastCheckpoint(t *testing.T) {
 		newCount := checkpointCount + int64(len(extra))
 		switch reopened.Count() {
 		case checkpointCount:
+			if flushSucceeded {
+				t.Fatalf("budget %d: flush reported success but only the checkpoint survived", budget)
+			}
 			got, err := reopened.RangeAgg(reopened.RootMDS(), 0)
 			if err != nil {
 				t.Fatal(err)

@@ -17,16 +17,54 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-// Two format versions are in play: v2 ("DCMETA02") extends v1 with the
+// Three format versions are in play: v2 ("DCMETA02") extends v1 with the
 // group-commit knobs (after the config flags byte) and the WAL checkpoint
-// LSN (after nextID). Writing always produces v2; reading accepts both,
-// with the v2 fields defaulting to zero on a v1 blob.
+// LSN (after nextID); v3 ("DCMETA03") appends the checkpoint auto-trigger
+// knobs after CommitBytes. Writing always produces v3; reading accepts all
+// three, with newer fields defaulting to zero on older blobs.
 const (
-	metaMagic   = "DCMETA02"
+	metaMagic   = "DCMETA03"
+	metaMagicV2 = "DCMETA02"
 	metaMagicV1 = "DCMETA01"
 )
 
-func (t *Tree) encodeMeta() ([]byte, error) {
+// metaSnapshot is the tree-shape half of the metadata blob, captured under
+// the tree lock so a fuzzy checkpoint can encode and swap it while the
+// live fields keep moving. The schema and config are not part of it: the
+// config is immutable after New/Open, and the dictionaries only grow — a
+// superset of the dictionaries at capture time decodes every captured
+// node.
+type metaSnapshot struct {
+	root          nodeID
+	rootMDS       mds.MDS
+	height        int
+	count         int64
+	nextID        nodeID
+	checkpointLSN uint64
+	table         map[nodeID]extentRef
+}
+
+// metaSnapshotLocked copies the mutable metadata fields. Caller holds t.mu.
+func (t *Tree) metaSnapshotLocked() metaSnapshot {
+	table := make(map[nodeID]extentRef, len(t.table))
+	for id, ref := range t.table {
+		table[id] = ref
+	}
+	return metaSnapshot{
+		root:          t.root,
+		rootMDS:       t.rootMDS.Clone(),
+		height:        t.height,
+		count:         t.count,
+		nextID:        t.nextID,
+		checkpointLSN: t.checkpointLSN,
+		table:         table,
+	}
+}
+
+// encodeMeta serializes the metadata blob from a snapshot of the mutable
+// fields plus the live (immutable or grow-only) config and schema. Must be
+// called under t.mu: dictionary registrations race with encoding otherwise.
+func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 	buf := []byte(metaMagic)
 
 	// Config.
@@ -50,14 +88,16 @@ func (t *Tree) encodeMeta() ([]byte, error) {
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(t.cfg.CommitInterval))
 	buf = binary.AppendUvarint(buf, uint64(t.cfg.CommitBytes))
+	buf = binary.AppendVarint(buf, int64(t.cfg.CheckpointInterval))
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.CheckpointDirtyBytes))
 
 	// Tree shape.
-	buf = binary.AppendUvarint(buf, uint64(t.root))
-	buf = binary.AppendUvarint(buf, uint64(t.height))
-	buf = binary.AppendVarint(buf, t.count)
-	buf = binary.AppendUvarint(buf, uint64(t.nextID))
-	buf = binary.AppendUvarint(buf, t.checkpointLSN)
-	buf = t.rootMDS.AppendEncode(buf)
+	buf = binary.AppendUvarint(buf, uint64(snap.root))
+	buf = binary.AppendUvarint(buf, uint64(snap.height))
+	buf = binary.AppendVarint(buf, snap.count)
+	buf = binary.AppendUvarint(buf, uint64(snap.nextID))
+	buf = binary.AppendUvarint(buf, snap.checkpointLSN)
+	buf = snap.rootMDS.AppendEncode(buf)
 
 	// Schema: dimensions with full dictionaries, then measure names.
 	buf = binary.AppendUvarint(buf, uint64(t.schema.Dims()))
@@ -79,8 +119,8 @@ func (t *Tree) encodeMeta() ([]byte, error) {
 	}
 
 	// Translation table.
-	buf = binary.AppendUvarint(buf, uint64(len(t.table)))
-	for id, ref := range t.table {
+	buf = binary.AppendUvarint(buf, uint64(len(snap.table)))
+	for id, ref := range snap.table {
 		buf = binary.AppendUvarint(buf, uint64(id))
 		buf = binary.AppendUvarint(buf, uint64(ref.page))
 		buf = binary.AppendUvarint(buf, uint64(ref.blocks))
@@ -97,11 +137,14 @@ func Open(store storage.Store) (*Tree, error) {
 	if len(meta) < len(metaMagic) {
 		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
 	}
-	var v1 bool
+	var ver int
 	switch string(meta[:len(metaMagic)]) {
 	case metaMagic:
+		ver = 3
+	case metaMagicV2:
+		ver = 2
 	case metaMagicV1:
-		v1 = true
+		ver = 1
 	default:
 		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
 	}
@@ -119,9 +162,13 @@ func Open(store storage.Store) (*Tree, error) {
 	cfg.Materialize = flags&1 != 0
 	cfg.DisableSupernodes = flags&2 != 0
 	cfg.FlatChooseSubtree = flags&4 != 0
-	if !v1 {
+	if ver >= 2 {
 		cfg.CommitInterval = time.Duration(r.varint())
 		cfg.CommitBytes = int(r.uvarint())
+	}
+	if ver >= 3 {
+		cfg.CheckpointInterval = time.Duration(r.varint())
+		cfg.CheckpointDirtyBytes = int(r.uvarint())
 	}
 
 	root := nodeID(r.uvarint())
@@ -129,7 +176,7 @@ func Open(store storage.Store) (*Tree, error) {
 	count := r.varint()
 	nextID := nodeID(r.uvarint())
 	var checkpointLSN uint64
-	if !v1 {
+	if ver >= 2 {
 		checkpointLSN = r.uvarint()
 	}
 	if r.err != nil {

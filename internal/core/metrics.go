@@ -61,6 +61,20 @@ type treeMetrics struct {
 	walBatchRecords  obs.Counter
 	walBatchMax      obs.Gauge
 	recoveryReplayed obs.Counter
+
+	// Fuzzy checkpoints: completed and failed checkpoints, pages (extents)
+	// and payload bytes written, nodes re-dirtied during the background
+	// write (re-queued for the next round), extent frees deferred past a
+	// durable swap, cumulative writer-stall time (the capture and install
+	// critical sections only), and end-to-end checkpoint latency.
+	checkpoints            obs.Counter
+	checkpointFailures     obs.Counter
+	checkpointPages        obs.Counter
+	checkpointBytes        obs.Counter
+	checkpointRequeued     obs.Counter
+	checkpointFreeDeferred obs.Counter
+	checkpointStallNs      obs.Counter
+	checkpointLatency      obs.Histogram
 }
 
 // Metrics is a point-in-time snapshot of a tree's operational counters,
@@ -124,6 +138,19 @@ type Metrics struct {
 	WALGroupCommitBatchMax  int64
 	RecoveryReplayedRecords int64
 
+	// Fuzzy checkpoints. CheckpointWriterStallSeconds is the cumulative
+	// time writers were excluded by checkpoint critical sections — for the
+	// fuzzy protocol the capture and install phases only, for FlushSync the
+	// whole checkpoint; the gap between it and the latency histogram's sum
+	// is exactly what backgrounding the extent writes buys.
+	Checkpoints                  int64
+	CheckpointFailures           int64
+	CheckpointPagesWritten       int64
+	CheckpointBytesWritten       int64
+	CheckpointRequeuedNodes      int64
+	CheckpointDeferredFrees      int64
+	CheckpointWriterStallSeconds float64
+
 	// MaterializedHitRatio is QueryMaterializedHits / QueryEntriesScanned:
 	// the fraction of examined entries answered from a materialized
 	// aggregate without descending. PrunedEntryRatio is the analogous
@@ -132,8 +159,9 @@ type Metrics struct {
 	PrunedEntryRatio     float64
 
 	// Latency distributions.
-	InsertLatency obs.HistogramSnapshot
-	QueryLatency  obs.HistogramSnapshot
+	InsertLatency     obs.HistogramSnapshot
+	QueryLatency      obs.HistogramSnapshot
+	CheckpointLatency obs.HistogramSnapshot
 
 	// Tree shape.
 	Records     int64
@@ -187,8 +215,17 @@ func (t *Tree) Metrics() Metrics {
 		WALGroupCommitBatchMax:  m.walBatchMax.Load(),
 		RecoveryReplayedRecords: m.recoveryReplayed.Load(),
 
-		InsertLatency: m.insertLatency.Snapshot(),
-		QueryLatency:  m.queryLatency.Snapshot(),
+		Checkpoints:                  m.checkpoints.Load(),
+		CheckpointFailures:           m.checkpointFailures.Load(),
+		CheckpointPagesWritten:       m.checkpointPages.Load(),
+		CheckpointBytesWritten:       m.checkpointBytes.Load(),
+		CheckpointRequeuedNodes:      m.checkpointRequeued.Load(),
+		CheckpointDeferredFrees:      m.checkpointFreeDeferred.Load(),
+		CheckpointWriterStallSeconds: float64(m.checkpointStallNs.Load()) / 1e9,
+
+		InsertLatency:     m.insertLatency.Snapshot(),
+		QueryLatency:      m.queryLatency.Snapshot(),
+		CheckpointLatency: m.checkpointLatency.Snapshot(),
 
 		Records:     t.Count(),
 		Height:      t.Height(),
@@ -266,6 +303,17 @@ func (m Metrics) Families() []obs.Family {
 			},
 		},
 		obs.CounterFamily("dctree_recovery_replayed_records_total", "WAL records re-applied by OpenDurable crash recovery.", m.RecoveryReplayedRecords),
+		obs.CounterFamily("dctree_checkpoints_total", "Checkpoints completed (Flush, Checkpoint, or the auto-trigger).", m.Checkpoints),
+		obs.CounterFamily("dctree_checkpoint_failures_total", "Checkpoints that failed and rolled back.", m.CheckpointFailures),
+		obs.CounterFamily("dctree_checkpoint_pages_written_total", "Node extents written by checkpoints.", m.CheckpointPagesWritten),
+		obs.CounterFamily("dctree_checkpoint_bytes_written_total", "Node payload bytes written by checkpoints.", m.CheckpointBytesWritten),
+		obs.CounterFamily("dctree_checkpoint_requeued_nodes_total", "Nodes re-dirtied during a background checkpoint write and kept queued.", m.CheckpointRequeuedNodes),
+		obs.CounterFamily("dctree_checkpoint_deferred_frees_total", "Extent frees that failed after a durable swap and were retried later.", m.CheckpointDeferredFrees),
+		{
+			Name: "dctree_checkpoint_writer_stall_seconds_total", Help: "Cumulative time writers were excluded by checkpoint critical sections.", Type: obs.TypeCounter,
+			Samples: []obs.Sample{{Value: m.CheckpointWriterStallSeconds}},
+		},
+		obs.HistogramFamily("dctree_checkpoint_duration_seconds", "End-to-end checkpoint latency.", m.CheckpointLatency),
 		obs.GaugeFamily("dctree_materialized_hit_ratio", "Materialized hits per entry scanned.", m.MaterializedHitRatio),
 		obs.GaugeFamily("dctree_pruned_entry_ratio", "Pruned entries per entry scanned.", m.PrunedEntryRatio),
 		obs.HistogramFamily("dctree_insert_duration_seconds", "Single-record insert latency.", m.InsertLatency),

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The node cache is sharded so that concurrent query workers resolving
 // cache hits never contend on a single lock: a hit takes only one shard
@@ -15,14 +18,20 @@ const (
 )
 
 // cacheShard is one lock domain of the node cache. nodes holds the resident
-// nodes, dirty the IDs awaiting the next Flush, and inflight the
+// nodes, dirty the IDs awaiting the next checkpoint, and inflight the
 // singleflight table: at most one goroutine faults a given node from the
 // store while every concurrent requester waits on its done channel instead
 // of decoding the same extent again.
+//
+// The dirty map carries a per-mark sequence number, not a boolean: a fuzzy
+// checkpoint snapshots (id, seq) pairs under the tree lock, writes the
+// captured payloads without it, and at install time clears a flag only if
+// its sequence is unchanged — a node re-dirtied during the background write
+// keeps its (newer) flag and is re-captured by the next checkpoint.
 type cacheShard struct {
 	mu       sync.RWMutex
 	nodes    map[nodeID]*node
-	dirty    map[nodeID]bool
+	dirty    map[nodeID]uint64
 	inflight map[nodeID]*nodeFault
 }
 
@@ -37,13 +46,18 @@ type nodeFault struct {
 // nodeCache is the tree's sharded in-memory node cache.
 type nodeCache struct {
 	shards [cacheShards]cacheShard
+	// dirtySeq numbers every markDirty/putNew; dirtyCount tracks the
+	// number of flagged nodes for the checkpoint auto-trigger's dirty-bytes
+	// estimate without scanning the shards.
+	dirtySeq   atomic.Uint64
+	dirtyCount atomic.Int64
 }
 
 func newNodeCache() *nodeCache {
 	c := &nodeCache{}
 	for i := range c.shards {
 		c.shards[i].nodes = make(map[nodeID]*node)
-		c.shards[i].dirty = make(map[nodeID]bool)
+		c.shards[i].dirty = make(map[nodeID]uint64)
 	}
 	return c
 }
@@ -64,18 +78,28 @@ func (c *nodeCache) get(id nodeID) *node {
 
 // putNew inserts a freshly allocated node and marks it dirty.
 func (c *nodeCache) putNew(n *node) {
+	seq := c.dirtySeq.Add(1)
 	sh := c.shard(n.id)
 	sh.mu.Lock()
 	sh.nodes[n.id] = n
-	sh.dirty[n.id] = true
+	if _, ok := sh.dirty[n.id]; !ok {
+		c.dirtyCount.Add(1)
+	}
+	sh.dirty[n.id] = seq
 	sh.mu.Unlock()
 }
 
-// markDirty flags a node for the next Flush.
+// markDirty flags a node for the next checkpoint. Every call advances the
+// node's dirty sequence, so a checkpoint that captured an older sequence
+// knows the node changed under it.
 func (c *nodeCache) markDirty(id nodeID) {
+	seq := c.dirtySeq.Add(1)
 	sh := c.shard(id)
 	sh.mu.Lock()
-	sh.dirty[id] = true
+	if _, ok := sh.dirty[id]; !ok {
+		c.dirtyCount.Add(1)
+	}
+	sh.dirty[id] = seq
 	sh.mu.Unlock()
 }
 
@@ -84,30 +108,73 @@ func (c *nodeCache) drop(id nodeID) {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	delete(sh.nodes, id)
-	delete(sh.dirty, id)
+	if _, ok := sh.dirty[id]; ok {
+		delete(sh.dirty, id)
+		c.dirtyCount.Add(-1)
+	}
 	sh.mu.Unlock()
+}
+
+// dirtyEntry is one captured dirty flag: the node and the sequence of its
+// latest mark at capture time.
+type dirtyEntry struct {
+	id  nodeID
+	seq uint64
+}
+
+// dirtySnapshot captures the current dirty set with sequence numbers.
+func (c *nodeCache) dirtySnapshot() []dirtyEntry {
+	var entries []dirtyEntry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for id, seq := range sh.dirty {
+			entries = append(entries, dirtyEntry{id: id, seq: seq})
+		}
+		sh.mu.RUnlock()
+	}
+	return entries
 }
 
 // dirtyIDs snapshots the IDs currently flagged dirty.
 func (c *nodeCache) dirtyIDs() []nodeID {
-	var ids []nodeID
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.RLock()
-		for id := range sh.dirty {
-			ids = append(ids, id)
-		}
-		sh.mu.RUnlock()
+	entries := c.dirtySnapshot()
+	ids := make([]nodeID, len(entries))
+	for i, e := range entries {
+		ids[i] = e.id
 	}
 	return ids
 }
 
-// clearDirty removes the dirty flags of flushed nodes.
+// dirtyLen reports the number of nodes currently flagged dirty.
+func (c *nodeCache) dirtyLen() int64 { return c.dirtyCount.Load() }
+
+// clearDirtyIf removes a node's dirty flag only if its sequence still
+// matches the captured one. It reports whether the flag was cleared; false
+// means the node was re-dirtied (or dropped) after the capture and stays
+// flagged for the next checkpoint.
+func (c *nodeCache) clearDirtyIf(id nodeID, seq uint64) bool {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.dirty[id]
+	if !ok || cur != seq {
+		return false
+	}
+	delete(sh.dirty, id)
+	c.dirtyCount.Add(-1)
+	return true
+}
+
+// clearDirty removes the dirty flags of flushed nodes unconditionally.
 func (c *nodeCache) clearDirty(ids []nodeID) {
 	for _, id := range ids {
 		sh := c.shard(id)
 		sh.mu.Lock()
-		delete(sh.dirty, id)
+		if _, ok := sh.dirty[id]; ok {
+			delete(sh.dirty, id)
+			c.dirtyCount.Add(-1)
+		}
 		sh.mu.Unlock()
 	}
 }
@@ -119,7 +186,7 @@ func (c *nodeCache) evictClean() {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for id := range sh.nodes {
-			if !sh.dirty[id] {
+			if _, dirty := sh.dirty[id]; !dirty {
 				delete(sh.nodes, id)
 			}
 		}

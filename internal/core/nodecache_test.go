@@ -72,7 +72,7 @@ func TestNodeCacheShardOps(t *testing.T) {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		for id := range sh.nodes {
-			if !sh.dirty[id] {
+			if _, dirty := sh.dirty[id]; !dirty {
 				t.Fatalf("clean node %d survived evictClean", id)
 			}
 		}

@@ -383,6 +383,7 @@ func TestRecoveryCheckpointFaultSweep(t *testing.T) {
 				// Crash the store partway through the checkpoint.
 				fs.Arm(mode, budget)
 				flushErr := tree.Flush()
+				fired := fs.Fired()
 				fs.Disarm()
 
 				// Snapshot the files as the crash left them; release the
@@ -405,9 +406,11 @@ func TestRecoveryCheckpointFaultSweep(t *testing.T) {
 				ctree.Close()
 				cst.Close()
 
-				if flushErr == nil {
+				if flushErr == nil && !fired {
 					// The whole checkpoint fit under the budget: the sweep
-					// has covered every crash point.
+					// has covered every crash point. A nil error with the
+					// fault fired means the fault landed on a post-swap
+					// Free (absorbed, retried later) — keep sweeping.
 					if budget == 0 {
 						t.Fatal("flush succeeded with a zero fault budget — injection is not wired up")
 					}

@@ -52,6 +52,14 @@ type Tree struct {
 	wal           *walState
 	checkpointLSN uint64
 
+	// ckptMu serializes checkpoints (Checkpoint/Flush/FlushSync) end to
+	// end. Lock order: ckptMu strictly before t.mu — a checkpoint acquires
+	// t.mu twice (capture, install) and nothing that holds t.mu may start a
+	// checkpoint. cp is the optional auto-trigger goroutine
+	// (CheckpointInterval/CheckpointDirtyBytes).
+	ckptMu sync.Mutex
+	cp     *checkpointer
+
 	// nc is the sharded node cache: hits on the concurrent read path take
 	// one shard RLock, misses decode once per node via singleflight.
 	nc *nodeCache
@@ -176,94 +184,6 @@ func (t *Tree) dropNode(id nodeID) error {
 	if ref, ok := t.table[id]; ok {
 		delete(t.table, id)
 		t.pendingFree = append(t.pendingFree, ref)
-	}
-	return nil
-}
-
-// Flush writes all dirty nodes and the tree metadata to the store and
-// syncs it. After a successful Flush the tree can be reopened with Open.
-// On a WAL-backed tree, Flush is a CHECKPOINT: the durable metadata
-// records the log frontier it supersedes and the log is truncated. It is
-// not the durability boundary — acknowledged mutations are already safe
-// in the log before Flush runs.
-func (t *Tree) Flush() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.flushLocked()
-}
-
-// flushLocked persists all dirty nodes with shadow paging: every dirty
-// node is written to a FRESH extent, the metadata (which carries the
-// node→extent table) is swapped last, and only after a successful swap
-// are the superseded extents released. A crash anywhere during the flush
-// therefore leaves the previously persisted tree fully intact — the old
-// metadata still references only untouched extents.
-func (t *Tree) flushLocked() error {
-	// Checkpoint stamp: everything logged so far is reflected in the state
-	// this flush persists (appends happen under the tree write lock), so
-	// the durable metadata can declare the whole current log superseded.
-	if t.wal != nil {
-		t.checkpointLSN = t.wal.w.LastLSN()
-	}
-	ids := t.nc.dirtyIDs()
-
-	var superseded []extentRef
-	written := make([]nodeID, 0, len(ids))
-	for _, id := range ids {
-		n := t.nc.get(id)
-		if n == nil {
-			// Dirty but evicted/dropped: nothing to write.
-			continue
-		}
-		payload := n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
-		need := storage.BlocksFor(t.cfg.BlockSize, len(payload))
-		if need < n.blocks {
-			need = n.blocks // supernodes occupy their full logical extent
-		}
-		page, err := t.store.Alloc(need)
-		if err != nil {
-			return err
-		}
-		if err := t.store.Write(page, need, payload); err != nil {
-			return err
-		}
-		if old, ok := t.table[id]; ok {
-			superseded = append(superseded, old)
-		}
-		t.table[id] = extentRef{page: page, blocks: need}
-		written = append(written, id)
-	}
-
-	meta, err := t.encodeMeta()
-	if err != nil {
-		return err
-	}
-	if err := t.store.SetMeta(meta); err != nil {
-		return err
-	}
-	if err := t.store.Sync(); err != nil {
-		return err
-	}
-	// The new tree is durable: release the shadowed extents (including
-	// those of nodes dropped since the last flush) and clear the dirty
-	// flags.
-	superseded = append(superseded, t.pendingFree...)
-	t.pendingFree = nil
-	for _, old := range superseded {
-		if err := t.store.Free(old.page, old.blocks); err != nil {
-			return err
-		}
-	}
-	t.nc.clearDirty(written)
-
-	// Truncate the superseded log. A crash before (or during) the
-	// truncation is safe: recovery filters replay by the checkpoint LSN
-	// just persisted, so leftover records are skipped, never re-applied.
-	if t.wal != nil {
-		if err := t.wal.w.Truncate(); err != nil {
-			return err
-		}
-		t.wal.checkpointDone(t.checkpointLSN)
 	}
 	return nil
 }

@@ -221,10 +221,10 @@ func (ws *walState) poison(err error) {
 	ws.mu.Unlock()
 }
 
-// checkpointDone is called by flushLocked after a durable checkpoint
-// truncated the log: everything up to lsn is durable via the checkpoint,
-// so waiters on those records unblock even though their fsync never
-// happened.
+// checkpointDone is called by a checkpoint install after the durable
+// metadata swap superseded the log up to lsn: everything there is durable
+// via the checkpoint, so waiters on those records unblock even though
+// their fsync never happened.
 func (ws *walState) checkpointDone(lsn uint64) {
 	ws.mu.Lock()
 	if lsn > ws.durableLSN {
@@ -383,11 +383,12 @@ func NewDurableOpts(store storage.Store, schema *cube.Schema, cfg Config, walPre
 	// Initial checkpoint: the store must hold valid (empty-tree) metadata
 	// before the first log record is acknowledged, or a crash before the
 	// first Flush would leave a log tail with no tree to replay it into.
-	if err := t.flushLocked(); err != nil {
+	if err := t.Flush(); err != nil {
 		w.Close()
 		return nil, err
 	}
 	t.wal = newWALState(w, &t.cfg, &t.metrics)
+	t.startCheckpointer()
 	return t, nil
 }
 
@@ -411,6 +412,7 @@ func OpenDurable(store storage.Store, walPrefix string) (*Tree, error) {
 		return nil, err
 	}
 	t.wal = newWALState(w, &t.cfg, &t.metrics)
+	t.startCheckpointer()
 	return t, nil
 }
 
@@ -439,14 +441,16 @@ func (t *Tree) recoverFrom(w *storage.WAL) error {
 	})
 }
 
-// Close checkpoints the tree (Flush) and shuts down the WAL committer and
-// log files. The underlying store remains open — its lifecycle belongs to
-// the caller. Safe on trees without a WAL, where it is equivalent to
-// Flush.
+// Close stops the background checkpointer (if any), checkpoints the tree
+// (Flush) and shuts down the WAL committer and log files. The underlying
+// store remains open — its lifecycle belongs to the caller. Safe on trees
+// without a WAL, where it is equivalent to Flush.
 func (t *Tree) Close() error {
-	t.mu.Lock()
-	err := t.flushLocked()
-	t.mu.Unlock()
+	if t.cp != nil {
+		t.cp.shutdown()
+		t.cp = nil
+	}
+	err := t.Flush()
 	if t.wal != nil {
 		if werr := t.wal.shutdown(); err == nil {
 			err = werr

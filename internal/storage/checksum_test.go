@@ -1,0 +1,361 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildChecksummedStore creates a closed v2 store file holding one known
+// data extent and a metadata blob, and returns the path plus the extent's
+// id and payload.
+func buildChecksummedStore(t *testing.T) (path string, id PageID, payload []byte) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "store.dc")
+	s, err := OpenPagedStore(path, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = make([]byte, 200)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	id, err = s.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta([]byte("meta-blob-0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, id, payload
+}
+
+// headerPointers reads the meta and freelist extent ids straight from a
+// closed store file's header.
+func headerPointers(t *testing.T, path string) (metaID, freeID PageID) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PageID(binary.LittleEndian.Uint64(raw[20:])),
+		PageID(binary.LittleEndian.Uint64(raw[32:]))
+}
+
+// flipByte flips one byte of the file at off.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagedStoreChecksumRoundtrip(t *testing.T) {
+	path, id, payload := buildChecksummedStore(t)
+	s, err := OpenPagedStore(path, 256, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	got, blocks, err := s.Read(id)
+	if err != nil || blocks != 1 {
+		t.Fatalf("Read = %d blocks, %v", blocks, err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("payload mismatch after reopen")
+	}
+	if _, checksummed, err := s.VerifyExtent(id); err != nil || !checksummed {
+		t.Fatalf("VerifyExtent = checksummed %v, %v", checksummed, err)
+	}
+	meta, err := s.GetMeta()
+	if err != nil || string(meta) != "meta-blob-0123456789" {
+		t.Fatalf("GetMeta = %q, %v", meta, err)
+	}
+}
+
+// TestPagedStoreCorruptionMatrix flips a single byte in each distinct
+// region of a closed store file — data extent payload, its stored CRC, the
+// metadata extent, the freelist extent, and the header — and asserts the
+// store fails closed with ErrChecksum instead of decoding garbage.
+func TestPagedStoreCorruptionMatrix(t *testing.T) {
+	const blockSize = 256
+	pristine, id, _ := buildChecksummedStore(t)
+	metaID, freeID := headerPointers(t, pristine)
+	if metaID == NilPage || freeID == NilPage {
+		t.Fatalf("header pointers meta=%d free=%d", metaID, freeID)
+	}
+
+	copyTo := func(dst string) {
+		raw, err := os.ReadFile(pristine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name string
+		off  int64 // byte to flip
+		// check opens the damaged file and must observe ErrChecksum.
+		check func(t *testing.T, path string)
+	}{
+		{
+			name: "data-extent-payload",
+			off:  int64(id)*blockSize + ExtentHeaderSize + 17,
+			check: func(t *testing.T, path string) {
+				s, err := OpenPagedStore(path, blockSize, 0)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				defer s.Close()
+				if _, _, err := s.Read(id); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("Read = %v, want ErrChecksum", err)
+				}
+				if _, _, err := s.VerifyExtent(id); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("VerifyExtent = %v, want ErrChecksum", err)
+				}
+			},
+		},
+		{
+			name: "data-extent-stored-crc",
+			off:  int64(id)*blockSize + extentChecksumAt,
+			check: func(t *testing.T, path string) {
+				s, err := OpenPagedStore(path, blockSize, 0)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				defer s.Close()
+				if _, _, err := s.Read(id); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("Read = %v, want ErrChecksum", err)
+				}
+			},
+		},
+		{
+			name: "meta-extent-payload",
+			off:  int64(metaID)*blockSize + ExtentHeaderSize + 3,
+			check: func(t *testing.T, path string) {
+				s, err := OpenPagedStore(path, blockSize, 0)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				defer s.Close()
+				if _, err := s.GetMeta(); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("GetMeta = %v, want ErrChecksum", err)
+				}
+			},
+		},
+		{
+			name: "freelist-extent-payload",
+			off:  int64(freeID)*blockSize + ExtentHeaderSize,
+			check: func(t *testing.T, path string) {
+				if _, err := OpenPagedStore(path, blockSize, 0); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("open = %v, want ErrChecksum", err)
+				}
+			},
+		},
+		{
+			name: "store-header",
+			off:  13, // inside the next-page field
+			check: func(t *testing.T, path string) {
+				if _, err := OpenPagedStore(path, blockSize, 0); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("open = %v, want ErrChecksum", err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "damaged.dc")
+			copyTo(path)
+			flipByte(t, path, tc.off)
+			tc.check(t, path)
+		})
+	}
+}
+
+// TestPagedStoreV1Compat hand-builds a pre-checksum (v1) store image and
+// verifies it still opens and reads, that VerifyExtent reports its extents
+// as unchecksummed, and that rewriting upgrades the image to v2 in place.
+func TestPagedStoreV1Compat(t *testing.T) {
+	const blockSize = 256
+	path := filepath.Join(t.TempDir(), "legacy.dc")
+
+	// v1 layout: 44-byte header (no CRC), extents with 8-byte headers
+	// (block count without the checksum flag, payload length).
+	payload := []byte("legacy v1 extent payload")
+	file := make([]byte, 2*blockSize)
+	copy(file, pagedMagicV1)
+	binary.LittleEndian.PutUint32(file[8:], blockSize)
+	binary.LittleEndian.PutUint64(file[12:], 2) // next page after the one extent
+	// metaID/metaBlk and freeID/freeBlk stay zero: no metadata, no freelist.
+	binary.LittleEndian.PutUint32(file[blockSize:], 1) // blocks, flag clear
+	binary.LittleEndian.PutUint32(file[blockSize+4:], uint32(len(payload)))
+	copy(file[blockSize+extentHeaderV1:], payload)
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenPagedStore(path, blockSize, 0)
+	if err != nil {
+		t.Fatalf("open v1 image: %v", err)
+	}
+	got, blocks, err := s.Read(1)
+	if err != nil || blocks != 1 || string(got) != string(payload) {
+		t.Fatalf("Read v1 extent = %q (%d blocks), %v", got, blocks, err)
+	}
+	if _, checksummed, err := s.VerifyExtent(1); err != nil || checksummed {
+		t.Fatalf("VerifyExtent v1 = checksummed %v, %v", checksummed, err)
+	}
+
+	// Rewrite the extent and sync: both it and the header upgrade to v2.
+	fresh := []byte("rewritten under v2 rules")
+	if err := s.Write(1, 1, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:8]) != pagedMagic {
+		t.Fatalf("header magic after upgrade = %q", raw[:8])
+	}
+	want := binary.LittleEndian.Uint32(raw[headerSize:])
+	if gotCRC := crc32.Checksum(raw[:headerSize], castagnoli); gotCRC != want {
+		t.Fatalf("upgraded header crc 0x%08x, stored 0x%08x", gotCRC, want)
+	}
+
+	s, err = OpenPagedStore(path, blockSize, 0)
+	if err != nil {
+		t.Fatalf("reopen upgraded image: %v", err)
+	}
+	defer s.Close()
+	if _, checksummed, err := s.VerifyExtent(1); err != nil || !checksummed {
+		t.Fatalf("VerifyExtent after upgrade = checksummed %v, %v", checksummed, err)
+	}
+	got, _, err = s.Read(1)
+	if err != nil || string(got) != string(fresh) {
+		t.Fatalf("Read after upgrade = %q, %v", got, err)
+	}
+}
+
+// TestWALTruncateBefore drives the segment-granular truncation: only sealed
+// segments wholly at or below the cut LSN are removed, every record past
+// the cut survives, and LSNs keep advancing afterwards.
+func TestWALTruncateBefore(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "idx")
+	w := openTestWAL(t, prefix, WALOptions{SegmentBytes: 256})
+	payload := make([]byte, 40)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		payload[0] = byte(i)
+		if _, err := w.Append(payload); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", w.Stats().Segments)
+	}
+
+	const cut = uint64(n / 2)
+	if err := w.TruncateBefore(cut); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	_, order := collect(t, w)
+	if len(order) == 0 || len(order) >= n {
+		t.Fatalf("replay after truncate: %d records", len(order))
+	}
+	// Segment granularity may keep records ≤ cut, but must keep EVERY
+	// record past the cut, contiguously through the last LSN.
+	first := order[0]
+	if first > cut+1 {
+		t.Fatalf("first surviving lsn %d lost records ≤ %d past the cut", first, cut)
+	}
+	for i, lsn := range order {
+		if lsn != first+uint64(i) {
+			t.Fatalf("replay gap at %d: lsn %d", i, lsn)
+		}
+	}
+	if last := order[len(order)-1]; last != n {
+		t.Fatalf("last surviving lsn %d, want %d", last, n)
+	}
+
+	// Appends continue with the next LSN.
+	if lsn, err := w.Append(payload); err != nil || lsn != n+1 {
+		t.Fatalf("append after truncate: lsn %d, %v", lsn, err)
+	}
+	if _, err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Reopen validates continuity of the surviving segments.
+	w = openTestWAL(t, prefix, WALOptions{SegmentBytes: 256})
+	defer w.Close()
+	if got := w.LastLSN(); got != n+1 {
+		t.Fatalf("LastLSN after reopen = %d", got)
+	}
+}
+
+// TestWALTruncateBeforeFrontier covers the full-truncate fast path: a cut
+// at the last LSN drops every segment, and an idle second call is a no-op.
+func TestWALTruncateBeforeFrontier(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "idx")
+	w := openTestWAL(t, prefix, WALOptions{SegmentBytes: 256})
+	defer w.Close()
+	for i := 1; i <= 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(w.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := collect(t, w); len(recs) != 0 {
+		t.Fatalf("%d records survived a frontier truncate", len(recs))
+	}
+	if w.Records() != 0 {
+		t.Fatalf("Records = %d after frontier truncate", w.Records())
+	}
+	// Idle log: a second frontier truncate must not churn segments.
+	segs := w.Stats().Segments
+	if err := w.TruncateBefore(w.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Segments; got != segs {
+		t.Fatalf("idle truncate churned segments: %d -> %d", segs, got)
+	}
+	if lsn, err := w.Append([]byte("next")); err != nil || lsn != 21 {
+		t.Fatalf("append after frontier truncate: lsn %d, %v", lsn, err)
+	}
+}

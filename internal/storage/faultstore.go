@@ -40,11 +40,30 @@ type FaultStore struct {
 	inner Store
 
 	mu         sync.Mutex
-	mode       FaultMode
-	budget     int64 // counted ops before the fault fires
+	plan       FaultPlan
 	fired      bool
+	sticky     bool // a fired non-transient fault keeps failing every op
 	ops        int64
 	crashPoint func(op string, remaining int64)
+}
+
+// FaultPlan schedules one injected fault.
+type FaultPlan struct {
+	// Mode is the failure injected when the budget runs out.
+	Mode FaultMode
+	// Op restricts counting (and firing) to operations with this name —
+	// "alloc", "write", "free", "setmeta", "sync", "read" — so a test can
+	// aim at, say, exactly the second Free of a checkpoint. Empty counts
+	// every operation.
+	Op string
+	// Budget is the number of counted operations allowed before the fault
+	// fires (0 fires on the next counted op).
+	Budget int64
+	// Transient makes the fault fire once and disarm — a soft error such
+	// as ENOSPC from a store that otherwise keeps working — instead of the
+	// default fail-stop behavior where a crashed store rejects every
+	// subsequent operation.
+	Transient bool
 }
 
 // NewFaultStore wraps inner with fault injection disarmed.
@@ -55,19 +74,27 @@ func NewFaultStore(inner Store) *FaultStore {
 // Arm schedules mode to fire after n more counted operations (n = 0 fires
 // on the next one). It also clears any previously fired state.
 func (s *FaultStore) Arm(mode FaultMode, n int64) {
+	s.ArmPlan(FaultPlan{Mode: mode, Budget: n})
+}
+
+// ArmPlan schedules an injected fault with full control over the op kind
+// it targets and whether it is transient. It clears any previously fired
+// state.
+func (s *FaultStore) ArmPlan(p FaultPlan) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mode = mode
-	s.budget = n
+	s.plan = p
 	s.fired = false
+	s.sticky = false
 }
 
 // Disarm turns injection off and clears the fired state.
 func (s *FaultStore) Disarm() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mode = FailNone
+	s.plan = FaultPlan{}
 	s.fired = false
+	s.sticky = false
 }
 
 // SetCrashPoint registers fn to run before every counted operation. Pass
@@ -102,21 +129,27 @@ func (s *FaultStore) step(op string) FaultMode {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ops++
-	if s.fired {
+	if s.sticky {
 		return FailStop // crashed processes stay crashed
 	}
 	if s.crashPoint != nil {
-		s.crashPoint(op, s.budget)
+		s.crashPoint(op, s.plan.Budget)
 	}
-	if s.mode == FailNone {
+	if s.plan.Mode == FailNone || (s.plan.Op != "" && s.plan.Op != op) {
 		return FailNone
 	}
-	if s.budget > 0 {
-		s.budget--
+	if s.plan.Budget > 0 {
+		s.plan.Budget--
 		return FailNone
 	}
 	s.fired = true
-	return s.mode
+	mode := s.plan.Mode
+	if s.plan.Transient {
+		s.plan.Mode = FailNone // one soft error, then back to normal
+	} else {
+		s.sticky = true
+	}
+	return mode
 }
 
 // BlockSize implements Store.
@@ -152,10 +185,10 @@ func (s *FaultStore) Write(id PageID, blocks int, data []byte) error {
 // ShortRead mode: crash tests measure their budgets in mutating ops.
 func (s *FaultStore) Read(id PageID) ([]byte, int, error) {
 	s.mu.Lock()
-	shortMode := s.mode == ShortRead && !s.fired
-	alreadyFired := s.fired
+	shortMode := s.plan.Mode == ShortRead && !s.fired
+	crashed := s.sticky
 	s.mu.Unlock()
-	if alreadyFired {
+	if crashed {
 		return nil, 0, ErrInjected
 	}
 	if !shortMode {
@@ -199,9 +232,9 @@ func (s *FaultStore) SetMeta(data []byte) error {
 // GetMeta implements Store.
 func (s *FaultStore) GetMeta() ([]byte, error) {
 	s.mu.Lock()
-	fired := s.fired
+	crashed := s.sticky
 	s.mu.Unlock()
-	if fired {
+	if crashed {
 		return nil, ErrInjected
 	}
 	return s.inner.GetMeta()

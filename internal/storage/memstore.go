@@ -1,12 +1,21 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // MemStore is an in-memory Store. It keeps full I/O accounting so that
 // experiments can compare logical block traffic between index structures
 // even when running without a disk, matching the paper's setup of measuring
 // CPU-bound query times with a memory-resident index.
+//
+// MemStore is safe for concurrent use: queries fault nodes under the
+// tree's shared read lock while a background checkpoint allocates and
+// writes shadow extents, so reads take a shared lock and mutations an
+// exclusive one.
 type MemStore struct {
+	mu        sync.RWMutex
 	blockSize int
 	next      PageID
 	extents   map[PageID]memExtent
@@ -37,6 +46,8 @@ func (s *MemStore) BlockSize() int { return s.blockSize }
 
 // Alloc implements Store.
 func (s *MemStore) Alloc(blocks int) (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return NilPage, ErrClosed
 	}
@@ -52,6 +63,8 @@ func (s *MemStore) Alloc(blocks int) (PageID, error) {
 
 // Write implements Store.
 func (s *MemStore) Write(id PageID, blocks int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -74,6 +87,8 @@ func (s *MemStore) Write(id PageID, blocks int, data []byte) error {
 
 // Read implements Store.
 func (s *MemStore) Read(id PageID) ([]byte, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, 0, ErrClosed
 	}
@@ -89,6 +104,8 @@ func (s *MemStore) Read(id PageID) ([]byte, int, error) {
 
 // Free implements Store.
 func (s *MemStore) Free(id PageID, blocks int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -106,6 +123,8 @@ func (s *MemStore) Free(id PageID, blocks int) error {
 
 // SetMeta implements Store.
 func (s *MemStore) SetMeta(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -115,6 +134,8 @@ func (s *MemStore) SetMeta(data []byte) error {
 
 // GetMeta implements Store.
 func (s *MemStore) GetMeta() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -132,6 +153,8 @@ func (s *MemStore) ResetStats() { s.stats.reset() }
 
 // Sync implements Store (no-op).
 func (s *MemStore) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -140,6 +163,8 @@ func (s *MemStore) Sync() error {
 
 // Close implements Store.
 func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -149,4 +174,8 @@ func (s *MemStore) Close() error {
 }
 
 // ExtentCount returns the number of live extents (for tests and fsck).
-func (s *MemStore) ExtentCount() int { return len(s.extents) }
+func (s *MemStore) ExtentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.extents)
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -10,12 +11,22 @@ import (
 
 // PagedStore is a file-backed Store with a write-through LRU buffer pool.
 //
-// File layout:
+// File layout (format v2, magic "DCSTORE2"):
 //
 //	block 0:            header (magic, block size, next page, meta/freelist
-//	                    extent pointers)
-//	block n (n ≥ 1):    extents; each extent starts with an 8-byte header
-//	                    (block count, payload length) followed by payload
+//	                    extent pointers, CRC32C of the preceding fields)
+//	block n (n ≥ 1):    extents; each extent starts with a 12-byte header
+//	                    (block count with the checksum flag in the high bit,
+//	                    payload length, CRC32C of the payload) followed by
+//	                    the payload
+//
+// Every extent payload — node encodings, the metadata blob, the freelist —
+// is covered by a CRC32C (Castagnoli) verified on every file read; a
+// mismatch surfaces as ErrChecksum instead of a garbage decode. v1 images
+// (magic "DCSTORE1", 8-byte unchecksummed extent headers) still open:
+// extents without the checksum flag skip verification, and every write —
+// including the header rewrite on the next Sync — produces v2, so an old
+// image upgrades incrementally in place.
 //
 // The freelist and the user metadata blob are themselves stored as extents
 // and re-written on Sync/Close. Reads served from the buffer pool count as
@@ -51,11 +62,25 @@ type extentSpan struct {
 }
 
 const (
-	pagedMagic      = "DCSTORE1"
+	pagedMagic      = "DCSTORE2"
+	pagedMagicV1    = "DCSTORE1"
 	headerSize      = 8 + 4 + 8 + 8 + 4 + 8 + 4
+	headerSizeV2    = headerSize + 4 // + CRC32C of the preceding fields
 	minPagedBlock   = 64
 	defaultPoolSize = 4 << 20
+
+	// extentFlagCRC marks a v2 extent header: the high bit of the block
+	// count word says "a CRC32C of the payload follows at offset 8". v1
+	// extents never set it (block counts are far below 2^31).
+	extentFlagCRC    = 1 << 31
+	extentHeaderV1   = 8 // v1 extents: block count, payload length only
+	extentChecksumAt = 8 // v2 extents: CRC32C offset within the header
 )
+
+// castagnoli is the CRC32C polynomial table used for all page checksums
+// (the same polynomial storage engines use for torn-page detection; it has
+// hardware support on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // OpenPagedStore opens (or creates) a file-backed store. blockSize is only
 // used at creation time; reopening validates it against the file header.
@@ -101,8 +126,11 @@ func OpenPagedStore(path string, blockSize int, poolBytes int) (*PagedStore, err
 	return s, nil
 }
 
+// writeHeader always writes the v2 header: the fields followed by their
+// CRC32C. Reopening a v1 image therefore upgrades its header on the first
+// Sync.
 func (s *PagedStore) writeHeader() error {
-	buf := make([]byte, headerSize)
+	buf := make([]byte, headerSizeV2)
 	copy(buf, pagedMagic)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(s.blockSize))
 	binary.LittleEndian.PutUint64(buf[12:], uint64(s.next))
@@ -110,6 +138,7 @@ func (s *PagedStore) writeHeader() error {
 	binary.LittleEndian.PutUint32(buf[28:], uint32(s.metaBlk))
 	binary.LittleEndian.PutUint64(buf[32:], uint64(s.freeID))
 	binary.LittleEndian.PutUint32(buf[40:], uint32(s.freeBlk))
+	binary.LittleEndian.PutUint32(buf[headerSize:], crc32.Checksum(buf[:headerSize], castagnoli))
 	if _, err := s.f.WriteAt(buf, 0); err != nil {
 		return err
 	}
@@ -118,11 +147,24 @@ func (s *PagedStore) writeHeader() error {
 }
 
 func (s *PagedStore) readHeader() error {
-	buf := make([]byte, headerSize)
-	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, int64(headerSize)), buf); err != nil {
+	buf := make([]byte, headerSizeV2)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, int64(headerSize)), buf[:headerSize]); err != nil {
 		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
 	}
-	if string(buf[:8]) != pagedMagic {
+	switch string(buf[:8]) {
+	case pagedMagic:
+		if _, err := io.ReadFull(io.NewSectionReader(s.f, int64(headerSize), 4), buf[headerSize:]); err != nil {
+			return fmt.Errorf("%w: short header checksum: %v", ErrCorrupt, err)
+		}
+		want := binary.LittleEndian.Uint32(buf[headerSize:])
+		if got := crc32.Checksum(buf[:headerSize], castagnoli); got != want {
+			return fmt.Errorf("%w: store header crc 0x%08x, want 0x%08x", ErrChecksum, got, want)
+		}
+	case pagedMagicV1:
+		// Pre-checksum image: accept as-is and rewrite the header in v2
+		// form on the next durable sync.
+		s.dirtyHdr = true
+	default:
 		return fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	bs := int(binary.LittleEndian.Uint32(buf[8:]))
@@ -184,10 +226,14 @@ func (s *PagedStore) Write(id PageID, blocks int, data []byte) error {
 	return s.writeExtent(id, blocks, data)
 }
 
+// writeExtent writes a v2 extent: the block-count word carries the
+// checksum flag, and the payload's CRC32C sits between the length and the
+// payload. Rewriting an extent of a v1 image upgrades it in place.
 func (s *PagedStore) writeExtent(id PageID, blocks int, data []byte) error {
 	buf := make([]byte, ExtentHeaderSize+len(data))
-	binary.LittleEndian.PutUint32(buf[0:], uint32(blocks))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(blocks)|extentFlagCRC)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[extentChecksumAt:], crc32.Checksum(data, castagnoli))
 	copy(buf[ExtentHeaderSize:], data)
 	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.blockSize)); err != nil {
 		return err
@@ -231,22 +277,68 @@ func (s *PagedStore) Read(id PageID) ([]byte, int, error) {
 	return data, blocks, nil
 }
 
+// readExtent faults an extent from the file. A v2 extent (checksum flag
+// set) has its payload verified against the stored CRC32C and fails with
+// ErrChecksum on mismatch; a v1 extent (flag clear, 8-byte header) is
+// served unverified for read compatibility with pre-checksum images.
 func (s *PagedStore) readExtent(id PageID) ([]byte, int, error) {
+	data, blocks, _, err := s.readExtentFile(id)
+	return data, blocks, err
+}
+
+func (s *PagedStore) readExtentFile(id PageID) ([]byte, int, bool, error) {
 	off := int64(id) * int64(s.blockSize)
-	hdr := make([]byte, ExtentHeaderSize)
+	hdr := make([]byte, extentHeaderV1)
 	if _, err := s.f.ReadAt(hdr, off); err != nil {
-		return nil, 0, fmt.Errorf("%w: extent %d: %v", ErrNotFound, id, err)
+		return nil, 0, false, fmt.Errorf("%w: extent %d: %v", ErrNotFound, id, err)
 	}
-	blocks := int(binary.LittleEndian.Uint32(hdr[0:]))
+	word := binary.LittleEndian.Uint32(hdr[0:])
 	length := int(binary.LittleEndian.Uint32(hdr[4:]))
-	if blocks < 1 || length > ExtentCapacity(s.blockSize, blocks) {
-		return nil, 0, fmt.Errorf("%w: extent %d header blocks=%d len=%d", ErrCorrupt, id, blocks, length)
+	checksummed := word&extentFlagCRC != 0
+	blocks := int(word &^ uint32(extentFlagCRC))
+	payloadOff, capacity := int64(extentHeaderV1), s.blockSize*blocks-extentHeaderV1
+	if checksummed {
+		payloadOff, capacity = int64(ExtentHeaderSize), ExtentCapacity(s.blockSize, blocks)
+	}
+	if blocks < 1 || length > capacity {
+		return nil, 0, false, fmt.Errorf("%w: extent %d header blocks=%d len=%d", ErrCorrupt, id, blocks, length)
+	}
+	var want uint32
+	if checksummed {
+		var sum [4]byte
+		if _, err := s.f.ReadAt(sum[:], off+extentChecksumAt); err != nil {
+			return nil, 0, false, fmt.Errorf("%w: extent %d checksum: %v", ErrCorrupt, id, err)
+		}
+		want = binary.LittleEndian.Uint32(sum[:])
 	}
 	data := make([]byte, length)
-	if _, err := s.f.ReadAt(data, off+ExtentHeaderSize); err != nil {
-		return nil, 0, fmt.Errorf("%w: extent %d body: %v", ErrCorrupt, id, err)
+	if _, err := s.f.ReadAt(data, off+payloadOff); err != nil {
+		return nil, 0, false, fmt.Errorf("%w: extent %d body: %v", ErrCorrupt, id, err)
 	}
-	return data, blocks, nil
+	if checksummed {
+		if got := crc32.Checksum(data, castagnoli); got != want {
+			return nil, 0, false, fmt.Errorf("%w: extent %d crc 0x%08x, want 0x%08x", ErrChecksum, id, got, want)
+		}
+	}
+	return data, blocks, checksummed, nil
+}
+
+// VerifyExtent reads an extent directly from the backing file — bypassing
+// the buffer pool, so it checks what is actually on disk — and verifies its
+// checksum. It reports the extent's size in blocks and whether it carried a
+// checksum (false only for extents of a pre-checksum v1 image).
+func (s *PagedStore) VerifyExtent(id PageID) (blocks int, checksummed bool, err error) {
+	if id == NilPage {
+		return 0, false, fmt.Errorf("%w: nil page", ErrNotFound)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, false, ErrClosed
+	}
+	_, blocks, checksummed, err = s.readExtentFile(id)
+	return blocks, checksummed, err
 }
 
 // Free implements Store.

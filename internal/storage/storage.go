@@ -36,6 +36,10 @@ var (
 	ErrNoMeta     = errors.New("storage: no metadata stored")
 	ErrOverlap    = errors.New("storage: extent overlaps an existing allocation")
 	ErrDoubleFree = errors.New("storage: extent already free")
+	// ErrChecksum marks data whose stored CRC32C does not match its
+	// contents: a torn write, bit rot, or outside modification. The store
+	// fails closed — no payload is returned — rather than decode garbage.
+	ErrChecksum = errors.New("storage: checksum mismatch")
 )
 
 // Stats counts logical I/O operations. Reads and Writes count extents
@@ -143,10 +147,13 @@ type Store interface {
 	Close() error
 }
 
-// ExtentHeaderSize is the per-extent bookkeeping overhead (block count and
-// payload length) that PagedStore writes at the front of each extent. All
-// stores reserve it so capacity math is identical across backends.
-const ExtentHeaderSize = 8
+// ExtentHeaderSize is the per-extent bookkeeping overhead (block count,
+// payload length, and CRC32C of the payload) that PagedStore writes at the
+// front of each extent. All stores reserve it so capacity math is identical
+// across backends. Pre-checksum (v1) images used 8-byte headers; they stay
+// readable, and their extra 4 bytes of capacity is only a read-side
+// allowance.
+const ExtentHeaderSize = 12
 
 // ExtentCapacity returns the payload capacity of an extent of n blocks.
 func ExtentCapacity(blockSize, blocks int) int {

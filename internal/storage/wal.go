@@ -527,6 +527,71 @@ func (w *WAL) Truncate() error {
 	if w.closed {
 		return ErrWALClosed
 	}
+	return w.truncateAllLocked()
+}
+
+// TruncateBefore discards records with LSN ≤ lsn — the log-compaction step
+// of a fuzzy checkpoint, whose durable metadata supersedes exactly the
+// records up to its captured LSN while appends made during the background
+// write phase must survive. When lsn covers the whole log this is a full
+// Truncate; otherwise only sealed segments wholly at or below lsn are
+// removed. Records ≤ lsn sharing a segment with later ones are left in
+// place: recovery filters replay by the checkpoint LSN, so they are
+// skipped, never re-applied — the same reason a crash before any part of
+// the truncation is safe.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if lsn >= w.nextLSN-1 {
+		if w.records == 0 && len(w.sealed) == 0 {
+			return nil // nothing to discard; keep the active segment
+		}
+		return w.truncateAllLocked()
+	}
+	cut := 0
+	for cut < len(w.sealed) {
+		// The last LSN of sealed[i] is the first LSN of the next segment
+		// minus one.
+		nextFirst := w.active.firstLSN
+		if cut+1 < len(w.sealed) {
+			nextFirst = w.sealed[cut+1].firstLSN
+		}
+		if nextFirst-1 > lsn {
+			break
+		}
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	for i := 0; i < cut; i++ {
+		seg := w.sealed[i]
+		nextFirst := w.active.firstLSN
+		if i+1 < len(w.sealed) {
+			nextFirst = w.sealed[i+1].firstLSN
+		}
+		if seg.f != nil {
+			seg.f.Close()
+		}
+		if err := os.Remove(seg.path); err != nil {
+			// Keep the not-yet-removed suffix tracked so a retry (or Close)
+			// still sees it.
+			w.sealed = append([]walSegment(nil), w.sealed[i:]...)
+			return err
+		}
+		w.records -= int64(nextFirst - seg.firstLSN)
+	}
+	w.sealed = append([]walSegment(nil), w.sealed[cut:]...)
+	syncDir(filepath.Dir(w.active.path))
+	return nil
+}
+
+// truncateAllLocked is the full truncation: a fresh segment carrying the
+// next LSN is created and synced FIRST, then every old segment is removed.
+func (w *WAL) truncateAllLocked() error {
 	old := append(append([]walSegment(nil), w.sealed...), walSegment{
 		index: w.active.index, path: w.active.path, f: w.f,
 	})
