@@ -170,14 +170,35 @@ func NewDurable(store Store, schema *Schema, cfg Config, walPrefix string) (*Tre
 	return core.NewDurable(store, schema, cfg, walPrefix)
 }
 
+// NewDurableOpts is NewDurable with explicit log-file options — segment
+// size, payload compression, the retired-segment recycle pool, and the
+// benchmarks' modeled sync delay.
+func NewDurableOpts(store Store, schema *Schema, cfg Config, walPrefix string, wopts WALOptions) (*Tree, error) {
+	return core.NewDurableOpts(store, schema, cfg, walPrefix, wopts)
+}
+
 // OpenDurable reopens a WAL-backed DC-tree, replaying any log records past
 // the last checkpoint — the crash-recovery path.
 func OpenDurable(store Store, walPrefix string) (*Tree, error) {
 	return core.OpenDurable(store, walPrefix)
 }
 
+// OpenDurableOpts is OpenDurable with explicit log-file options; pass the
+// same write-side options (Compress, RecyclePool) the tree was created
+// with to keep them in effect — reading a log never depends on them.
+func OpenDurableOpts(store Store, walPrefix string, wopts WALOptions) (*Tree, error) {
+	return core.OpenDurableOpts(store, walPrefix, wopts)
+}
+
 // WALStats is the write-ahead log's activity snapshot (Tree.WALStats).
 type WALStats = storage.WALStats
+
+// WALOptions tunes the write-ahead log's segment files: SegmentBytes
+// (rotation size), Compress (store frames compressed when that shrinks
+// them), RecyclePool (retired segments kept for reuse; 0 = default of 4,
+// negative disables), and SyncDelay (modeled device latency, used by the
+// benchmarks).
+type WALOptions = storage.WALOptions
 
 // ErrChecksum reports a stored page whose checksum no longer matches its
 // contents — on-disk corruption. File stores checksum every extent, the

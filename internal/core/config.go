@@ -102,6 +102,15 @@ type Config struct {
 	// this many bytes, bounding both recovery replay work and WAL growth
 	// under sustained writes. 0 (the default) disables the byte trigger.
 	CheckpointDirtyBytes int
+
+	// WALRecordFormat selects how mutation records are encoded into the
+	// WAL. Format 2 (the default) logs dictionary registrations as separate
+	// delta records so mutations carry compact interned IDs; format 1 is
+	// the legacy encoding that re-spells the full per-dimension string
+	// paths in every record. Recovery decodes both regardless of this
+	// setting, so the knob (and the build writing the log) can change
+	// between opens.
+	WALRecordFormat int
 }
 
 // DefaultConfig returns the configuration used by the paper reproduction.
@@ -159,6 +168,9 @@ func (c *Config) Normalize() error {
 	if c.CommitBytes == 0 {
 		c.CommitBytes = d.CommitBytes
 	}
+	if c.WALRecordFormat == 0 {
+		c.WALRecordFormat = walFormatIDs
+	}
 	switch {
 	case c.BlockSize < 256:
 		return fmt.Errorf("%w: block size %d < 256", ErrBadConfig, c.BlockSize)
@@ -180,6 +192,8 @@ func (c *Config) Normalize() error {
 		return fmt.Errorf("%w: negative checkpoint interval", ErrBadConfig)
 	case c.CheckpointDirtyBytes < 0:
 		return fmt.Errorf("%w: negative checkpoint dirty bytes", ErrBadConfig)
+	case c.WALRecordFormat != walFormatPaths && c.WALRecordFormat != walFormatIDs:
+		return fmt.Errorf("%w: wal record format %d (want 1 or 2)", ErrBadConfig, c.WALRecordFormat)
 	}
 	return nil
 }

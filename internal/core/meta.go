@@ -17,13 +17,16 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-// Three format versions are in play: v2 ("DCMETA02") extends v1 with the
+// Four format versions are in play: v2 ("DCMETA02") extends v1 with the
 // group-commit knobs (after the config flags byte) and the WAL checkpoint
 // LSN (after nextID); v3 ("DCMETA03") appends the checkpoint auto-trigger
-// knobs after CommitBytes. Writing always produces v3; reading accepts all
-// three, with newer fields defaulting to zero on older blobs.
+// knobs after CommitBytes; v4 ("DCMETA04") appends the WAL record format
+// after CheckpointDirtyBytes. Writing always produces v4; reading accepts
+// all four, with newer fields defaulting to zero on older blobs (a zero
+// record format normalizes to the current default).
 const (
-	metaMagic   = "DCMETA03"
+	metaMagic   = "DCMETA04"
+	metaMagicV3 = "DCMETA03"
 	metaMagicV2 = "DCMETA02"
 	metaMagicV1 = "DCMETA01"
 )
@@ -90,6 +93,7 @@ func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(t.cfg.CommitBytes))
 	buf = binary.AppendVarint(buf, int64(t.cfg.CheckpointInterval))
 	buf = binary.AppendUvarint(buf, uint64(t.cfg.CheckpointDirtyBytes))
+	buf = binary.AppendUvarint(buf, uint64(t.cfg.WALRecordFormat))
 
 	// Tree shape.
 	buf = binary.AppendUvarint(buf, uint64(snap.root))
@@ -134,12 +138,30 @@ func Open(store storage.Store) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dctree: reading metadata: %w", err)
 	}
+	t, err := decodeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	if t.cfg.BlockSize != store.BlockSize() {
+		return nil, fmt.Errorf("%w: tree block size %d != store block size %d",
+			ErrCorrupt, t.cfg.BlockSize, store.BlockSize())
+	}
+	t.store = store
+	return t, nil
+}
+
+// decodeMeta parses a metadata blob into a store-less Tree. Split out of
+// Open so corrupt-input tests and the fuzz target can exercise the decoder
+// directly: arbitrary bytes must yield ErrCorrupt, never a panic.
+func decodeMeta(meta []byte) (*Tree, error) {
 	if len(meta) < len(metaMagic) {
 		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
 	}
 	var ver int
 	switch string(meta[:len(metaMagic)]) {
 	case metaMagic:
+		ver = 4
+	case metaMagicV3:
 		ver = 3
 	case metaMagicV2:
 		ver = 2
@@ -169,6 +191,9 @@ func Open(store storage.Store) (*Tree, error) {
 	if ver >= 3 {
 		cfg.CheckpointInterval = time.Duration(r.varint())
 		cfg.CheckpointDirtyBytes = int(r.uvarint())
+	}
+	if ver >= 4 {
+		cfg.WALRecordFormat = int(r.uvarint())
 	}
 
 	root := nodeID(r.uvarint())
@@ -214,7 +239,14 @@ func Open(store storage.Store) (*Tree, error) {
 		return nil, err
 	}
 
-	tableLen := int(r.uvarint())
+	tableLen64 := r.uvarint()
+	// Every table entry takes at least 3 bytes, so a count beyond the
+	// remaining bytes is corrupt — checked BEFORE it sizes the map, so a
+	// hostile count can neither overflow int nor drive a huge allocation.
+	if r.err == nil && tableLen64 > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("%w: translation table length %d", ErrCorrupt, tableLen64)
+	}
+	tableLen := int(tableLen64)
 	table := make(map[nodeID]extentRef, tableLen)
 	for i := 0; i < tableLen; i++ {
 		id := nodeID(r.uvarint())
@@ -229,14 +261,9 @@ func Open(store storage.Store) (*Tree, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	if cfg.BlockSize != store.BlockSize() {
-		return nil, fmt.Errorf("%w: tree block size %d != store block size %d",
-			ErrCorrupt, cfg.BlockSize, store.BlockSize())
-	}
 	t := &Tree{
 		schema:        schema,
 		cfg:           cfg,
-		store:         store,
 		root:          root,
 		rootMDS:       rootMDS,
 		height:        height,
@@ -312,15 +339,18 @@ func (r *metaReader) byte() byte {
 }
 
 func (r *metaReader) string() string {
-	l := int(r.uvarint())
+	l := r.uvarint()
 	if r.err != nil {
 		return ""
 	}
-	if len(r.buf)-r.off < l {
+	// Compare in uint64: a corrupt length above MaxInt64 converted to int
+	// first would go negative, sail past a `remaining < l` check, and panic
+	// on the negative slice bound below. Corrupt input must fail closed.
+	if l > uint64(len(r.buf)-r.off) {
 		r.err = fmt.Errorf("truncated string at %d", r.off)
 		return ""
 	}
-	s := string(r.buf[r.off : r.off+l])
-	r.off += l
+	s := string(r.buf[r.off : r.off+int(l)])
+	r.off += int(l)
 	return s
 }

@@ -60,6 +60,7 @@ type treeMetrics struct {
 	walBatches       obs.Counter
 	walBatchRecords  obs.Counter
 	walBatchMax      obs.Gauge
+	walDictDeltas    obs.Counter
 	recoveryReplayed obs.Counter
 
 	// Fuzzy checkpoints: completed and failed checkpoints, pages (extents)
@@ -136,6 +137,14 @@ type Metrics struct {
 	WALFsyncs               int64
 	WALGroupCommitBatchMean float64
 	WALGroupCommitBatchMax  int64
+	// WALDictDeltas counts dictionary registrations logged as delta
+	// entries (record format 2); WALRecycledSegments counts segment
+	// creations served from the recycle pool; WALBytesPerRecord is frame
+	// bytes written per logical record appended — the compactness signal
+	// dcbench -wal compares across record formats.
+	WALDictDeltas           int64
+	WALRecycledSegments     int64
+	WALBytesPerRecord       float64
 	RecoveryReplayedRecords int64
 
 	// Fuzzy checkpoints. CheckpointWriterStallSeconds is the cumulative
@@ -213,6 +222,7 @@ func (t *Tree) Metrics() Metrics {
 		WALAppends:              m.walAppends.Load(),
 		WALFsyncs:               m.walFsyncs.Load(),
 		WALGroupCommitBatchMax:  m.walBatchMax.Load(),
+		WALDictDeltas:           m.walDictDeltas.Load(),
 		RecoveryReplayedRecords: m.recoveryReplayed.Load(),
 
 		Checkpoints:                  m.checkpoints.Load(),
@@ -248,6 +258,13 @@ func (t *Tree) Metrics() Metrics {
 	}
 	if batches := m.walBatches.Load(); batches > 0 {
 		s.WALGroupCommitBatchMean = float64(m.walBatchRecords.Load()) / float64(batches)
+	}
+	if t.wal != nil {
+		ws := t.wal.w.Stats()
+		s.WALRecycledSegments = ws.Recycled
+		if ws.Appends > 0 {
+			s.WALBytesPerRecord = float64(ws.BytesStored) / float64(ws.Appends)
+		}
 	}
 	return s
 }
@@ -302,6 +319,9 @@ func (m Metrics) Families() []obs.Family {
 				{Labels: []obs.Label{{Key: "stat", Value: "max"}}, Value: float64(m.WALGroupCommitBatchMax)},
 			},
 		},
+		obs.CounterFamily("dctree_wal_dict_deltas_total", "Dictionary registrations logged as WAL delta entries (record format 2).", m.WALDictDeltas),
+		obs.CounterFamily("dctree_wal_recycled_segments_total", "WAL segment creations served from the recycle pool instead of a fresh create.", m.WALRecycledSegments),
+		obs.GaugeFamily("dctree_wal_bytes_per_record", "Frame bytes written to the WAL per logical record appended.", m.WALBytesPerRecord),
 		obs.CounterFamily("dctree_recovery_replayed_records_total", "WAL records re-applied by OpenDurable crash recovery.", m.RecoveryReplayedRecords),
 		obs.CounterFamily("dctree_checkpoints_total", "Checkpoints completed (Flush, Checkpoint, or the auto-trigger).", m.Checkpoints),
 		obs.CounterFamily("dctree_checkpoint_failures_total", "Checkpoints that failed and rolled back.", m.CheckpointFailures),

@@ -90,6 +90,16 @@ func imageRecords(t testing.TB, schema *cube.Schema, storePath, walPrefix string
 		if lsn <= checkpoint {
 			return nil
 		}
+		if len(payload) > 0 && payload[0] == walOpDictDelta {
+			// Dictionary deltas rebuild registrations the v2 mutation
+			// records reference; the shared live schema already holds them,
+			// so applying is idempotent and the delta itself is not a
+			// logical mutation.
+			if err := applyDictDelta(schema, payload); err != nil {
+				return err
+			}
+			return nil
+		}
 		op, rec, err := decodeWALRecord(schema, payload)
 		if err != nil {
 			return err

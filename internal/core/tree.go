@@ -52,6 +52,14 @@ type Tree struct {
 	wal           *walState
 	checkpointLSN uint64
 
+	// dictMu guards dictPending: dictionary registration deltas observed by
+	// the hierarchy hooks (which fire inside Schema.InternRecord, outside
+	// t.mu) and drained into a walOpDictDelta record immediately before the
+	// next mutation record, so replayed mutations always find their IDs
+	// already registered. Only populated when WALRecordFormat is 2.
+	dictMu      sync.Mutex
+	dictPending []dictDelta
+
 	// ckptMu serializes checkpoints (Checkpoint/Flush/FlushSync) end to
 	// end. Lock order: ckptMu strictly before t.mu — a checkpoint acquires
 	// t.mu twice (capture, install) and nothing that holds t.mu may start a

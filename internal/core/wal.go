@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
 	"github.com/dcindex/dctree/internal/storage"
 )
 
@@ -30,17 +31,51 @@ import (
 // swap and the truncation is safe: the leftover records replay as no-ops
 // filtered by LSN, not as double-applied mutations.
 //
-// Logical records encode per-dimension top-down *string* paths rather than
-// interned hierarchy IDs: dictionary registrations are only durable at
-// checkpoint time, so a replayed record may mention values the reopened
-// dictionaries have never seen. Re-interning through Schema.InternRecord
-// re-registers them exactly as the original insert did.
+// Record formats. Dictionary registrations are only durable at checkpoint
+// time, so a replayed record may mention values the reopened dictionaries
+// have never seen. The two formats resolve that differently:
+//
+//   - v1 (WALRecordFormat 1, legacy): every mutation record re-spells the
+//     per-dimension top-down *string* paths; re-interning through
+//     Schema.InternRecord re-registers them exactly as the original insert
+//     did. Robust, but deep hierarchies pay the full path bytes on every
+//     append.
+//   - v2 (WALRecordFormat 2, default): new-value registrations are logged
+//     as separate walOpDictDelta records — framed ahead of the mutation
+//     record that first needs them, inside the same tree-lock critical
+//     section, so the delta's LSN is always lower and a torn tail can
+//     never keep a mutation without its delta. Mutation records then carry
+//     only the interned leaf IDs. Recovery replays deltas into the
+//     reopened dictionaries (idempotently: a fuzzy checkpoint may already
+//     carry a registration whose delta is past the checkpoint LSN) before
+//     re-validating mutations.
+//
+// Decoding dispatches on the op byte, so logs freely mix formats and a
+// tree can reopen logs written by either setting (cross-version recovery).
 
 // walOp discriminates logical WAL records.
 const (
-	walOpInsert byte = 1
-	walOpDelete byte = 2
+	walOpInsert    byte = 1 // v1 insert: string paths
+	walOpDelete    byte = 2 // v1 delete: string paths
+	walOpDictDelta byte = 3 // dictionary registration delta batch
+	walOpInsertV2  byte = 4 // v2 insert: interned leaf IDs
+	walOpDeleteV2  byte = 5 // v2 delete: interned leaf IDs
 )
+
+// Config.WALRecordFormat values.
+const (
+	walFormatPaths = 1 // legacy full string paths
+	walFormatIDs   = 2 // dictionary deltas + interned IDs
+)
+
+// dictDelta is one observed dictionary registration awaiting its WAL
+// record: value name under parent received id in dimension dim.
+type dictDelta struct {
+	dim    int
+	id     hierarchy.ID
+	parent hierarchy.ID
+	name   string
+}
 
 // ErrWALRejected is returned by NewDurable when the WAL already holds
 // records: creating a fresh tree over a log tail would silently discard
@@ -123,6 +158,12 @@ func (ws *walState) append(payload []byte) (uint64, error) {
 		ws.m.walFsyncs.Inc()
 		ws.m.walBatches.Inc()
 		ws.m.walBatchRecords.Inc()
+		// Every naive-mode batch is exactly one record; the max-batch gauge
+		// must say so rather than sit at its zero value precisely in the one
+		// mode where the batch size is known a priori.
+		if ws.m.walBatchMax.Load() < 1 {
+			ws.m.walBatchMax.Set(1)
+		}
 		ws.noteDurable(covered)
 		return lsn, nil
 	}
@@ -250,10 +291,19 @@ func (ws *walState) shutdown() error {
 // ErrClosed is returned by operations on a closed tree.
 var ErrClosed = errors.New("dctree: tree is closed")
 
-// encodeWALRecord serializes one logical mutation: op byte, measures, then
-// per dimension the top-down path of value names (length-prefixed each, so
-// names may contain any byte).
+// encodeWALRecord serializes one logical mutation in the tree's configured
+// record format.
 func (t *Tree) encodeWALRecord(op byte, rec cube.Record) ([]byte, error) {
+	if t.cfg.WALRecordFormat == walFormatIDs {
+		return encodeWALRecordV2(op, rec), nil
+	}
+	return t.encodeWALRecordV1(op, rec)
+}
+
+// encodeWALRecordV1 serializes one logical mutation in the legacy format:
+// op byte, measures, then per dimension the top-down path of value names
+// (length-prefixed each, so names may contain any byte).
+func (t *Tree) encodeWALRecordV1(op byte, rec cube.Record) ([]byte, error) {
 	buf := []byte{op}
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Measures)))
 	for _, m := range rec.Measures {
@@ -287,17 +337,145 @@ func (t *Tree) encodeWALRecord(op byte, rec cube.Record) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeWALRecord parses a logical record and re-interns it through the
-// schema, re-registering any dictionary values the checkpoint predates.
-func decodeWALRecord(schema *cube.Schema, payload []byte) (byte, cube.Record, error) {
+// encodeWALRecordV2 serializes one logical mutation in the compact format:
+// op byte, measures, then one interned leaf ID per dimension. The IDs are
+// meaningful because every registration they depend on is either in the
+// last checkpoint's dictionaries or in a walOpDictDelta record with a
+// lower LSN.
+func encodeWALRecordV2(op byte, rec cube.Record) []byte {
+	if op == walOpInsert {
+		op = walOpInsertV2
+	} else {
+		op = walOpDeleteV2
+	}
+	buf := make([]byte, 0, 4+9*len(rec.Measures)+5*len(rec.Coords))
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Measures)))
+	for _, m := range rec.Measures {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Coords)))
+	for _, c := range rec.Coords {
+		buf = binary.AppendUvarint(buf, uint64(uint32(c)))
+	}
+	return buf
+}
+
+// encodeDictDelta serializes a batch of dictionary registrations: op byte,
+// entry count, then per entry the dimension, the minted ID, its parent and
+// the value name.
+func encodeDictDelta(deltas []dictDelta) []byte {
+	buf := []byte{walOpDictDelta}
+	buf = binary.AppendUvarint(buf, uint64(len(deltas)))
+	for _, d := range deltas {
+		buf = binary.AppendUvarint(buf, uint64(d.dim))
+		buf = binary.AppendUvarint(buf, uint64(uint32(d.id)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(d.parent)))
+		buf = binary.AppendUvarint(buf, uint64(len(d.name)))
+		buf = append(buf, d.name...)
+	}
+	return buf
+}
+
+// applyDictDelta replays one walOpDictDelta payload into the schema's
+// dictionaries. Idempotent for registrations a fuzzy checkpoint already
+// captured; any other disagreement between log and dictionaries (or any
+// malformed byte) fails closed with ErrCorrupt.
+func applyDictDelta(schema *cube.Schema, payload []byte) error {
 	r := metaReader{buf: payload}
+	if r.byte() != walOpDictDelta {
+		return fmt.Errorf("%w: not a dict delta record", ErrCorrupt)
+	}
+	count := r.uvarint()
+	if r.err != nil || count > uint64(len(payload)) {
+		return fmt.Errorf("%w: dict delta count", ErrCorrupt)
+	}
+	for i := uint64(0); i < count; i++ {
+		dim := r.uvarint()
+		id := r.uvarint()
+		parent := r.uvarint()
+		name := r.string()
+		if r.err != nil {
+			return fmt.Errorf("%w: dict delta entry %d: %v", ErrCorrupt, i, r.err)
+		}
+		if dim >= uint64(schema.Dims()) || id > math.MaxUint32 || parent > math.MaxUint32 {
+			return fmt.Errorf("%w: dict delta entry %d out of range", ErrCorrupt, i)
+		}
+		h, err := schema.Dim(int(dim))
+		if err != nil {
+			return fmt.Errorf("%w: dict delta entry %d: %v", ErrCorrupt, i, err)
+		}
+		if err := h.RestoreValue(hierarchy.ID(id), hierarchy.ID(parent), name); err != nil {
+			return fmt.Errorf("%w: dict delta entry %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	if r.off != len(payload) {
+		return fmt.Errorf("%w: dict delta trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+// decodeWALRecord parses a logical mutation record of either format,
+// returning the canonical v1 op. v1 records re-intern through the schema
+// (re-registering any dictionary values the checkpoint predates); v2
+// records resolve their IDs against dictionaries that the checkpoint plus
+// the preceding dict deltas have already rebuilt.
+func decodeWALRecord(schema *cube.Schema, payload []byte) (byte, cube.Record, error) {
 	if len(payload) < 1 {
 		return 0, cube.Record{}, fmt.Errorf("%w: empty wal record", ErrCorrupt)
 	}
-	op := r.byte()
-	if op != walOpInsert && op != walOpDelete {
-		return 0, cube.Record{}, fmt.Errorf("%w: wal record op %d", ErrCorrupt, op)
+	switch payload[0] {
+	case walOpInsert, walOpDelete:
+		return decodeWALRecordV1(schema, payload)
+	case walOpInsertV2, walOpDeleteV2:
+		return decodeWALRecordV2(schema, payload)
+	default:
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record op %d", ErrCorrupt, payload[0])
 	}
+}
+
+func decodeWALRecordV2(schema *cube.Schema, payload []byte) (byte, cube.Record, error) {
+	r := metaReader{buf: payload}
+	op := walOpInsert
+	if r.byte() == walOpDeleteV2 {
+		op = walOpDelete
+	}
+	nm := int(r.uvarint())
+	if r.err != nil || nm != schema.Measures() {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record measures", ErrCorrupt)
+	}
+	measures := make([]float64, nm)
+	for j := range measures {
+		measures[j] = r.float64()
+	}
+	nd := int(r.uvarint())
+	if r.err != nil || nd != schema.Dims() {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record dims", ErrCorrupt)
+	}
+	coords := make([]hierarchy.ID, nd)
+	for d := range coords {
+		v := r.uvarint()
+		if v > math.MaxUint32 {
+			return 0, cube.Record{}, fmt.Errorf("%w: wal record dim %d id", ErrCorrupt, d)
+		}
+		coords[d] = hierarchy.ID(v)
+	}
+	if r.err != nil {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record: %v", ErrCorrupt, r.err)
+	}
+	rec := cube.Record{Coords: coords, Measures: measures}
+	// The IDs must already be registered leaves: either the checkpoint's
+	// dictionaries or a preceding dict delta carried them. An unknown ID
+	// means the log lost a delta — corruption, not a recoverable state.
+	if err := schema.ValidateRecord(rec); err != nil {
+		return 0, cube.Record{}, fmt.Errorf("%w: wal record ids: %v", ErrCorrupt, err)
+	}
+	return op, rec, nil
+}
+
+func decodeWALRecordV1(schema *cube.Schema, payload []byte) (byte, cube.Record, error) {
+	r := metaReader{buf: payload}
+	op := r.byte()
 	nm := int(r.uvarint())
 	if r.err != nil || nm != schema.Measures() {
 		return 0, cube.Record{}, fmt.Errorf("%w: wal record measures", ErrCorrupt)
@@ -332,12 +510,51 @@ func decodeWALRecord(schema *cube.Schema, payload []byte) (byte, cube.Record, er
 	return op, rec, nil
 }
 
-// logMutation appends the logical record for an applied mutation. Called
-// under the tree write lock, after the in-memory mutation succeeded.
-// Returns the LSN to wait on (0 when the tree has no WAL).
+// installDictHooks arms the per-dimension registration hooks that feed
+// dictionary deltas into dictPending. Called once a durable tree's record
+// format is known to be v2 — AFTER the initial checkpoint (NewDurable) or
+// recovery (OpenDurable), whose own registrations need no deltas: the
+// former persists the dictionaries in meta, the latter's source records
+// stay in the log until a checkpoint supersedes them.
+func (t *Tree) installDictHooks() {
+	if t.cfg.WALRecordFormat != walFormatIDs {
+		return
+	}
+	for d := 0; d < t.schema.Dims(); d++ {
+		h, err := t.schema.Dim(d)
+		if err != nil {
+			continue
+		}
+		dim := d
+		h.SetRegisterHook(func(id, parent hierarchy.ID, name string) {
+			t.dictMu.Lock()
+			t.dictPending = append(t.dictPending, dictDelta{dim: dim, id: id, parent: parent, name: name})
+			t.dictMu.Unlock()
+		})
+	}
+}
+
+// logMutation appends the logical record for an applied mutation — preceded,
+// in v2 format, by a dict delta record for any registrations observed since
+// the last mutation. Called under the tree write lock, after the in-memory
+// mutation succeeded, so the delta's LSN is strictly below the mutation's
+// and no later mutation can slip between them. Returns the LSN to wait on
+// (0 when the tree has no WAL).
 func (t *Tree) logMutation(op byte, rec cube.Record) (uint64, error) {
 	if t.wal == nil {
 		return 0, nil
+	}
+	if t.cfg.WALRecordFormat == walFormatIDs {
+		t.dictMu.Lock()
+		deltas := t.dictPending
+		t.dictPending = nil
+		t.dictMu.Unlock()
+		if len(deltas) > 0 {
+			if _, err := t.wal.append(encodeDictDelta(deltas)); err != nil {
+				return 0, err
+			}
+			t.metrics.walDictDeltas.Add(int64(len(deltas)))
+		}
 	}
 	payload, err := t.encodeWALRecord(op, rec)
 	if err != nil {
@@ -387,6 +604,9 @@ func NewDurableOpts(store storage.Store, schema *cube.Schema, cfg Config, walPre
 		w.Close()
 		return nil, err
 	}
+	// Hooks arm only now: the pre-existing dictionary contents (if the
+	// schema was pre-registered) are already durable in the checkpoint.
+	t.installDictHooks()
 	t.wal = newWALState(w, &t.cfg, &t.metrics)
 	t.startCheckpointer()
 	return t, nil
@@ -399,11 +619,19 @@ func NewDurableOpts(store storage.Store, schema *cube.Schema, cfg Config, walPre
 // built them. The replayed state is in memory (and still covered by the
 // log); the next Flush checkpoints it.
 func OpenDurable(store storage.Store, walPrefix string) (*Tree, error) {
+	return OpenDurableOpts(store, walPrefix, storage.WALOptions{})
+}
+
+// OpenDurableOpts is OpenDurable with explicit WAL options. Reopening is
+// where the write-side knobs (compression, recycle pool) must be
+// re-passed to stay in effect — the log file itself records per frame
+// whether it is compressed, so reading never depends on them.
+func OpenDurableOpts(store storage.Store, walPrefix string, wopts storage.WALOptions) (*Tree, error) {
 	t, err := Open(store)
 	if err != nil {
 		return nil, err
 	}
-	w, err := storage.OpenWAL(walPrefix, storage.WALOptions{})
+	w, err := storage.OpenWAL(walPrefix, wopts)
 	if err != nil {
 		return nil, err
 	}
@@ -411,16 +639,30 @@ func OpenDurable(store storage.Store, walPrefix string) (*Tree, error) {
 		w.Close()
 		return nil, err
 	}
+	// Hooks arm only after recovery: replayed registrations come from
+	// records still in the log (or deltas already there), so logging them
+	// again would be redundant.
+	t.installDictHooks()
 	t.wal = newWALState(w, &t.cfg, &t.metrics)
 	t.startCheckpointer()
 	return t, nil
 }
 
-// recoverFrom replays the WAL tail past the tree's checkpoint LSN.
+// recoverFrom replays the WAL tail past the tree's checkpoint LSN:
+// dictionary deltas rebuild the registrations first (their LSNs precede
+// every mutation that needs them), then mutations re-apply through the
+// normal insert/delete path. recoveryReplayed counts mutations only —
+// deltas are bookkeeping, not replayed updates.
 func (t *Tree) recoverFrom(w *storage.WAL) error {
 	return w.Replay(func(lsn uint64, payload []byte) error {
 		if lsn <= t.checkpointLSN {
 			return nil // superseded by the checkpoint
+		}
+		if len(payload) > 0 && payload[0] == walOpDictDelta {
+			if err := applyDictDelta(t.schema, payload); err != nil {
+				return fmt.Errorf("dctree: replaying dict delta lsn %d: %w", lsn, err)
+			}
+			return nil
 		}
 		op, rec, err := decodeWALRecord(t.schema, payload)
 		if err != nil {

@@ -39,7 +39,23 @@ type Hierarchy struct {
 	valueNames [][]string
 	byLevel    [][]ID // per level, IDs in insertion (total) order
 	intern     []map[string]ID
+
+	// onRegister, when set, observes every NEW value registration (never
+	// lookups of existing values). The durable tree uses it to frame
+	// dictionary deltas into the WAL so records can carry interned IDs
+	// instead of full string paths.
+	onRegister RegisterFunc
 }
+
+// RegisterFunc observes one new value registration: the freshly minted id,
+// its parent (ALL for top-level values) and the value's name.
+type RegisterFunc func(id, parent ID, name string)
+
+// SetRegisterHook installs fn to be called on every registration of a value
+// that did not exist before (a nil fn removes the hook). Replay-path
+// restores via RestoreValue do not fire the hook: they re-apply deltas that
+// are already in the log.
+func (h *Hierarchy) SetRegisterHook(fn RegisterFunc) { h.onRegister = fn }
 
 // New creates an empty hierarchy for one dimension. levelNames are ordered
 // from the leaf level upward, e.g.
@@ -144,7 +160,51 @@ func (h *Hierarchy) registerChild(level int, parent ID, name string) (ID, error)
 	h.byLevel[level] = append(h.byLevel[level], id)
 	h.parents[level] = append(h.parents[level], parent)
 	h.valueNames[level] = append(h.valueNames[level], name)
+	if h.onRegister != nil {
+		h.onRegister(id, parent, name)
+	}
 	return id, nil
+}
+
+// RestoreValue re-applies one logged registration delta: value name under
+// parent must receive exactly id. It is idempotent — a value already
+// registered with the same identity is a no-op — because recovery can
+// replay deltas whose registration is also present in a fuzzily captured
+// checkpoint. Any OTHER mismatch (a code that would leave a hole in the
+// dense per-level numbering, a different parent, a conflicting existing ID)
+// means the log and the dictionary disagree and fails closed. The
+// registration hook deliberately does not fire: the delta being restored is
+// already in the log.
+func (h *Hierarchy) RestoreValue(id, parent ID, name string) error {
+	level := id.Level()
+	if level >= len(h.levelNames) {
+		return fmt.Errorf("%w: %d in delta for %q", ErrBadLevel, level, h.name)
+	}
+	key := scopedKey(parent, name)
+	if have, ok := h.intern[level][key]; ok {
+		if have != id {
+			return fmt.Errorf("%w: delta %v for %q/%q, registered as %v",
+				ErrInconsistent, id, h.name, name, have)
+		}
+		return nil // checkpoint already carried this registration
+	}
+	if uint32(len(h.byLevel[level])) != id.Code() {
+		return fmt.Errorf("%w: delta %v for %q would leave a code hole (next code %d)",
+			ErrInconsistent, id, h.name, len(h.byLevel[level]))
+	}
+	if level == h.TopLevel() {
+		if !parent.IsALL() {
+			return fmt.Errorf("%w: top-level delta %v has parent %v", ErrInconsistent, id, parent)
+		}
+	} else if parent.Level() != level+1 || !h.registered(parent) {
+		return fmt.Errorf("%w: delta %v parent %v not registered one level up",
+			ErrInconsistent, id, parent)
+	}
+	h.intern[level][key] = id
+	h.byLevel[level] = append(h.byLevel[level], id)
+	h.parents[level] = append(h.parents[level], parent)
+	h.valueNames[level] = append(h.valueNames[level], name)
+	return nil
 }
 
 // scopedKey scopes a value name by its parent so that identical strings

@@ -84,8 +84,10 @@ func Decode(buf []byte) (MDS, int, error) {
 		if count == 0 {
 			return nil, 0, fmt.Errorf("mds: empty value set in dim %d", i)
 		}
-		need := int(count) * 4
-		if len(buf)-off < need {
+		// Bound count by the remaining bytes in uint64 space: int(count)*4
+		// would overflow for hostile counts near 2^62 and slip past the
+		// check into a make() that panics.
+		if count > uint64(len(buf)-off)/4 {
 			return nil, 0, fmt.Errorf("mds: truncated values in dim %d", i)
 		}
 		ids := make([]hierarchy.ID, count)

@@ -1,7 +1,9 @@
 package mds
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -439,6 +441,18 @@ func TestCodecRejectsCorrupt(t *testing.T) {
 	bad[1] = hierarchy.LevelALL // dim 0 claims ALL but carries a value count
 	if _, _, err := Decode(bad); err == nil {
 		t.Error("Decode accepted ALL entry with values")
+	}
+}
+
+// TestCodecRejectsOverflowCount: a value count near 2^62 used to overflow
+// int(count)*4 to a non-positive byte budget, pass the truncation check,
+// and panic in make(). It must fail closed instead.
+func TestCodecRejectsOverflowCount(t *testing.T) {
+	for _, count := range []uint64{1 << 62, 1<<62 + 1, 1 << 61, math.MaxUint64 >> 1} {
+		buf := binary.AppendUvarint([]byte{1, 0}, count) // 1 dim, level 0
+		if _, _, err := Decode(buf); err == nil {
+			t.Errorf("Decode accepted value count %d", count)
+		}
 	}
 }
 

@@ -67,11 +67,23 @@ type WAL struct {
 	closed   bool
 	appends  atomic.Int64
 	syncs    atomic.Int64
-	appended atomic.Int64 // payload bytes appended
-	// syncedLSN/syncedSize track the durable frontier (updated by Sync);
-	// tests use them to chop crash images strictly beyond acknowledged data.
-	syncedLSN  uint64
-	syncedSize int64
+	appended atomic.Int64 // logical payload bytes appended
+	stored   atomic.Int64 // frame bytes written (overhead + stored payload)
+	recycled atomic.Int64 // segments reused from the recycle pool
+	// syncedLSN tracks the LSN half of the durable frontier (updated by
+	// Sync and by rotation, whose fsync seals a whole segment); the byte
+	// half lives per segment in walSegment.synced — Sync snapshots the
+	// active segment's INDEX and only advances the frontier of that same
+	// segment, so a rotation or truncation racing the fsync can never leave
+	// the frontier describing bytes of a segment that is no longer active.
+	syncedLSN uint64
+
+	// recycle is the pool of retired segment files awaiting reuse
+	// (non-numeric names, invisible to findSegments); recycleSeq names them
+	// uniquely across the log's lifetime.
+	recycle    []string
+	recycleSeq uint64
+	poolCap    int
 }
 
 // walSegment identifies one segment file.
@@ -80,6 +92,13 @@ type walSegment struct {
 	path     string
 	firstLSN uint64
 	f        *os.File // sealed segments keep their handle until Truncate/Close
+	// synced is the segment's durable byte frontier: everything below it
+	// survived an fsync. Sealed segments are durable in full (rotation
+	// fsyncs before sealing), so theirs equals the file size; the active
+	// segment's advances with each completed Sync that it was the active
+	// segment of — tracked per segment precisely so a rotation racing a
+	// Sync cannot misattribute one segment's frontier to another.
+	synced int64
 }
 
 // WALOptions tunes a write-ahead log.
@@ -92,15 +111,27 @@ type WALOptions struct {
 	// disk-bound regime (commit latencies in the milliseconds) that fast
 	// container filesystems hide. 0 in production.
 	SyncDelay time.Duration
+	// Compress LZ-compresses record payloads on append (per frame, flagged
+	// in the frame's length word; frames that do not shrink stay raw).
+	// Replay is format-agnostic, so logs mix compressed and raw frames
+	// freely and the knob can change between opens.
+	Compress bool
+	// RecyclePool caps how many truncated/rotated-out segment files are
+	// kept (renamed, not removed) for reuse by the next segment creation,
+	// avoiding the create/remove metadata churn of every checkpoint.
+	// 0 selects the default of 4; negative disables recycling.
+	RecyclePool int
 }
 
 // WALStats is a snapshot of the log's activity counters.
 type WALStats struct {
 	Appends       int64 // records appended
 	Syncs         int64 // fsync calls issued
-	BytesAppended int64 // payload bytes appended
+	BytesAppended int64 // logical payload bytes appended (pre-compression)
+	BytesStored   int64 // frame bytes written: overhead + (compressed) payload
 	Records       int64 // records currently stored (since last truncate)
-	Segments      int   // segment files currently on disk
+	Segments      int   // segment files currently on disk (excluding the pool)
+	Recycled      int64 // segment creations served from the recycle pool
 }
 
 // Errors returned by the WAL.
@@ -121,11 +152,24 @@ const (
 	walFrameOverhead = 8         // uint32 length + uint32 crc
 	walMaxRecord     = 64 << 20
 	walDefaultSeg    = 4 << 20
+	walDefaultPool   = 4
+	// walFrameCompressed flags a frame whose payload is walCompress output
+	// in the top bit of the frame's length word (lengths are ≤ 64 MiB, so
+	// the bit is otherwise always clear — including in every v1 log, which
+	// therefore stays readable unchanged).
+	walFrameCompressed = uint32(1) << 31
 )
 
 // walSegmentPath names segment files: <prefix>.<index 8-digit>.wal.
 func walSegmentPath(prefix string, index uint64) string {
 	return fmt.Sprintf("%s.%08d.wal", prefix, index)
+}
+
+// walRecyclePath names recycle-pool files. The middle token is not a
+// decimal segment index, so findSegments (and therefore open, replay and
+// crash images) never mistake a pooled file for part of the log.
+func walRecyclePath(prefix string, seq uint64) string {
+	return fmt.Sprintf("%s.recycle%06d.wal", prefix, seq)
 }
 
 // OpenWAL opens (or creates) the write-ahead log with the given file
@@ -140,7 +184,15 @@ func OpenWAL(prefix string, opts WALOptions) (*WAL, error) {
 	if opts.SegmentBytes < walSegHeaderSize+walFrameOverhead {
 		return nil, fmt.Errorf("%w: segment size %d too small", ErrBadExtent, opts.SegmentBytes)
 	}
-	w := &WAL{prefix: prefix, opts: opts, nextLSN: 1}
+	w := &WAL{prefix: prefix, opts: opts, nextLSN: 1, poolCap: opts.RecyclePool}
+	if w.poolCap == 0 {
+		w.poolCap = walDefaultPool
+	} else if w.poolCap < 0 {
+		w.poolCap = 0
+	}
+	if err := w.adoptRecyclePool(); err != nil {
+		return nil, err
+	}
 
 	segs, err := findSegments(prefix)
 	if err != nil {
@@ -200,11 +252,12 @@ func OpenWAL(prefix string, opts WALOptions) (*WAL, error) {
 				}
 			}
 			w.f = f
+			seg.synced = info.validSize
 			w.active = seg
 			w.size = info.validSize
 			w.flushed = info.validSize
-			w.syncedSize = info.validSize
 		} else {
+			seg.synced = info.fileSize
 			w.sealed = append(w.sealed, seg)
 		}
 	}
@@ -242,6 +295,68 @@ func findSegments(prefix string) ([]walSegFile, error) {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].index < cands[j].index })
 	return cands, nil
+}
+
+// adoptRecyclePool rediscovers recycle-pool files left by a previous
+// process (including one that crashed between reusing a pooled file and
+// renaming it into the log — the half-rewritten file simply stays pooled).
+// Files beyond the pool cap are removed.
+func (w *WAL) adoptRecyclePool() error {
+	matches, err := filepath.Glob(w.prefix + ".recycle*.wal")
+	if err != nil {
+		return err
+	}
+	type pooled struct {
+		seq  uint64
+		path string
+	}
+	var found []pooled
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(m, w.prefix+".recycle"), ".wal")
+		seq, err := strconv.ParseUint(base, 10, 64)
+		if err != nil {
+			continue // unrelated file
+		}
+		found = append(found, pooled{seq: seq, path: m})
+		if seq >= w.recycleSeq {
+			w.recycleSeq = seq + 1
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].seq < found[j].seq })
+	for i, p := range found {
+		if i < w.poolCap {
+			w.recycle = append(w.recycle, p.path)
+			continue
+		}
+		if err := os.Remove(p.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// retireLocked disposes of a superseded segment file: renamed into the
+// recycle pool when there is room, removed otherwise. A missing file
+// counts as success, so a truncation retried after a partial failure is
+// idempotent. Caller holds w.mu.
+func (w *WAL) retireLocked(path string) error {
+	if len(w.recycle) < w.poolCap {
+		rp := walRecyclePath(w.prefix, w.recycleSeq)
+		switch err := os.Rename(path, rp); {
+		case err == nil:
+			w.recycleSeq++
+			w.recycle = append(w.recycle, rp)
+			return nil
+		case os.IsNotExist(err):
+			return nil
+		}
+		// Rename refused (e.g. cross-device prefix tricks): fall through to
+		// plain removal rather than failing the truncation.
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // segmentInfo is the result of validating one segment file.
@@ -284,11 +399,13 @@ func scanSegment(path string, tolerateTail bool) (segmentInfo, error) {
 }
 
 // frameAt validates the frame starting at off and returns its total size.
+// The CRC covers the stored bytes, so validation needs no decompression.
 func frameAt(data []byte, off int64) (int64, bool) {
 	if int64(len(data))-off < walFrameOverhead {
 		return 0, false
 	}
-	length := int64(binary.LittleEndian.Uint32(data[off:]))
+	word := binary.LittleEndian.Uint32(data[off:])
+	length := int64(word &^ walFrameCompressed)
 	if length == 0 || length > walMaxRecord {
 		return 0, false
 	}
@@ -303,35 +420,89 @@ func frameAt(data []byte, off int64) (int64, bool) {
 	return walFrameOverhead + length, true
 }
 
-// createSegment creates and syncs a fresh active segment (called with the
-// caller holding w.mu or during construction).
+// framePayload extracts (decompressing if flagged) the logical payload of
+// a frame frameAt already validated. A CRC-valid frame that fails to
+// decompress cannot be a torn write — the CRC covers every stored byte —
+// so it is reported as corruption.
+func framePayload(data []byte, off, frameSize int64) ([]byte, error) {
+	word := binary.LittleEndian.Uint32(data[off:])
+	stored := data[off+walFrameOverhead : off+frameSize]
+	if word&walFrameCompressed == 0 {
+		return stored, nil
+	}
+	return walDecompress(stored)
+}
+
+// createSegment installs a fresh active segment (called with the caller
+// holding w.mu or during construction): a file from the recycle pool when
+// one is available, a newly created one otherwise.
 func (w *WAL) createSegment(index, firstLSN uint64) error {
 	path := walSegmentPath(w.prefix, index)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
+	f := w.reuseRecycledLocked(index, firstLSN, path)
+	if f == nil {
+		var err error
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := writeSegHeader(f, index, firstLSN); err != nil {
+			f.Close()
+			return err
+		}
+		// The header (and the file's existence) must survive a crash before
+		// the first Sync, or recovery would see a headerless tail segment.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
 	}
+	syncDir(filepath.Dir(path))
+	w.f = f
+	w.active = walSegment{index: index, path: path, firstLSN: firstLSN, synced: walSegHeaderSize}
+	w.size = walSegHeaderSize
+	w.flushed = walSegHeaderSize
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// writeSegHeader writes and leaves durable-pending a segment header.
+func writeSegHeader(f *os.File, index, firstLSN uint64) error {
 	hdr := make([]byte, walSegHeaderSize)
 	copy(hdr, walMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], index)
 	binary.LittleEndian.PutUint64(hdr[16:], firstLSN)
-	if _, err := f.WriteAt(hdr, 0); err != nil {
+	_, err := f.WriteAt(hdr, 0)
+	return err
+}
+
+// reuseRecycledLocked pops a pooled segment file and rewrites it into the
+// segment at (index, firstLSN): new header, stale frames cut off, both
+// fsynced BEFORE the rename claims the numeric name — so a crash at any
+// point either leaves the file in the pool (ignored by open) or installs a
+// fully valid empty segment. Returns nil (falling back to a fresh create)
+// on any error; the pool is an optimization, never a correctness
+// dependency. Caller holds w.mu.
+func (w *WAL) reuseRecycledLocked(index, firstLSN uint64, path string) *os.File {
+	for len(w.recycle) > 0 {
+		rp := w.recycle[len(w.recycle)-1]
+		w.recycle = w.recycle[:len(w.recycle)-1]
+		f, err := os.OpenFile(rp, os.O_RDWR, 0o644)
+		if err != nil {
+			continue // pool entry vanished or unreadable; try the next
+		}
+		if err := writeSegHeader(f, index, firstLSN); err == nil {
+			if err = f.Truncate(walSegHeaderSize); err == nil {
+				if err = f.Sync(); err == nil {
+					if err = os.Rename(rp, path); err == nil {
+						w.recycled.Add(1)
+						return f
+					}
+				}
+			}
+		}
 		f.Close()
-		return err
+		os.Remove(rp) // best effort: a half-rewritten pool file is useless
 	}
-	// The header (and the file's existence) must survive a crash before the
-	// first Sync, or recovery would see a headerless tail segment.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	syncDir(filepath.Dir(path))
-	w.f = f
-	w.active = walSegment{index: index, path: path, firstLSN: firstLSN}
-	w.size = walSegHeaderSize
-	w.flushed = walSegHeaderSize
-	w.buf = w.buf[:0]
-	w.syncedSize = walSegHeaderSize
 	return nil
 }
 
@@ -362,16 +533,25 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	stored := payload
+	lengthWord := uint32(len(payload))
+	if w.opts.Compress {
+		if c := walCompress(payload); c != nil {
+			stored = c
+			lengthWord = uint32(len(c)) | walFrameCompressed
+		}
+	}
 	var hdr [walFrameOverhead]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	w.buf = append(append(w.buf, hdr[:]...), payload...)
-	w.size += walFrameOverhead + int64(len(payload))
+	binary.LittleEndian.PutUint32(hdr[:], lengthWord)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(stored))
+	w.buf = append(append(w.buf, hdr[:]...), stored...)
+	w.size += walFrameOverhead + int64(len(stored))
 	lsn := w.nextLSN
 	w.nextLSN++
 	w.records++
 	w.appends.Add(1)
 	w.appended.Add(int64(len(payload)))
+	w.stored.Add(walFrameOverhead + int64(len(stored)))
 	return lsn, nil
 }
 
@@ -401,6 +581,7 @@ func (w *WAL) rotateLocked() error {
 	w.syncs.Add(1)
 	sealed := w.active
 	sealed.f = w.f
+	sealed.synced = w.flushed // the fsync above covered the whole file
 	if w.nextLSN-1 > w.syncedLSN {
 		w.syncedLSN = w.nextLSN - 1
 	}
@@ -427,22 +608,32 @@ func (w *WAL) Sync() (uint64, error) {
 		w.mu.Unlock()
 		return 0, err
 	}
+	// Snapshot the segment's INDEX alongside the handle: after the fsync,
+	// the frontier update must be attributed to this same segment, never to
+	// whatever is active by then. A rotation racing the fsync seals the
+	// snapshot segment with its own full-size frontier; a truncation
+	// supersedes it entirely — in both cases the post-fsync re-check below
+	// sees the index mismatch and leaves the (already reset) frontier of
+	// the new active segment alone instead of advancing it with stale
+	// bytes, and the LSN frontier still advances to cover this Sync.
 	f := w.f
+	idx := w.active.index
 	target := w.nextLSN - 1
 	size := w.size
 	w.mu.Unlock()
 
 	if err := f.Sync(); err != nil {
 		w.mu.Lock()
-		stillActive := f == w.f
+		stillActive := idx == w.active.index
 		synced := w.syncedLSN
 		w.mu.Unlock()
 		if stillActive {
 			return 0, err
 		}
-		// The segment was truncated away while the fsync was in flight
-		// (a concurrent checkpoint): its records are superseded and the
-		// durable frontier already covers everything that matters.
+		// The segment was sealed or truncated away while the fsync was in
+		// flight: rotation fsynced it whole, or a concurrent checkpoint
+		// superseded its records — either way the durable frontier already
+		// covers everything that matters.
 		return synced, nil
 	}
 	w.syncs.Add(1)
@@ -454,8 +645,8 @@ func (w *WAL) Sync() (uint64, error) {
 	if target > w.syncedLSN {
 		w.syncedLSN = target
 	}
-	if f == w.f && size > w.syncedSize {
-		w.syncedSize = size
+	if idx == w.active.index && size > w.active.synced {
+		w.active.synced = size
 	}
 	w.mu.Unlock()
 	return target, nil
@@ -505,7 +696,11 @@ func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
 				}
 				break
 			}
-			if err := fn(lsn, data[off+walFrameOverhead:off+n]); err != nil {
+			payload, err := framePayload(data, off, n)
+			if err != nil {
+				return fmt.Errorf("%w: segment %s frame at %d: %v", ErrWALCorrupt, seg.path, off, err)
+			}
+			if err := fn(lsn, payload); err != nil {
 				return err
 			}
 			lsn++
@@ -567,6 +762,8 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 	if cut == 0 {
 		return nil
 	}
+	retired := 0
+	var firstErr error
 	for i := 0; i < cut; i++ {
 		seg := w.sealed[i]
 		nextFirst := w.active.firstLSN
@@ -575,18 +772,32 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 		}
 		if seg.f != nil {
 			seg.f.Close()
+			w.sealed[i].f = nil // never double-close on retry
 		}
-		if err := os.Remove(seg.path); err != nil {
-			// Keep the not-yet-removed suffix tracked so a retry (or Close)
-			// still sees it.
+		// retireLocked treats an already-missing file as success, so a
+		// retry after a partial failure re-walks the same prefix without
+		// double-counting; the record count only moves with a successful
+		// retirement, keeping it consistent with the files on disk.
+		if err := w.retireLocked(seg.path); err != nil {
+			// Keep the not-yet-retired suffix (including this segment)
+			// tracked so a retry or Close still sees it.
 			w.sealed = append([]walSegment(nil), w.sealed[i:]...)
-			return err
+			firstErr = err
+			break
 		}
 		w.records -= int64(nextFirst - seg.firstLSN)
+		retired++
 	}
-	w.sealed = append([]walSegment(nil), w.sealed[cut:]...)
-	syncDir(filepath.Dir(w.active.path))
-	return nil
+	if firstErr == nil {
+		w.sealed = append([]walSegment(nil), w.sealed[cut:]...)
+	}
+	// One directory sync covers every retirement of this pass — including
+	// the ones that preceded a mid-loop failure, whose removal must not
+	// remain volatile just because a later one failed.
+	if retired > 0 {
+		syncDir(filepath.Dir(w.active.path))
+	}
+	return firstErr
 }
 
 // truncateAllLocked is the full truncation: a fresh segment carrying the
@@ -601,16 +812,20 @@ func (w *WAL) truncateAllLocked() error {
 	w.sealed = nil
 	w.records = 0
 	w.syncedLSN = w.nextLSN - 1
+	var firstErr error
 	for _, seg := range old {
 		if seg.f != nil {
 			seg.f.Close()
 		}
-		if err := os.Remove(seg.path); err != nil {
-			return err
+		if err := w.retireLocked(seg.path); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
+	// The new segment has already replaced the old ones in w's accounting;
+	// sync the directory once regardless of individual retirement failures
+	// so every completed rename/removal is durable.
 	syncDir(filepath.Dir(w.active.path))
-	return nil
+	return firstErr
 }
 
 // Close syncs and closes the log files.
@@ -665,7 +880,7 @@ func (w *WAL) Records() int64 {
 func (w *WAL) ActiveSegment() (path string, syncedBytes int64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.active.path, w.syncedSize
+	return w.active.path, w.active.synced
 }
 
 // Stats returns a snapshot of the log's activity counters.
@@ -678,7 +893,9 @@ func (w *WAL) Stats() WALStats {
 		Appends:       w.appends.Load(),
 		Syncs:         w.syncs.Load(),
 		BytesAppended: w.appended.Load(),
+		BytesStored:   w.stored.Load(),
 		Records:       records,
 		Segments:      segments,
+		Recycled:      w.recycled.Load(),
 	}
 }

@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fillSegments appends enough records to leave the log with at least n
+// sealed segments, then syncs.
+func fillSegments(t *testing.T, w *WAL, n int) uint64 {
+	t.Helper()
+	var last uint64
+	for len(w.sealed) < n {
+		lsn, err := w.Append([]byte(fmt.Sprintf("payload-%d", w.nextLSN)))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		last = lsn
+	}
+	if _, err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	return last
+}
+
+func recycleFiles(t *testing.T, prefix string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(prefix + ".recycle*.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestWALRecycleLifecycle(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "idx")
+	opts := WALOptions{SegmentBytes: 128}
+	w := openTestWAL(t, prefix, opts)
+
+	// Retire a few sealed segments: they must land in the pool, not be
+	// removed, and stay invisible to the live log.
+	fillSegments(t, w, 3)
+	before := w.Records()
+	if err := w.TruncateBefore(w.sealed[len(w.sealed)-1].firstLSN - 1); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	pool := recycleFiles(t, prefix)
+	if len(pool) == 0 {
+		t.Fatal("no segments were recycled into the pool")
+	}
+	if w.Records() >= before {
+		t.Fatalf("records not reduced by truncation: %d -> %d", before, w.Records())
+	}
+	if segs, _ := findSegments(prefix); len(segs) != len(w.sealed)+1 {
+		t.Fatalf("pool files leaked into findSegments: %v", segs)
+	}
+
+	// New segment creations must be served from the pool.
+	for w.Stats().Recycled == 0 {
+		if _, err := w.Append([]byte("rotate-me-through-the-pool")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := w.Stats().Recycled; got == 0 {
+		t.Fatalf("Recycled = %d, want > 0", got)
+	}
+
+	// Replay integrity is unaffected by reuse: contiguous LSNs, correct
+	// payloads.
+	recs, order := collect(t, w)
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1]+1 {
+			t.Fatalf("non-contiguous LSNs after recycling: %v", order)
+		}
+	}
+	for lsn, p := range recs {
+		if !strings.HasPrefix(p, "payload-") && p != "rotate-me-through-the-pool" {
+			t.Fatalf("lsn %d: unexpected payload %q", lsn, p)
+		}
+	}
+
+	// Reopen adopts the pool and the log itself is unchanged.
+	if _, err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := w.Records()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w = openTestWAL(t, prefix, opts)
+	defer w.Close()
+	if w.Records() != wantRecords {
+		t.Fatalf("records after reopen = %d, want %d", w.Records(), wantRecords)
+	}
+	if len(recycleFiles(t, prefix)) != len(w.recycle) {
+		t.Fatalf("pool not adopted: disk %v vs tracked %v", recycleFiles(t, prefix), w.recycle)
+	}
+}
+
+func TestWALRecycleHalfRewrittenPoolFileIgnored(t *testing.T) {
+	// A crash between rewriting a pooled file's header and renaming it into
+	// the log leaves a pool-named file with a live-looking header. Open must
+	// treat it as pool inventory, never as part of the log.
+	prefix := filepath.Join(t.TempDir(), "idx")
+	w := openTestWAL(t, prefix, WALOptions{})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte("live")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Sync()
+	w.Close()
+
+	// Fabricate the half-rewritten pool file: a valid header claiming the
+	// next segment index.
+	rp := walRecyclePath(prefix, 7)
+	f, err := os.Create(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSegHeader(f, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w = openTestWAL(t, prefix, WALOptions{})
+	defer w.Close()
+	if n := w.Records(); n != 3 {
+		t.Fatalf("records = %d, want 3 (pool file replayed into the log?)", n)
+	}
+	if _, order := collect(t, w); len(order) != 3 {
+		t.Fatalf("replayed %v", order)
+	}
+	if w.recycleSeq != 8 {
+		t.Fatalf("recycleSeq = %d, want 8 (must not reuse adopted names)", w.recycleSeq)
+	}
+}
+
+func TestWALRecycleDisabled(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "idx")
+	w := openTestWAL(t, prefix, WALOptions{SegmentBytes: 128, RecyclePool: -1})
+	defer w.Close()
+	fillSegments(t, w, 2)
+	if err := w.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if pool := recycleFiles(t, prefix); len(pool) != 0 {
+		t.Fatalf("recycling disabled but pool files exist: %v", pool)
+	}
+	if got := w.Stats().Recycled; got != 0 {
+		t.Fatalf("Recycled = %d, want 0", got)
+	}
+}
+
+func TestWALRecyclePoolCapEnforced(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "idx")
+	opts := WALOptions{SegmentBytes: 128, RecyclePool: 2}
+	w := openTestWAL(t, prefix, opts)
+	fillSegments(t, w, 6)
+	if err := w.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if pool := recycleFiles(t, prefix); len(pool) != 2 {
+		t.Fatalf("pool size %d, want cap 2: %v", len(pool), pool)
+	}
+	w.Close()
+
+	// Extra pool files beyond the cap (e.g. after lowering the knob) are
+	// discarded on open.
+	for i := 10; i < 15; i++ {
+		if err := os.WriteFile(walRecyclePath(prefix, uint64(i)), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w = openTestWAL(t, prefix, opts)
+	defer w.Close()
+	if pool := recycleFiles(t, prefix); len(pool) != 2 {
+		t.Fatalf("pool size after reopen %d, want 2: %v", len(pool), pool)
+	}
+}
+
+func TestWALTruncateBeforePartialFailureIdempotent(t *testing.T) {
+	// Inject a removal failure by swapping a sealed segment file for a
+	// non-empty directory (os.Remove fails with ENOTEMPTY). The truncation
+	// must keep its accounting consistent with disk, and a retry after the
+	// obstacle clears must finish the job — including tolerating segments
+	// that already disappeared.
+	prefix := filepath.Join(t.TempDir(), "idx")
+	w := openTestWAL(t, prefix, WALOptions{SegmentBytes: 128, RecyclePool: -1})
+	defer w.Close()
+	last := fillSegments(t, w, 3)
+	_ = last
+	if len(w.sealed) < 3 {
+		t.Fatalf("want ≥3 sealed segments, have %d", len(w.sealed))
+	}
+	cutLSN := w.sealed[2].firstLSN - 1 // retire sealed[0] and sealed[1]
+	victim := w.sealed[1]
+
+	// Replace sealed[1] with a non-empty directory.
+	if w.sealed[1].f != nil {
+		w.sealed[1].f.Close()
+		w.sealed[1].f = nil
+	}
+	if err := os.Remove(victim.path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(victim.path, "block"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	recordsBefore := w.Records()
+	err := w.TruncateBefore(cutLSN)
+	if err == nil {
+		t.Fatal("TruncateBefore succeeded despite blocked removal")
+	}
+	// sealed[0] was retired and accounted; the victim and everything after
+	// it must still be tracked.
+	removed := int64(victim.firstLSN - 1) // LSNs of sealed[0] (log starts at 1)
+	if got := w.Records(); got != recordsBefore-removed {
+		t.Fatalf("records after partial failure = %d, want %d", got, recordsBefore-removed)
+	}
+	if len(w.sealed) == 0 || w.sealed[0].path != victim.path {
+		t.Fatalf("failed segment no longer tracked: %v", w.sealed)
+	}
+
+	// Clear the obstacle; the retry must complete, treating the
+	// already-removed sealed[0] position as done (it re-walks only the
+	// retained suffix) and the now-missing files as success.
+	if err := os.RemoveAll(victim.path); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(cutLSN); err != nil {
+		t.Fatalf("retry TruncateBefore: %v", err)
+	}
+	// All records below cutLSN in retired segments are gone; replay must
+	// start at sealed[2]'s first LSN.
+	_, order := collect(t, w)
+	if len(order) == 0 || order[0] != cutLSN+1 {
+		t.Fatalf("replay after retry starts at %v, want %d", order, cutLSN+1)
+	}
+	// A second retry is a no-op.
+	if err := w.TruncateBefore(cutLSN); err != nil {
+		t.Fatalf("idempotent retry: %v", err)
+	}
+}
