@@ -21,6 +21,9 @@
 //	-wal            benchmark durable-insert throughput (WAL group commit
 //	                vs fsync per insert) and print JSON; tune with -wal-n,
 //	                -wal-workers, -wal-interval
+//	-snapshot-scan  benchmark insert tail latency during long concurrent
+//	                scans (locked live scans vs MVCC snapshot scans) and
+//	                print JSON; tune with -snapshot-n
 //
 // Example (the paper's full sweep — takes a while):
 //
@@ -59,6 +62,8 @@ func main() {
 	ckptBench := flag.Bool("checkpoint", false, "benchmark insert tail latency under periodic checkpoints: synchronous flush vs fuzzy checkpoint, JSON output")
 	ckptN := flag.Int("checkpoint-n", 20000, "records inserted per variant of -checkpoint")
 	ckptEvery := flag.Duration("checkpoint-every", 25*time.Millisecond, "checkpoint cadence for -checkpoint")
+	snapScan := flag.Bool("snapshot-scan", false, "benchmark insert tail latency during long concurrent scans: locked live scans vs MVCC snapshot scans, JSON output")
+	snapN := flag.Int("snapshot-n", 40000, "records inserted per variant of -snapshot-scan (half pre-loaded before the clock starts)")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -100,6 +105,19 @@ func main() {
 
 	if *ckptBench {
 		res, err := bench.CheckpointBench(opt, *ckptN, *ckptEvery, "")
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *snapScan {
+		res, err := bench.MVCCBench(opt, *snapN)
 		if err != nil {
 			fatal(err)
 		}

@@ -10,10 +10,16 @@
 //	dctool fsck  -index out.dc
 //	dctool verify -index out.dc
 //	dctool recover -index out.dc -wal out
+//	dctool versions -index out.dc -wal out [-prune id|all]
 //
 // `recover` reopens a WAL-backed index after a crash: it replays the log
 // tail past the last checkpoint, verifies the result, and (unless
 // -checkpoint=false) writes a fresh checkpoint that truncates the log.
+//
+// `versions` lists MVCC snapshot versions: the persisted latest-version
+// stamp always, plus every version reconstructed from the WAL tail when
+// -wal is given. -prune releases a version (or all of them), returning its
+// pinned extents to the freelist, and checkpoints.
 //
 // `fsck` checks the logical tree invariants; `verify` checks the physical
 // layer instead: it reads every extent the index references and verifies
@@ -38,6 +44,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -70,6 +77,8 @@ func main() {
 		err = runExport(os.Args[2:])
 	case "recover":
 		err = runRecover(os.Args[2:])
+	case "versions":
+		err = runVersions(os.Args[2:])
 	default:
 		usage()
 	}
@@ -80,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|verify|export|recover} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|verify|export|recover|versions} [flags]")
 	os.Exit(2)
 }
 
@@ -137,7 +146,7 @@ func runBuild(args []string) error {
 		return err
 	}
 	defer store.Close()
-	tree, err := dctree.New(store, schema, cfg)
+	tree, err := dctree.Open(store, dctree.WithSchema(schema), dctree.WithConfig(cfg))
 	if err != nil {
 		return err
 	}
@@ -302,10 +311,12 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	v, st, err := tree.RangeQueryStats(q, op, j)
+	res, err := tree.Execute(context.Background(),
+		dctree.QueryRequest{Query: q, Measure: j, CollectStats: true})
 	if err != nil {
 		return err
 	}
+	v, st := res.Agg.Value(op), res.Stats
 	name, _ := schema.MeasureName(j)
 	fmt.Printf("%s(%s) = %g\n", op, name, v)
 	fmt.Printf("nodes visited: %d, entries scanned: %d, entries pruned: %d, materialized hits: %d, records matched: %d\n",
@@ -484,7 +495,7 @@ func runRecover(args []string) error {
 		return err
 	}
 	defer store.Close()
-	tree, err := dctree.OpenDurable(store, *walPrefix)
+	tree, err := dctree.Open(store, dctree.WithWAL(*walPrefix, dctree.WALOptions{}))
 	if err != nil {
 		return err
 	}
@@ -501,6 +512,91 @@ func runRecover(args []string) error {
 		fmt.Println("checkpoint written; log truncated")
 	}
 	return tree.Close()
+}
+
+// runVersions lists MVCC versions and optionally prunes them. Versions are
+// in-process handles, so a plain open shows only the persisted stamps; with
+// -wal, replaying the log tail reconstructs every version whose record the
+// last checkpoint has not superseded, and those can then be pruned (released
+// so their pinned extents return to the freelist).
+func runVersions(args []string) error {
+	fs := flag.NewFlagSet("versions", flag.ExitOnError)
+	indexPath := fs.String("index", "index.dc", "index file")
+	walPrefix := fs.String("wal", "", "write-ahead log file prefix; replays the tail to reconstruct versions")
+	prune := fs.String("prune", "", "release version by ID, or 'all'; requires -wal")
+	fs.Parse(args)
+	if *prune != "" && *walPrefix == "" {
+		return fmt.Errorf("-prune requires -wal (versions are reconstructed from the log tail)")
+	}
+
+	var tree *dctree.Tree
+	if *walPrefix != "" {
+		cfg := dctree.DefaultConfig()
+		store, err := dctree.OpenFileStore(*indexPath, cfg.BlockSize, 0)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		tree, err = dctree.Open(store, dctree.WithWAL(*walPrefix, dctree.WALOptions{}))
+		if err != nil {
+			return err
+		}
+	} else {
+		var store dctree.Store
+		var err error
+		tree, store, err = openTree(*indexPath)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+
+	latestID, latestLSN := tree.LatestVersion()
+	if latestID == 0 {
+		fmt.Println("no version has ever been captured")
+	} else {
+		fmt.Printf("latest version stamp: id=%d lsn=%d\n", latestID, latestLSN)
+	}
+	infos := tree.Versions()
+	if len(infos) == 0 {
+		fmt.Println("0 live versions")
+	}
+	for _, vi := range infos {
+		fmt.Printf("version %d: lsn=%d records=%d overlay-nodes=%d pinned-extents=%d created=%s\n",
+			vi.ID, vi.LSN, vi.Records, vi.Overlay, vi.Pinned,
+			vi.CreatedAt.Format("2006-01-02T15:04:05Z07:00"))
+	}
+
+	if *prune != "" {
+		pruned := 0
+		if *prune == "all" {
+			for _, vi := range infos {
+				if err := tree.ReleaseVersion(vi.ID); err != nil {
+					return err
+				}
+				pruned++
+			}
+		} else {
+			id, err := strconv.ParseUint(*prune, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -prune value %q: %w", *prune, err)
+			}
+			if err := tree.ReleaseVersion(id); err != nil {
+				return err
+			}
+			pruned++
+		}
+		// Checkpoint so the freed extents land on the durable freelist and
+		// the log truncates past the released version records.
+		if err := tree.Flush(); err != nil {
+			return fmt.Errorf("checkpoint after prune: %w", err)
+		}
+		fmt.Printf("pruned %d version(s); checkpoint written\n", pruned)
+	}
+	if *walPrefix != "" {
+		return tree.Close()
+	}
+	return nil
 }
 
 func runFsck(args []string) error {

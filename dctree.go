@@ -19,7 +19,7 @@
 //	customer, _ := dctree.NewHierarchy("Customer", "Customer", "Nation", "Region")
 //	product, _ := dctree.NewHierarchy("Product", "Product", "Category")
 //	schema, _ := dctree.NewSchema([]*dctree.Hierarchy{customer, product}, "Revenue")
-//	tree, _ := dctree.NewInMemory(schema)
+//	tree, _ := dctree.Open(dctree.NewMemStore(4096), dctree.WithSchema(schema))
 //
 //	rec, _ := schema.InternRecord([][]string{
 //	    {"EUROPE", "GERMANY", "Customer#1"},
@@ -30,17 +30,36 @@
 //	q, _ := dctree.NewQuery(schema).
 //	    Where("Customer", "Region", "EUROPE").
 //	    Build()
-//	total, _ := tree.RangeQuery(q, dctree.Sum, 0)
+//	res, _ := tree.Execute(ctx, dctree.QueryRequest{Query: q})
+//	total := res.Agg.Value(dctree.Sum)
+//
+// # Constructing and opening trees
+//
+// Open is the single constructor: it creates a tree when WithSchema is
+// given and reopens a persisted one otherwise, on any Store (NewMemStore,
+// OpenFileStore), optionally WAL-backed with WithWAL. The former
+// constructor matrix (New, NewInMemory, NewDurable, NewDurableOpts,
+// OpenDurable, OpenDurableOpts) remains as thin deprecated wrappers.
 //
 // # Durability
 //
-// A tree from New/NewInMemory/Open holds updates in memory until Flush.
-// For crash safety use NewDurable/OpenDurable: every acknowledged Insert
-// and Delete is then written ahead to a log and group-committed, and
-// OpenDurable replays the log tail after a crash. On a durable tree,
+// A tree opened without WithWAL holds updates in memory until Flush. For
+// crash safety pass WithWAL: every acknowledged Insert and Delete is then
+// written ahead to a log and group-committed, and reopening with the same
+// WithWAL prefix replays the log tail after a crash. On a durable tree,
 // Flush is a checkpoint that compacts the log — NOT the durability
 // boundary; mutations are safe as soon as the call returns. See
 // DURABILITY.md for the protocol.
+//
+// # Versioned reads
+//
+// Tree.Snapshot captures a cheap MVCC version of the whole index and
+// returns a Version handle; queries pinned to it with QueryRequest.AsOf
+// (or QueryBuilder.AsOf) run entirely without the tree lock and keep
+// answering from the captured state while inserts, deletes and
+// checkpoints proceed underneath. Release versions when done — they pin
+// storage extents. On WAL-backed trees versions survive crashes until a
+// checkpoint supersedes their log record. See DESIGN.md.
 //
 // The subpackages under internal implement the machinery: concept
 // hierarchies and dictionaries, MDS algebra, the tree itself, the paged
@@ -88,6 +107,12 @@ type (
 	VerifyReport = core.VerifyReport
 	// VerifyError is one damaged extent in a VerifyReport.
 	VerifyError = core.VerifyError
+	// Version is one pinned MVCC snapshot from Tree.Snapshot; pass it in
+	// QueryRequest.AsOf for lock-free time-travel queries and Release it
+	// when done.
+	Version = core.Version
+	// VersionInfo describes one live version (Tree.Versions).
+	VersionInfo = core.VersionInfo
 
 	// Schema declares a data cube: dimensions with concept hierarchies
 	// plus measure names.
@@ -144,50 +169,118 @@ func NewSchema(dims []*Hierarchy, measures ...string) (*Schema, error) {
 	return cube.NewSchema(dims, measures...)
 }
 
-// New creates an empty DC-tree on an explicit store (use NewMemStore or
-// OpenFileStore).
+// Option configures Open. Options compose: WithSchema selects creation
+// over reopening, WithConfig tunes a created tree, WithWAL adds the
+// durable write path.
+type Option func(*openOptions)
+
+// openOptions accumulates the Open configuration.
+type openOptions struct {
+	schema    *Schema
+	cfg       Config
+	cfgSet    bool
+	walPrefix string
+	wopts     WALOptions
+	walSet    bool
+}
+
+// WithSchema makes Open CREATE an empty tree for the given cube schema on
+// the store (whose metadata area the tree takes over). Without it, Open
+// REOPENS the tree persisted on the store.
+func WithSchema(schema *Schema) Option {
+	return func(o *openOptions) { o.schema = schema }
+}
+
+// WithConfig sets the configuration of a tree created with WithSchema;
+// the default is DefaultConfig. When reopening an existing tree the
+// persisted configuration governs and WithConfig is ignored.
+func WithConfig(cfg Config) Option {
+	return func(o *openOptions) { o.cfg = cfg; o.cfgSet = true }
+}
+
+// WithWAL makes the tree durable: every acknowledged Insert and Delete is
+// written ahead to the log at prefix (segment files <prefix>.<n>.wal) and
+// group-committed before the call returns. Creating (WithSchema) requires
+// an empty log; reopening replays the log tail past the last checkpoint —
+// the crash-recovery path. Pass the same write-side WALOptions (Compress,
+// RecyclePool) the tree was created with to keep them in effect; reading
+// a log never depends on them. Close the tree with Tree.Close to
+// checkpoint and release the log.
+func WithWAL(prefix string, wopts WALOptions) Option {
+	return func(o *openOptions) { o.walPrefix = prefix; o.wopts = wopts; o.walSet = true }
+}
+
+// Open is the single constructor for DC-trees: it creates an empty tree
+// when WithSchema is given and reopens the tree persisted on the store
+// otherwise, in-memory-durable by default and WAL-backed with WithWAL.
+//
+//	tree, err := dctree.Open(store, dctree.WithSchema(schema))            // create
+//	tree, err := dctree.Open(store)                                       // reopen
+//	tree, err := dctree.Open(store, dctree.WithSchema(schema),
+//	    dctree.WithWAL("idx", dctree.WALOptions{}))                       // create, durable
+//	tree, err := dctree.Open(store, dctree.WithWAL("idx", dctree.WALOptions{})) // recover
+func Open(store Store, opts ...Option) (*Tree, error) {
+	o := openOptions{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch {
+	case o.schema != nil && o.walSet:
+		return core.NewDurableOpts(store, o.schema, o.cfg, o.walPrefix, o.wopts)
+	case o.schema != nil:
+		return core.New(store, o.schema, o.cfg)
+	case o.walSet:
+		return core.OpenDurableOpts(store, o.walPrefix, o.wopts)
+	default:
+		return core.Open(store)
+	}
+}
+
+// New creates an empty DC-tree on an explicit store.
+//
+// Deprecated: use Open(store, WithSchema(schema), WithConfig(cfg)).
 func New(store Store, schema *Schema, cfg Config) (*Tree, error) {
-	return core.New(store, schema, cfg)
+	return Open(store, WithSchema(schema), WithConfig(cfg))
 }
 
 // NewInMemory creates an empty DC-tree on an in-memory store with the
 // default configuration — the setup of the paper's experiments.
+//
+// Deprecated: use Open(NewMemStore(DefaultConfig().BlockSize),
+// WithSchema(schema)).
 func NewInMemory(schema *Schema) (*Tree, error) {
-	cfg := DefaultConfig()
-	return core.New(storage.NewMemStore(cfg.BlockSize), schema, cfg)
+	return Open(storage.NewMemStore(DefaultConfig().BlockSize), WithSchema(schema))
 }
 
-// Open reopens a DC-tree persisted by Tree.Flush from its store.
-func Open(store Store) (*Tree, error) { return core.Open(store) }
-
-// NewDurable creates an empty WAL-backed DC-tree: acknowledged mutations
-// are durable (write-ahead logged and group-committed) before Insert or
-// Delete returns. walPrefix names the log's segment files
-// (<prefix>.<n>.wal); Config.CommitInterval and Config.CommitBytes tune
-// the group commit. Close the tree with Tree.Close to checkpoint and
-// release the log.
+// NewDurable creates an empty WAL-backed DC-tree.
+//
+// Deprecated: use Open(store, WithSchema(schema), WithConfig(cfg),
+// WithWAL(walPrefix, WALOptions{})).
 func NewDurable(store Store, schema *Schema, cfg Config, walPrefix string) (*Tree, error) {
-	return core.NewDurable(store, schema, cfg, walPrefix)
+	return Open(store, WithSchema(schema), WithConfig(cfg), WithWAL(walPrefix, WALOptions{}))
 }
 
-// NewDurableOpts is NewDurable with explicit log-file options — segment
-// size, payload compression, the retired-segment recycle pool, and the
-// benchmarks' modeled sync delay.
+// NewDurableOpts is NewDurable with explicit log-file options.
+//
+// Deprecated: use Open(store, WithSchema(schema), WithConfig(cfg),
+// WithWAL(walPrefix, wopts)).
 func NewDurableOpts(store Store, schema *Schema, cfg Config, walPrefix string, wopts WALOptions) (*Tree, error) {
-	return core.NewDurableOpts(store, schema, cfg, walPrefix, wopts)
+	return Open(store, WithSchema(schema), WithConfig(cfg), WithWAL(walPrefix, wopts))
 }
 
 // OpenDurable reopens a WAL-backed DC-tree, replaying any log records past
 // the last checkpoint — the crash-recovery path.
+//
+// Deprecated: use Open(store, WithWAL(walPrefix, WALOptions{})).
 func OpenDurable(store Store, walPrefix string) (*Tree, error) {
-	return core.OpenDurable(store, walPrefix)
+	return Open(store, WithWAL(walPrefix, WALOptions{}))
 }
 
-// OpenDurableOpts is OpenDurable with explicit log-file options; pass the
-// same write-side options (Compress, RecyclePool) the tree was created
-// with to keep them in effect — reading a log never depends on them.
+// OpenDurableOpts is OpenDurable with explicit log-file options.
+//
+// Deprecated: use Open(store, WithWAL(walPrefix, wopts)).
 func OpenDurableOpts(store Store, walPrefix string, wopts WALOptions) (*Tree, error) {
-	return core.OpenDurableOpts(store, walPrefix, wopts)
+	return Open(store, WithWAL(walPrefix, wopts))
 }
 
 // WALStats is the write-ahead log's activity snapshot (Tree.WALStats).
@@ -205,6 +298,13 @@ type WALOptions = storage.WALOptions
 // metadata and the freelist; reads fail closed with this error instead of
 // decoding damaged bytes.
 var ErrChecksum = storage.ErrChecksum
+
+// ErrVersionReleased reports a query against a released Version handle.
+var ErrVersionReleased = core.ErrVersionReleased
+
+// ErrVersionForeign reports a Version used with a tree other than the one
+// that created it.
+var ErrVersionForeign = core.ErrVersionForeign
 
 // NewMemStore creates an in-memory block store with full I/O accounting.
 func NewMemStore(blockSize int) Store { return storage.NewMemStore(blockSize) }

@@ -1,7 +1,7 @@
 // Analytics: bulk-load a quarter of web-shop orders and run a multi-
-// measure, multi-level report — exercising BulkLoad (the offline path),
-// RangeAggAll (all measures in one descent) and RangeAggParallel (worker
-// fan-out for the big scans).
+// measure, multi-level report — exercising BulkLoad (the offline path) and
+// Execute's AllMeasures (all measures in one descent) and Parallel (worker
+// fan-out for the big scans) request options.
 //
 // Run with:
 //
@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 	"time"
 
 	dctree "github.com/dcindex/dctree"
@@ -47,7 +49,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := dctree.NewInMemory(schema)
+	tree, err := dctree.Open(
+		dctree.NewMemStore(dctree.DefaultConfig().BlockSize),
+		dctree.WithSchema(schema),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,10 +104,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			aggs, _, err := tree.RangeAggAll(q)
+			res, err := tree.Execute(context.Background(),
+				dctree.QueryRequest{Query: q, AllMeasures: true})
 			if err != nil {
 				log.Fatal(err)
 			}
+			aggs := res.AggVector
 			avg := 0.0
 			if aggs[0].Count > 0 {
 				avg = aggs[0].Sum / float64(aggs[0].Count)
@@ -118,21 +125,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seqStart := time.Now()
-	seq, err := tree.RangeQuery(q, dctree.Sum, 0)
+	seqRes, err := tree.Execute(context.Background(), dctree.QueryRequest{Query: q})
 	if err != nil {
 		log.Fatal(err)
 	}
-	seqDur := time.Since(seqStart)
-	parStart := time.Now()
-	par, err := tree.RangeAggParallel(q, 0, 0)
+	seq := seqRes.Agg.Value(dctree.Sum)
+	parRes, err := tree.Execute(context.Background(),
+		dctree.QueryRequest{Query: q, Parallel: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		log.Fatal(err)
 	}
-	parDur := time.Since(parStart)
 	fmt.Printf("\nWeb revenue: %.2f (sequential %v, parallel %v, equal: %v)\n",
-		seq, seqDur.Round(time.Microsecond), parDur.Round(time.Microsecond),
-		almostEqual(seq, par.Sum))
+		seq, seqRes.Elapsed.Round(time.Microsecond), parRes.Elapsed.Round(time.Microsecond),
+		almostEqual(seq, parRes.Agg.Sum))
 
 	// The warehouse stays dynamic after the bulk load: a late-arriving
 	// order and a same-day cancellation.

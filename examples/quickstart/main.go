@@ -7,11 +7,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	dctree "github.com/dcindex/dctree"
 )
+
+// sum runs a range query through the unified Execute entry point and
+// returns the requested aggregate of measure 0.
+func sum(tree *dctree.Tree, q dctree.MDS, op dctree.Op) float64 {
+	res, err := tree.Execute(context.Background(), dctree.QueryRequest{Query: q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Agg.Value(op)
+}
 
 func main() {
 	// 1. Declare the cube: two dimensions with concept hierarchies
@@ -31,7 +42,10 @@ func main() {
 
 	// 2. Create the index (in-memory store; see examples/retail for a
 	//    file-backed one).
-	tree, err := dctree.NewInMemory(schema)
+	tree, err := dctree.Open(
+		dctree.NewMemStore(dctree.DefaultConfig().BlockSize),
+		dctree.WithSchema(schema),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,12 +82,11 @@ func main() {
 	}
 
 	// 4. Range queries: a contiguous range per dimension at any level of
-	//    its concept hierarchy, with any aggregation operator.
-	total, err := tree.RangeQuery(dctree.QueryAll(schema), dctree.Sum, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("total revenue:                 %8.2f\n", total)
+	//    its concept hierarchy, with any aggregation operator. Execute is
+	//    the single entry point; the result carries the full aggregate, so
+	//    one query answers Sum, Avg, Min and Max at once.
+	fmt.Printf("total revenue:                 %8.2f\n",
+		sum(tree, dctree.QueryAll(schema), dctree.Sum))
 
 	europe, err := dctree.NewQuery(schema).
 		Where("Customer", "Region", "EUROPE").
@@ -81,8 +94,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, _ := tree.RangeQuery(europe, dctree.Sum, 0)
-	fmt.Printf("revenue in EUROPE:             %8.2f\n", v)
+	fmt.Printf("revenue in EUROPE:             %8.2f\n", sum(tree, europe, dctree.Sum))
 
 	electronicsEU, err := dctree.NewQuery(schema).
 		Where("Customer", "Region", "EUROPE", "ASIA").
@@ -91,12 +103,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, _ = tree.RangeQuery(electronicsEU, dctree.Sum, 0)
-	fmt.Printf("electronics in EUROPE+ASIA:    %8.2f\n", v)
-	avg, _ := tree.RangeQuery(electronicsEU, dctree.Avg, 0)
-	fmt.Printf("  average sale:                %8.2f\n", avg)
-	max, _ := tree.RangeQuery(electronicsEU, dctree.Max, 0)
-	fmt.Printf("  largest sale:                %8.2f\n", max)
+	res, err := tree.Execute(context.Background(), dctree.QueryRequest{Query: electronicsEU})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("electronics in EUROPE+ASIA:    %8.2f\n", res.Agg.Value(dctree.Sum))
+	fmt.Printf("  average sale:                %8.2f\n", res.Agg.Value(dctree.Avg))
+	fmt.Printf("  largest sale:                %8.2f\n", res.Agg.Value(dctree.Max))
 
 	// 5. Fully dynamic: deleting a record maintains everything too.
 	rec, _ := schema.InternRecord(
@@ -106,6 +119,6 @@ func main() {
 	if err := tree.Delete(rec); err != nil {
 		log.Fatal(err)
 	}
-	v, _ = tree.RangeQuery(electronicsEU, dctree.Sum, 0)
-	fmt.Printf("after deleting the JP sale:    %8.2f\n", v)
+	fmt.Printf("after deleting the JP sale:    %8.2f\n",
+		sum(tree, electronicsEU, dctree.Sum))
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,15 @@ import (
 
 	dctree "github.com/dcindex/dctree"
 )
+
+// execSum answers one range query through the unified Execute entry point.
+func execSum(tree *dctree.Tree, q dctree.MDS) float64 {
+	res, err := tree.Execute(context.Background(), dctree.QueryRequest{Query: q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Agg.Value(dctree.Sum)
+}
 
 var (
 	regions = map[string][]string{
@@ -56,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := dctree.New(store, schema, cfg)
+	tree, err := dctree.Open(store, dctree.WithSchema(schema), dctree.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,15 +103,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		v, err := tree.RangeQuery(q, dctree.Sum, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return v
+		return execSum(tree, q)
 	}
 
 	// Roll-up: revenue by region.
-	total, _ := tree.RangeQuery(dctree.QueryAll(schema), dctree.Sum, 0)
+	total := execSum(tree, dctree.QueryAll(schema))
 	fmt.Printf("total revenue: %12.2f\n\nby region:\n", total)
 	bestRegion, bestRevenue := "", 0.0
 	for _, region := range regionNames {
@@ -156,10 +162,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := reopened.RangeQuery(q, dctree.Sum, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
+	v := execSum(reopened, q)
 	fmt.Printf("\nreopened from %s: %s revenue = %.2f (matches: %v)\n",
 		filepath.Base(indexPath), bestRegion, v, v == bestRevenue)
 }

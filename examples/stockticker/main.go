@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,6 +24,15 @@ import (
 
 	dctree "github.com/dcindex/dctree"
 )
+
+// agg answers one aggregate range query through Execute.
+func agg(tree *dctree.Tree, q dctree.MDS, op dctree.Op) float64 {
+	res, err := tree.Execute(context.Background(), dctree.QueryRequest{Query: q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Agg.Value(op)
+}
 
 var exchanges = map[string]map[string][]string{
 	"NYSE": {
@@ -54,7 +64,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := dctree.NewInMemory(schema)
+	tree, err := dctree.Open(
+		dctree.NewMemStore(dctree.DefaultConfig().BlockSize),
+		dctree.WithSchema(schema),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,9 +155,7 @@ func main() {
 			defer wg.Done()
 			for i := 0; !stop.Load(); i++ {
 				q := queries[(i+a)%len(queries)]
-				if _, err := tree.RangeQuery(q, dctree.Sum, 0); err != nil {
-					log.Fatal(err)
-				}
+				agg(tree, q, dctree.Sum)
 				queriesRun.Add(1)
 			}
 		}(a)
@@ -161,18 +172,15 @@ func main() {
 		queriesRun.Load(), float64(queriesRun.Load())/elapsed.Seconds())
 
 	// Verify the final state against ground truth.
-	got, err := tree.RangeQuery(dctree.QueryAll(schema), dctree.Sum, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
+	got := agg(tree, dctree.QueryAll(schema), dctree.Sum)
 	fmt.Printf("\nfinal SUM(Value) = %.2f (ground truth %.2f)\n", got, totalValue)
 	for _, name := range []string{"NYSE", "NASDAQ", "LSE"} {
 		q := mkQuery(dctree.NewQuery(schema).Where("Security", "Exchange", name))
-		v, err := tree.RangeQuery(q, dctree.Sum, 0)
+		res, err := tree.Execute(context.Background(), dctree.QueryRequest{Query: q})
 		if err != nil {
 			log.Fatal(err)
 		}
-		c, _ := tree.RangeQuery(q, dctree.Count, 0)
-		fmt.Printf("  %-7s %14.2f across %6.0f trades\n", name, v, c)
+		fmt.Printf("  %-7s %14.2f across %6.0f trades\n",
+			name, res.Agg.Value(dctree.Sum), res.Agg.Value(dctree.Count))
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,14 +71,14 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			qs := time.Now()
-			v, st, err := tree.RangeQueryStats(q.MDS, cube.Sum, 0)
+			res, err := tree.Execute(context.Background(),
+				core.QueryRequest{Query: q.MDS, CollectStats: true})
 			if err != nil {
 				log.Fatal(err)
 			}
-			total += time.Since(qs)
-			sum += v
-			matHits += st.MaterializedHits
+			total += res.Elapsed
+			sum += res.Agg.Value(cube.Sum)
+			matHits += res.Stats.MaterializedHits
 		}
 		fmt.Printf("  selectivity %4.0f%%: %8.3f ms/query  (%5d materialized directory hits)\n",
 			sel*100, total.Seconds()*1000/100, matHits)

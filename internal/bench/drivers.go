@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -191,13 +192,14 @@ func (s *systems) queryWork(opt Options, selectivity float64) (queryWork, error)
 	if s.dc != nil {
 		start := time.Now()
 		for _, q := range queries {
-			_, st, err := s.dc.RangeQueryStats(q.MDS, cube.Sum, 0)
+			res, err := s.dc.Execute(context.Background(),
+				core.QueryRequest{Query: q.MDS, CollectStats: true})
 			if err != nil {
 				return w, err
 			}
-			w.dcVisits += float64(st.NodesVisited)
-			w.dcEntries += float64(st.EntriesScanned)
-			w.dcMaterializedHits += float64(st.MaterializedHits)
+			w.dcVisits += float64(res.Stats.NodesVisited)
+			w.dcEntries += float64(res.Stats.EntriesScanned)
+			w.dcMaterializedHits += float64(res.Stats.MaterializedHits)
 		}
 		w.dcSec = time.Since(start).Seconds() / nq
 		w.dcVisits /= nq
@@ -246,10 +248,11 @@ func (s *systems) verify(queries []tpcd.Query) error {
 			want, haveWant = w, true
 		}
 		if s.dc != nil {
-			got, err := s.dc.RangeAgg(q.MDS, 0)
+			res, err := s.dc.Execute(context.Background(), core.QueryRequest{Query: q.MDS})
 			if err != nil {
 				return err
 			}
+			got := res.Agg
 			if haveWant {
 				if got.Count != want.Count || !close6(got.Sum, want.Sum) {
 					return fmt.Errorf("bench: query %d: dc %+v != scan %+v", i, got, want)
@@ -504,12 +507,13 @@ func (s *systems) rollupWork(opt Options) (queryWork, error) {
 	if s.dc != nil {
 		start := time.Now()
 		for _, q := range queries {
-			_, st, err := s.dc.RangeQueryStats(q.MDS, cube.Sum, 0)
+			res, err := s.dc.Execute(context.Background(),
+				core.QueryRequest{Query: q.MDS, CollectStats: true})
 			if err != nil {
 				return w, err
 			}
-			w.dcVisits += float64(st.NodesVisited)
-			w.dcMaterializedHits += float64(st.MaterializedHits)
+			w.dcVisits += float64(res.Stats.NodesVisited)
+			w.dcMaterializedHits += float64(res.Stats.MaterializedHits)
 		}
 		w.dcSec = time.Since(start).Seconds() / nq
 		w.dcVisits /= nq
@@ -570,7 +574,7 @@ func Bitmap(opt Options) (*Table, error) {
 			nq := float64(len(queries))
 			start := time.Now()
 			for _, q := range queries {
-				if _, err := s.dc.RangeAgg(q.MDS, 0); err != nil {
+				if _, err := s.dc.Execute(context.Background(), core.QueryRequest{Query: q.MDS}); err != nil {
 					return nil, err
 				}
 			}
@@ -632,10 +636,11 @@ func Views(opt Options) (*Table, error) {
 		}
 		if opt.Verify {
 			for i, q := range queries {
-				want, err := s.dc.RangeAgg(q.MDS, 0)
+				wantRes, err := s.dc.Execute(context.Background(), core.QueryRequest{Query: q.MDS})
 				if err != nil {
 					return nil, err
 				}
+				want := wantRes.Agg
 				got, err := vs.RangeAgg(q.MDS, 0)
 				if err != nil {
 					return nil, err
@@ -648,7 +653,7 @@ func Views(opt Options) (*Table, error) {
 		nq := float64(len(queries))
 		start := time.Now()
 		for _, q := range queries {
-			if _, err := s.dc.RangeAgg(q.MDS, 0); err != nil {
+			if _, err := s.dc.Execute(context.Background(), core.QueryRequest{Query: q.MDS}); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dcindex/dctree/internal/core"
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// MVCCVariant is one scan-mode run of the snapshot benchmark: a single
+// writer inserts records one at a time while a scanner goroutine runs
+// full-table scans back to back, either against the live tree (each scan
+// holds the tree read lock for its whole duration, excluding the writer)
+// or against MVCC snapshots (each scan pins a version and runs without the
+// tree lock). The no_scan baseline measures the same insert workload with
+// the scanner off.
+type MVCCVariant struct {
+	Mode          string  `json:"mode"` // "no_scan", "locked_scan" or "snapshot_scan"
+	Records       int     `json:"records"`
+	Seconds       float64 `json:"seconds"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	// Insert latency percentiles over every single Insert call. The p99
+	// carries the scan interference: with locked scans an insert that
+	// arrives mid-scan waits out the rest of the pass.
+	P50InsertUS float64 `json:"p50_insert_us"`
+	P99InsertUS float64 `json:"p99_insert_us"`
+	MaxInsertUS float64 `json:"max_insert_us"`
+	// Scanner-side accounting: completed full scans, records they
+	// delivered, and (snapshot mode) versions captured and released.
+	Scans          int64 `json:"scans"`
+	RecordsScanned int64 `json:"records_scanned"`
+	Snapshots      int64 `json:"snapshots"`
+}
+
+// MVCCBenchResult is the JSON shape dcbench -snapshot-scan emits.
+type MVCCBenchResult struct {
+	Records  int           `json:"records"`
+	Variants []MVCCVariant `json:"variants"`
+	// P99 insert latency of each scanning mode relative to the no-scan
+	// baseline. The snapshot ratio is the headline: it stays near 1 while
+	// the locked ratio grows with scan length.
+	LockedP99Ratio   float64 `json:"locked_p99_ratio"`
+	SnapshotP99Ratio float64 `json:"snapshot_p99_ratio"`
+}
+
+// mvccCheckpointEvery is the background checkpoint cadence every variant
+// runs under. Checkpoints keep the dirty-node set small, which is what
+// makes snapshot capture cheap: the overlay only has to encode nodes
+// dirtied since the last checkpoint. They also make the snapshot variant
+// exercise the extent-pinning path — live versions hold their extents
+// across checkpoint installs.
+const mvccCheckpointEvery = 50 * time.Millisecond
+
+// MVCCBench measures insert tail latency while long scans run, comparing
+// lock-holding live scans against MVCC snapshot scans. All three variants
+// run the identical insert workload of n pre-interned records on an
+// in-memory store with fuzzy checkpoints ticking in the background.
+func MVCCBench(opt Options, n int) (*MVCCBenchResult, error) {
+	res := &MVCCBenchResult{Records: n}
+	for _, mode := range []string{"no_scan", "locked_scan", "snapshot_scan"} {
+		v, err := runMVCCVariant(opt, mode, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	base := res.Variants[0].P99InsertUS
+	if base > 0 {
+		res.LockedP99Ratio = res.Variants[1].P99InsertUS / base
+		res.SnapshotP99Ratio = res.Variants[2].P99InsertUS / base
+	}
+	return res, nil
+}
+
+func runMVCCVariant(opt Options, mode string, n int) (MVCCVariant, error) {
+	var v MVCCVariant
+	schema, recs, err := walBenchSchema(n)
+	if err != nil {
+		return v, err
+	}
+	cfg := opt.DCConfig
+	tree, err := core.New(storage.NewMemStore(cfg.BlockSize), schema, cfg)
+	if err != nil {
+		return v, err
+	}
+	defer tree.Close()
+
+	// Seed half the records before the clock starts so the very first
+	// scans are already long enough to interfere, then checkpoint so the
+	// seeded nodes start clean.
+	seed := len(recs) / 2
+	for _, rec := range recs[:seed] {
+		if err := tree.Insert(rec); err != nil {
+			return v, err
+		}
+	}
+	if err := tree.Flush(); err != nil {
+		return v, err
+	}
+
+	var (
+		stop     atomic.Bool
+		scanErr  error
+		ckptErr  error
+		scans    atomic.Int64
+		scanned  atomic.Int64
+		captured atomic.Int64
+		wg       sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(mvccCheckpointEvery)
+		defer ticker.Stop()
+		for !stop.Load() {
+			<-ticker.C
+			if err := tree.Checkpoint(context.Background()); err != nil {
+				ckptErr = err
+				return
+			}
+		}
+	}()
+	if mode != "no_scan" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count := func(cube.Record) bool { scanned.Add(1); return true }
+			for !stop.Load() {
+				if mode == "locked_scan" {
+					if err := tree.Scan(count); err != nil {
+						scanErr = err
+						return
+					}
+				} else {
+					snap, err := tree.Snapshot()
+					if err != nil {
+						scanErr = err
+						return
+					}
+					captured.Add(1)
+					err = snap.Scan(count)
+					if rerr := snap.Release(); err == nil {
+						err = rerr
+					}
+					if err != nil {
+						scanErr = err
+						return
+					}
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+
+	lat := make([]time.Duration, 0, len(recs)-seed)
+	start := time.Now()
+	for _, rec := range recs[seed:] {
+		t0 := time.Now()
+		if err := tree.Insert(rec); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return v, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if scanErr != nil {
+		return v, scanErr
+	}
+	if ckptErr != nil {
+		return v, ckptErr
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx]) / float64(time.Microsecond)
+	}
+	v = MVCCVariant{
+		Mode:           mode,
+		Records:        len(lat),
+		Seconds:        elapsed.Seconds(),
+		InsertsPerSec:  float64(len(lat)) / elapsed.Seconds(),
+		P50InsertUS:    pct(0.50),
+		P99InsertUS:    pct(0.99),
+		MaxInsertUS:    float64(lat[len(lat)-1]) / float64(time.Microsecond),
+		Scans:          scans.Load(),
+		RecordsScanned: scanned.Load(),
+		Snapshots:      captured.Load(),
+	}
+	return v, nil
+}

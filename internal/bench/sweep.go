@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -119,7 +120,8 @@ func WorkersSweep(opt Options, workerCounts []int, coldLatency time.Duration) (*
 				}
 				ls.delay.Store(int64(variant.delay))
 				start := time.Now()
-				_, err := tree.RangeAggParallel(q.MDS, 0, workers)
+				_, err := tree.Execute(context.Background(),
+					core.QueryRequest{Query: q.MDS, Parallel: workers})
 				elapsed += time.Since(start)
 				ls.delay.Store(0)
 				if err != nil {

@@ -146,7 +146,15 @@ func (t *Tree) installLocked(c *ckptCapture) error {
 	// The swap is durable. From here on, only bookkeeping.
 	t.checkpointLSN = c.lsn
 	var deferred []extentRef
+	var parked int64
 	free := func(ref extentRef) {
+		// A live MVCC version may still be reading this extent through its
+		// captured table: park the free in the pin ledger instead, to be
+		// executed when the last version pinning it is released.
+		if t.pins.FreeOrDefer(ref.page, ref.blocks) {
+			parked++
+			return
+		}
 		if err := t.store.Free(ref.page, ref.blocks); err != nil {
 			deferred = append(deferred, ref)
 		}
@@ -185,6 +193,9 @@ func (t *Tree) installLocked(c *ckptCapture) error {
 		// Keep it queued so the next checkpoint retries the release.
 		t.pendingFree = append(t.pendingFree, deferred...)
 		t.metrics.checkpointFreeDeferred.Add(int64(len(deferred)))
+	}
+	if parked > 0 {
+		t.metrics.snapshotFreesParked.Add(parked)
 	}
 
 	if t.wal != nil {

@@ -30,6 +30,13 @@ type QueryRequest struct {
 	// counters are always maintained internally (they feed Tree.Metrics);
 	// the flag only controls whether the caller gets a copy.
 	CollectStats bool
+	// AsOf pins the query to an MVCC version (Tree.Snapshot): nodes resolve
+	// through the version's captured translation table and copy-on-write
+	// overlay, and the descent runs WITHOUT the tree lock — concurrent
+	// inserts, deletes and checkpoints neither block nor affect the result.
+	// The version must come from this tree and must not be released while
+	// the query runs. Nil queries the live tree.
+	AsOf *Version
 }
 
 // QueryResult is the outcome of Execute.
@@ -118,8 +125,30 @@ func (t *Tree) execute(ctx context.Context, req QueryRequest) (QueryResult, erro
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+
+	// Pick the node resolver and root. Live queries hold the tree read lock
+	// for the descent; as-of queries pin their version (so Release cannot
+	// drop the extents mid-walk) and run entirely without the tree lock —
+	// the version's table and overlay are immutable, the query masks only
+	// read the grow-only hierarchies, and the version's node cache is
+	// internally synchronized.
+	var src nodeSource
+	var root nodeID
+	if v := req.AsOf; v != nil {
+		if v.t != t {
+			return res, ErrVersionForeign
+		}
+		if err := v.acquire(); err != nil {
+			return res, err
+		}
+		defer v.unref()
+		t.metrics.asOfQueries.Inc()
+		src, root = v, v.root
+	} else {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		src, root = t, t.root
+	}
 
 	qc, err := t.newQueryCtx(req.Query)
 	if err != nil {
@@ -130,18 +159,18 @@ func (t *Tree) execute(ctx context.Context, req QueryRequest) (QueryResult, erro
 	// goroutine holds qc past this function.
 	defer t.putQueryCtx(qc)
 	if req.Parallel > 0 {
-		return t.executeParallel(ctx, qc, req)
+		return t.executeParallel(ctx, qc, req, src, root)
 	}
 
-	d := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
+	d := &descent{src: src, qc: qc, ctx: ctx, check: ctxCheckInterval}
 	if req.AllMeasures {
 		vec := cube.NewAggVector(t.schema.Measures())
-		err = t.queryNodeAll(t.root, d, vec)
+		err = t.queryNodeAll(root, d, vec)
 		if err == nil {
 			res.AggVector = vec
 		}
 	} else {
-		err = t.queryNode(t.root, d, req.Measure, &res.Agg)
+		err = t.queryNode(root, d, req.Measure, &res.Agg)
 		if err != nil {
 			res.Agg = cube.Agg{}
 		}

@@ -17,15 +17,19 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-// Four format versions are in play: v2 ("DCMETA02") extends v1 with the
+// Five format versions are in play: v2 ("DCMETA02") extends v1 with the
 // group-commit knobs (after the config flags byte) and the WAL checkpoint
 // LSN (after nextID); v3 ("DCMETA03") appends the checkpoint auto-trigger
 // knobs after CommitBytes; v4 ("DCMETA04") appends the WAL record format
-// after CheckpointDirtyBytes. Writing always produces v4; reading accepts
-// all four, with newer fields defaulting to zero on older blobs (a zero
-// record format normalizes to the current default).
+// after CheckpointDirtyBytes; v5 ("DCMETA05") appends the MVCC version
+// stamps (version-number mint, latest version ID and its LSN) after the
+// checkpoint LSN. Writing always produces v5; reading accepts all five,
+// with newer fields defaulting to zero on older blobs (a zero record
+// format normalizes to the current default; zero version stamps mean no
+// snapshot was ever taken).
 const (
-	metaMagic   = "DCMETA04"
+	metaMagic   = "DCMETA05"
+	metaMagicV4 = "DCMETA04"
 	metaMagicV3 = "DCMETA03"
 	metaMagicV2 = "DCMETA02"
 	metaMagicV1 = "DCMETA01"
@@ -44,7 +48,14 @@ type metaSnapshot struct {
 	count         int64
 	nextID        nodeID
 	checkpointLSN uint64
-	table         map[nodeID]extentRef
+	// MVCC version stamps (meta v5): the version-number mint and the most
+	// recent snapshot's identity, so numbers never repeat across restarts
+	// and tooling can report the last version even before recovery
+	// reconstructs it.
+	versionSeq       uint64
+	latestVersionID  uint64
+	latestVersionLSN uint64
+	table            map[nodeID]extentRef
 }
 
 // metaSnapshotLocked copies the mutable metadata fields. Caller holds t.mu.
@@ -54,13 +65,16 @@ func (t *Tree) metaSnapshotLocked() metaSnapshot {
 		table[id] = ref
 	}
 	return metaSnapshot{
-		root:          t.root,
-		rootMDS:       t.rootMDS.Clone(),
-		height:        t.height,
-		count:         t.count,
-		nextID:        t.nextID,
-		checkpointLSN: t.checkpointLSN,
-		table:         table,
+		root:             t.root,
+		rootMDS:          t.rootMDS.Clone(),
+		height:           t.height,
+		count:            t.count,
+		nextID:           t.nextID,
+		checkpointLSN:    t.checkpointLSN,
+		versionSeq:       t.versionSeq,
+		latestVersionID:  t.latestVersionID,
+		latestVersionLSN: t.latestVersionLSN,
+		table:            table,
 	}
 }
 
@@ -101,6 +115,9 @@ func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 	buf = binary.AppendVarint(buf, snap.count)
 	buf = binary.AppendUvarint(buf, uint64(snap.nextID))
 	buf = binary.AppendUvarint(buf, snap.checkpointLSN)
+	buf = binary.AppendUvarint(buf, snap.versionSeq)
+	buf = binary.AppendUvarint(buf, snap.latestVersionID)
+	buf = binary.AppendUvarint(buf, snap.latestVersionLSN)
 	buf = snap.rootMDS.AppendEncode(buf)
 
 	// Schema: dimensions with full dictionaries, then measure names.
@@ -160,6 +177,8 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	var ver int
 	switch string(meta[:len(metaMagic)]) {
 	case metaMagic:
+		ver = 5
+	case metaMagicV4:
 		ver = 4
 	case metaMagicV3:
 		ver = 3
@@ -203,6 +222,12 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	var checkpointLSN uint64
 	if ver >= 2 {
 		checkpointLSN = r.uvarint()
+	}
+	var versionSeq, latestVersionID, latestVersionLSN uint64
+	if ver >= 5 {
+		versionSeq = r.uvarint()
+		latestVersionID = r.uvarint()
+		latestVersionLSN = r.uvarint()
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: metadata header: %v", ErrCorrupt, r.err)
@@ -262,16 +287,21 @@ func decodeMeta(meta []byte) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{
-		schema:        schema,
-		cfg:           cfg,
-		root:          root,
-		rootMDS:       rootMDS,
-		height:        height,
-		count:         count,
-		nextID:        nextID,
-		checkpointLSN: checkpointLSN,
-		table:         table,
-		nc:            newNodeCache(),
+		schema:           schema,
+		cfg:              cfg,
+		root:             root,
+		rootMDS:          rootMDS,
+		height:           height,
+		count:            count,
+		nextID:           nextID,
+		checkpointLSN:    checkpointLSN,
+		versionSeq:       versionSeq,
+		latestVersionID:  latestVersionID,
+		latestVersionLSN: latestVersionLSN,
+		table:            table,
+		nc:               newNodeCache(),
+		versions:         make(map[uint64]*Version),
+		pins:             storage.NewPins(),
 	}
 	if _, ok := t.table[root]; !ok {
 		return nil, fmt.Errorf("%w: root node %d missing from table", ErrCorrupt, root)

@@ -76,6 +76,17 @@ type treeMetrics struct {
 	checkpointFreeDeferred obs.Counter
 	checkpointStallNs      obs.Counter
 	checkpointLatency      obs.Histogram
+
+	// MVCC snapshots: versions captured (and, of those, reconstructed by
+	// crash recovery), versions released, dirty nodes captured by value into
+	// overlays, extent frees parked behind a live version's pin, and as-of
+	// queries answered from a version without the tree lock.
+	snapshots            obs.Counter
+	snapshotsRecovered   obs.Counter
+	snapshotReleases     obs.Counter
+	snapshotOverlayNodes obs.Counter
+	snapshotFreesParked  obs.Counter
+	asOfQueries          obs.Counter
 }
 
 // Metrics is a point-in-time snapshot of a tree's operational counters,
@@ -160,6 +171,19 @@ type Metrics struct {
 	CheckpointDeferredFrees      int64
 	CheckpointWriterStallSeconds float64
 
+	// MVCC snapshots. LiveVersions and PinnedExtents are point-in-time
+	// gauges; DeferredExtentBlocks is the allocator space currently held
+	// back by frees parked behind version pins.
+	Snapshots            int64
+	SnapshotsRecovered   int64 // versions reconstructed by WAL replay
+	SnapshotReleases     int64
+	SnapshotOverlayNodes int64 // dirty nodes captured by value at snapshot time
+	SnapshotFreesParked  int64 // checkpoint frees parked behind a version pin
+	AsOfQueries          int64 // queries answered from a version, lock-free
+	LiveVersions         int
+	PinnedExtents        int
+	DeferredExtentBlocks int
+
 	// MaterializedHitRatio is QueryMaterializedHits / QueryEntriesScanned:
 	// the fraction of examined entries answered from a materialized
 	// aggregate without descending. PrunedEntryRatio is the analogous
@@ -233,6 +257,13 @@ func (t *Tree) Metrics() Metrics {
 		CheckpointDeferredFrees:      m.checkpointFreeDeferred.Load(),
 		CheckpointWriterStallSeconds: float64(m.checkpointStallNs.Load()) / 1e9,
 
+		Snapshots:            m.snapshots.Load(),
+		SnapshotsRecovered:   m.snapshotsRecovered.Load(),
+		SnapshotReleases:     m.snapshotReleases.Load(),
+		SnapshotOverlayNodes: m.snapshotOverlayNodes.Load(),
+		SnapshotFreesParked:  m.snapshotFreesParked.Load(),
+		AsOfQueries:          m.asOfQueries.Load(),
+
 		InsertLatency:     m.insertLatency.Snapshot(),
 		QueryLatency:      m.queryLatency.Snapshot(),
 		CheckpointLatency: m.checkpointLatency.Snapshot(),
@@ -243,6 +274,12 @@ func (t *Tree) Metrics() Metrics {
 
 		Store: t.store.Stats(),
 	}
+	t.vmu.Lock()
+	s.LiveVersions = len(t.versions)
+	t.vmu.Unlock()
+	ps := t.pins.Stats()
+	s.PinnedExtents = ps.PinnedExtents
+	s.DeferredExtentBlocks = ps.DeferredBlocks
 	if s.QueryEntriesScanned > 0 {
 		s.MaterializedHitRatio = float64(s.QueryMaterializedHits) / float64(s.QueryEntriesScanned)
 		s.PrunedEntryRatio = float64(s.QueryEntriesPruned) / float64(s.QueryEntriesScanned)
@@ -334,6 +371,15 @@ func (m Metrics) Families() []obs.Family {
 			Samples: []obs.Sample{{Value: m.CheckpointWriterStallSeconds}},
 		},
 		obs.HistogramFamily("dctree_checkpoint_duration_seconds", "End-to-end checkpoint latency.", m.CheckpointLatency),
+		obs.CounterFamily("dctree_snapshots_total", "MVCC versions captured (Snapshot calls plus recovery reconstructions).", m.Snapshots),
+		obs.CounterFamily("dctree_snapshots_recovered_total", "MVCC versions reconstructed by WAL replay.", m.SnapshotsRecovered),
+		obs.CounterFamily("dctree_snapshot_releases_total", "MVCC versions released (pins dropped, parked frees executed).", m.SnapshotReleases),
+		obs.CounterFamily("dctree_snapshot_overlay_nodes_total", "Dirty nodes captured by value into snapshot overlays.", m.SnapshotOverlayNodes),
+		obs.CounterFamily("dctree_snapshot_frees_parked_total", "Checkpoint extent frees parked behind a live version's pin.", m.SnapshotFreesParked),
+		obs.CounterFamily("dctree_asof_queries_total", "Queries answered from an MVCC version without the tree lock.", m.AsOfQueries),
+		obs.GaugeFamily("dctree_live_versions", "MVCC versions currently live.", float64(m.LiveVersions)),
+		obs.GaugeFamily("dctree_pinned_extents", "Storage extents pinned by live versions.", float64(m.PinnedExtents)),
+		obs.GaugeFamily("dctree_deferred_extent_blocks", "Allocator blocks held back by frees parked behind version pins.", float64(m.DeferredExtentBlocks)),
 		obs.GaugeFamily("dctree_materialized_hit_ratio", "Materialized hits per entry scanned.", m.MaterializedHitRatio),
 		obs.GaugeFamily("dctree_pruned_entry_ratio", "Pruned entries per entry scanned.", m.PrunedEntryRatio),
 		obs.HistogramFamily("dctree_insert_duration_seconds", "Single-record insert latency.", m.InsertLatency),

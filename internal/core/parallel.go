@@ -119,8 +119,10 @@ func (q *stealQueue) abort() {
 // work counters (every overlapping node is visited once; only the traversal
 // order differs).
 //
-// Called from Execute with the tree read lock held and req.Parallel ≥ 1.
-func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryRequest) (QueryResult, error) {
+// Called from Execute with req.Parallel ≥ 1 — under the tree read lock for
+// live queries, lock-free over a pinned version for as-of queries; src and
+// root name the resolver and seed either way.
+func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryRequest, src nodeSource, root nodeID) (QueryResult, error) {
 	var res QueryResult
 	measures := t.schema.Measures()
 	var vec cube.AggVector
@@ -128,7 +130,7 @@ func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryReque
 		vec = cube.NewAggVector(measures)
 	}
 
-	q := newStealQueue(req.Parallel, t.root)
+	q := newStealQueue(req.Parallel, root)
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -139,7 +141,7 @@ func (t *Tree) executeParallel(ctx context.Context, qc *queryCtx, req QueryReque
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			d := &descent{qc: qc, ctx: ctx, check: ctxCheckInterval}
+			d := &descent{src: src, qc: qc, ctx: ctx, check: ctxCheckInterval}
 			var local cube.Agg
 			var localVec cube.AggVector
 			if req.AllMeasures {
@@ -202,7 +204,7 @@ func (t *Tree) stealDescend(root nodeID, w int, q *stealQueue, d *descent, req Q
 	for len(s) > 0 {
 		id := s[len(s)-1]
 		s = s[:len(s)-1]
-		n, err := t.getNode(id)
+		n, err := d.src.getNode(id)
 		if err != nil {
 			return err
 		}

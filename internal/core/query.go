@@ -34,11 +34,21 @@ func (s *QueryStats) add(o QueryStats) {
 	s.RecordsMatched += o.RecordsMatched
 }
 
+// nodeSource resolves node IDs for one query walk. The live tree resolves
+// against its table and shared cache (under the tree read lock); a Version
+// resolves against its captured overlay and pinned extents (no tree lock).
+// The descent code is identical either way — only the resolver differs.
+type nodeSource interface {
+	getNode(id nodeID) (*node, error)
+}
+
 // descent carries the per-goroutine state of one range-query walk: the
-// shared read-only query context, the cancellation context with its poll
-// countdown, and the work counters. Parallel queries give every worker its
-// own descent over the same queryCtx.
+// node resolver (live tree or pinned version), the shared read-only query
+// context, the cancellation context with its poll countdown, and the work
+// counters. Parallel queries give every worker its own descent over the
+// same queryCtx.
 type descent struct {
+	src   nodeSource
 	qc    *queryCtx
 	ctx   context.Context
 	check int // node visits until the next ctx poll
@@ -65,8 +75,10 @@ func (d *descent) visit() error {
 // mds.AllDim() for unconstrained dimensions); op aggregates the chosen
 // measure over every data record in the selected subcube.
 //
-// RangeQuery is a convenience form of Execute; behavior is identical to
-// Execute with a background context.
+// Deprecated: use Execute with QueryRequest{Query: q, Measure: measure}
+// and read res.Agg.Value(op) — it adds context cancellation and the other
+// request options. Behavior is identical to Execute with a background
+// context; this wrapper remains for compatibility.
 func (t *Tree) RangeQuery(q mds.MDS, op cube.Op, measure int) (float64, error) {
 	res, err := t.Execute(context.Background(), QueryRequest{Query: q, Measure: measure})
 	if err != nil {
@@ -77,14 +89,18 @@ func (t *Tree) RangeQuery(q mds.MDS, op cube.Op, measure int) (float64, error) {
 
 // RangeAgg returns the full aggregate (sum, count, min, max) of a measure
 // over the query range, from which every supported operator can be read.
-// It is a convenience form of Execute.
+//
+// Deprecated: use Execute with QueryRequest{Query: q, Measure: measure}
+// and read res.Agg.
 func (t *Tree) RangeAgg(q mds.MDS, measure int) (cube.Agg, error) {
 	res, err := t.Execute(context.Background(), QueryRequest{Query: q, Measure: measure})
 	return res.Agg, err
 }
 
-// RangeQueryStats is RangeQuery plus work counters. It is a convenience
-// form of Execute with CollectStats set.
+// RangeQueryStats is RangeQuery plus work counters.
+//
+// Deprecated: use Execute with QueryRequest{Query: q, Measure: measure,
+// CollectStats: true} and read res.Agg.Value(op) and res.Stats.
 func (t *Tree) RangeQueryStats(q mds.MDS, op cube.Op, measure int) (float64, QueryStats, error) {
 	res, err := t.Execute(context.Background(),
 		QueryRequest{Query: q, Measure: measure, CollectStats: true})
@@ -96,8 +112,10 @@ func (t *Tree) RangeQueryStats(q mds.MDS, op cube.Op, measure int) (float64, Que
 
 // RangeAggAll aggregates every measure of the schema over the query range
 // in a single descent — the natural form for reports that show several
-// measures side by side. It is a convenience form of Execute with
-// AllMeasures and CollectStats set.
+// measures side by side.
+//
+// Deprecated: use Execute with QueryRequest{Query: q, AllMeasures: true,
+// CollectStats: true} and read res.AggVector and res.Stats.
 func (t *Tree) RangeAggAll(q mds.MDS) (cube.AggVector, QueryStats, error) {
 	res, err := t.Execute(context.Background(),
 		QueryRequest{Query: q, AllMeasures: true, CollectStats: true})
@@ -105,8 +123,10 @@ func (t *Tree) RangeAggAll(q mds.MDS) (cube.AggVector, QueryStats, error) {
 }
 
 // RangeAggParallel answers the same query as RangeAgg using a worker pool;
-// workers ≤ 0 selects GOMAXPROCS. It is a convenience form of Execute with
-// Parallel set.
+// workers ≤ 0 selects GOMAXPROCS.
+//
+// Deprecated: use Execute with QueryRequest{Query: q, Measure: measure,
+// Parallel: workers} and read res.Agg.
 func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -118,7 +138,7 @@ func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, 
 
 // queryNodeAll is queryNode generalized to every measure of the schema.
 func (t *Tree) queryNodeAll(id nodeID, d *descent, result cube.AggVector) error {
-	n, err := t.getNode(id)
+	n, err := d.src.getNode(id)
 	if err != nil {
 		return err
 	}
@@ -166,7 +186,7 @@ func (t *Tree) queryNodeAll(id nodeID, d *descent, result cube.AggVector) error 
 // fully contained in the range contribute their materialized aggregate,
 // and partially overlapping directory entries are descended into.
 func (t *Tree) queryNode(id nodeID, d *descent, measure int, result *cube.Agg) error {
-	n, err := t.getNode(id)
+	n, err := d.src.getNode(id)
 	if err != nil {
 		return err
 	}
@@ -214,12 +234,12 @@ func (t *Tree) queryNode(id nodeID, d *descent, measure int, result *cube.Agg) e
 func (t *Tree) Scan(fn func(cube.Record) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, err := t.scanNode(t.root, fn)
+	_, err := t.scanNode(t, t.root, fn)
 	return err
 }
 
-func (t *Tree) scanNode(id nodeID, fn func(cube.Record) bool) (bool, error) {
-	n, err := t.getNode(id)
+func (t *Tree) scanNode(src nodeSource, id nodeID, fn func(cube.Record) bool) (bool, error) {
+	n, err := src.getNode(id)
 	if err != nil {
 		return false, err
 	}
@@ -232,7 +252,7 @@ func (t *Tree) scanNode(id nodeID, fn func(cube.Record) bool) (bool, error) {
 		return true, nil
 	}
 	for i := range n.entries {
-		cont, err := t.scanNode(n.entries[i].Child, fn)
+		cont, err := t.scanNode(src, n.entries[i].Child, fn)
 		if err != nil || !cont {
 			return cont, err
 		}

@@ -72,6 +72,20 @@ type Tree struct {
 	// one shard RLock, misses decode once per node via singleflight.
 	nc *nodeCache
 
+	// MVCC snapshots. versionSeq mints monotonic version numbers and
+	// latestVersionID/latestVersionLSN stamp the most recent snapshot; all
+	// three are guarded by t.mu and persisted in meta v5 so numbers never
+	// repeat across restarts. versions holds the live handles (guarded by
+	// vmu — never acquired while holding t.mu is fine, but the reverse
+	// order is forbidden). pins is the extent refcount ledger shared with
+	// checkpoint installs: a live version's extents are parked, not freed.
+	versionSeq       uint64
+	latestVersionID  uint64
+	latestVersionLSN uint64
+	vmu              sync.Mutex
+	versions         map[uint64]*Version
+	pins             *storage.Pins
+
 	// qcPool recycles queryCtx mask arenas so steady-state queries build
 	// their membership masks without allocating.
 	qcPool sync.Pool
@@ -94,14 +108,16 @@ func New(store storage.Store, schema *cube.Schema, cfg Config) (*Tree, error) {
 			ErrBadConfig, cfg.BlockSize, store.BlockSize())
 	}
 	t := &Tree{
-		schema:  schema,
-		cfg:     cfg,
-		store:   store,
-		rootMDS: mds.Top(schema.Dims()),
-		height:  1,
-		nextID:  1,
-		table:   make(map[nodeID]extentRef),
-		nc:      newNodeCache(),
+		schema:   schema,
+		cfg:      cfg,
+		store:    store,
+		rootMDS:  mds.Top(schema.Dims()),
+		height:   1,
+		nextID:   1,
+		table:    make(map[nodeID]extentRef),
+		nc:       newNodeCache(),
+		versions: make(map[uint64]*Version),
+		pins:     storage.NewPins(),
 	}
 	root := t.newNode(true)
 	t.root = root.id

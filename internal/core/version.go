@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/mds"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// MVCC snapshots.
+//
+// A Version is a cheap, immutable, named snapshot of the whole tree,
+// generalizing what fuzzy-checkpoint capture already does internally: under
+// one short hold of the tree write lock, Snapshot copies the node→extent
+// translation table, encodes the payload of every node that is dirty (its
+// in-memory state is newer than its extent) into a copy-on-write overlay,
+// and pins every extent the table references so later checkpoint installs
+// park their frees instead of returning the extents to the allocator.
+//
+// From then on the version is self-contained: an as-of query resolves every
+// node through the overlay first and the pinned extents second, decoding
+// into the version's own node cache — it never touches the live table, the
+// live node cache, or the tree lock. Long OLAP scans pinned to a version
+// therefore run concurrently with inserts, deletes and checkpoints, which
+// is the paper's motivating warehouse scenario taken one step further.
+//
+// Durability: on a WAL-backed tree every Snapshot appends a version record
+// (walOpVersion) whose LSN defines the snapshot point, and the record is
+// group-committed before Snapshot returns. Crash recovery replays the log
+// tail in LSN order and re-captures a snapshot at each version record it
+// passes, so the versions taken after the last checkpoint are reconstructed
+// with exactly their original contents. Versions whose record the last
+// checkpoint superseded are not reconstructible (their overlays died with
+// the process) and silently age out. The version-number mint is persisted
+// in the metadata blob (v5), so numbers stay unique across restarts either
+// way.
+
+// ErrVersionReleased reports a query against a version handle whose
+// Release has already run (or whose tree no longer knows it).
+var ErrVersionReleased = errors.New("dctree: version has been released")
+
+// ErrVersionForeign reports a version handle used against a tree other
+// than the one that created it.
+var ErrVersionForeign = errors.New("dctree: version belongs to a different tree")
+
+// Version is one pinned MVCC snapshot. Handles are safe for concurrent
+// use; queries against a version run without the tree lock. Release the
+// handle when done — a live version pins the storage extents it reads,
+// keeping them out of the allocator.
+type Version struct {
+	t       *Tree
+	id      uint64
+	lsn     uint64
+	created time.Time
+
+	root    nodeID
+	rootMDS mds.MDS
+	height  int
+	count   int64
+	table   map[nodeID]extentRef // immutable after capture
+	overlay map[nodeID][]byte    // encoded payloads of nodes dirty at capture
+	pinned  []storage.PageID     // extents pinned in t.pins
+
+	// nc caches nodes decoded from the overlay or the pinned extents. It is
+	// private to the version: the tree's own cache holds live nodes that
+	// writers mutate in place under the tree lock.
+	nc *nodeCache
+
+	// refs counts the handle itself plus every in-flight query; the drop to
+	// zero unpins the extents. released latches the one Release call.
+	refs     atomic.Int64
+	released atomic.Bool
+}
+
+// ID returns the version number. Numbers are minted monotonically and are
+// unique for the lifetime of the index, across restarts.
+func (v *Version) ID() uint64 { return v.id }
+
+// LSN returns the WAL position that defines the snapshot point (0 on trees
+// without a WAL).
+func (v *Version) LSN() uint64 { return v.lsn }
+
+// Count returns the number of live data records the version captured.
+func (v *Version) Count() int64 { return v.count }
+
+// CreatedAt returns when the snapshot was captured (for recovered versions,
+// when recovery re-captured them).
+func (v *Version) CreatedAt() time.Time { return v.created }
+
+// Released reports whether the handle has been released.
+func (v *Version) Released() bool { return v.released.Load() }
+
+// acquire takes a query reference; it fails once the version is released.
+func (v *Version) acquire() error {
+	if v.released.Load() {
+		return ErrVersionReleased
+	}
+	for {
+		r := v.refs.Load()
+		if r <= 0 {
+			return ErrVersionReleased
+		}
+		if v.refs.CompareAndSwap(r, r+1) {
+			// Release may have latched between the Load and the CAS; the
+			// reference taken here keeps the extents pinned either way, so
+			// an in-flight query still completes safely.
+			return nil
+		}
+	}
+}
+
+// unref drops one reference; the last drop returns the pinned extents.
+func (v *Version) unref() {
+	if v.refs.Add(-1) == 0 {
+		v.t.releaseVersionExtents(v)
+	}
+}
+
+// Release ends the version's life: the handle is removed from the tree's
+// registry and, once any in-flight queries drain, its extent pins are
+// dropped — parked frees from checkpoints that superseded the version's
+// extents execute then. Releasing twice returns ErrVersionReleased.
+func (v *Version) Release() error {
+	if v.released.Swap(true) {
+		return ErrVersionReleased
+	}
+	v.t.vmu.Lock()
+	if cur, ok := v.t.versions[v.id]; ok && cur == v {
+		delete(v.t.versions, v.id)
+	}
+	v.t.vmu.Unlock()
+	v.unref()
+	return nil
+}
+
+// getNode resolves a node as of the version: overlay payloads win over the
+// pinned extents (the overlay holds the strictly newer in-memory state of
+// nodes that were dirty at capture). Decoded nodes are cached in the
+// version's private cache with the same singleflight discipline as the live
+// read path. Version implements nodeSource.
+func (v *Version) getNode(id nodeID) (*node, error) {
+	if n := v.nc.get(id); n != nil {
+		v.t.metrics.cacheHits.Inc()
+		return n, nil
+	}
+	v.t.metrics.cacheMisses.Inc()
+	n, shared, err := v.nc.fault(id, func() (*node, error) { return v.loadNode(id) })
+	if shared {
+		v.t.metrics.cacheFaultsShared.Inc()
+	}
+	return n, err
+}
+
+func (v *Version) loadNode(id nodeID) (*node, error) {
+	if payload, ok := v.overlay[id]; ok {
+		return decodeNode(id, payload, v.t.schema.Dims(), v.t.schema.Measures())
+	}
+	ref, ok := v.table[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d has no extent in version %d", ErrCorrupt, id, v.id)
+	}
+	payload, _, err := v.t.store.Read(ref.page)
+	if err != nil {
+		return nil, fmt.Errorf("dctree: reading node %d of version %d: %w", id, v.id, err)
+	}
+	return decodeNode(id, payload, v.t.schema.Dims(), v.t.schema.Measures())
+}
+
+// Scan streams every data record of the version to fn in unspecified
+// order; fn returning false stops the scan. Like as-of queries it runs
+// without the tree lock.
+func (v *Version) Scan(fn func(cube.Record) bool) error {
+	if err := v.acquire(); err != nil {
+		return err
+	}
+	defer v.unref()
+	_, err := v.t.scanNode(v, v.root, fn)
+	return err
+}
+
+// EvictCache drops the version's decoded-node cache; subsequent as-of
+// queries fault nodes back from the overlay and the pinned extents. For
+// long-lived versions on memory-constrained serving paths.
+func (v *Version) EvictCache() {
+	v.nc.evictClean()
+}
+
+// Snapshot captures a new version of the tree under one short hold of the
+// write lock: the translation table is copied, dirty nodes are encoded into
+// the overlay, and every table extent is pinned against later checkpoint
+// frees. On a WAL-backed tree the version record is group-committed before
+// Snapshot returns, so the version survives a crash (recovery re-captures
+// it from the log tail) until a checkpoint supersedes its record.
+func (t *Tree) Snapshot() (*Version, error) {
+	t.mu.Lock()
+	v, err := t.snapshotLocked(0, 0)
+	t.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.waitDurable(v.lsn); err != nil {
+		_ = v.Release()
+		return nil, err
+	}
+	return v, nil
+}
+
+// snapshotLocked captures a version. Caller holds t.mu. A zero versionID
+// mints the next number and (on a WAL-backed tree) appends a version record
+// whose LSN becomes the snapshot point; a nonzero versionID re-captures a
+// recovered version at the given replay LSN without logging.
+func (t *Tree) snapshotLocked(versionID, lsn uint64) (*Version, error) {
+	if versionID == 0 {
+		versionID = t.versionSeq + 1
+		if t.wal != nil {
+			recLSN, err := t.wal.append(encodeVersionRecord(versionID))
+			if err != nil {
+				return nil, err
+			}
+			lsn = recLSN
+		}
+	}
+	if versionID > t.versionSeq {
+		t.versionSeq = versionID
+	}
+
+	v := &Version{
+		t:       t,
+		id:      versionID,
+		lsn:     lsn,
+		created: time.Now(),
+		root:    t.root,
+		rootMDS: t.rootMDS.Clone(),
+		height:  t.height,
+		count:   t.count,
+		table:   make(map[nodeID]extentRef, len(t.table)),
+		overlay: make(map[nodeID][]byte),
+		nc:      newNodeCache(),
+	}
+	v.refs.Store(1)
+
+	// Copy-on-write overlay: a dirty node's extent (if any) is stale, so
+	// its current state is captured by value now. Writers keep mutating the
+	// live *node afterwards; the encoded payload here no longer changes.
+	for _, e := range t.nc.dirtySnapshot() {
+		n := t.nc.get(e.id)
+		if n == nil {
+			if _, inTable := t.table[e.id]; inTable {
+				return nil, fmt.Errorf("%w: node %d is dirty but not resident", ErrCorrupt, e.id)
+			}
+			continue // leftover flag with no state behind it
+		}
+		v.overlay[e.id] = n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
+	}
+
+	// Pin the captured table's extents so checkpoint installs park their
+	// frees while this version is live. Nodes covered by the overlay do not
+	// need their extents, but pinning uniformly keeps the invariant simple:
+	// everything the version's table references stays readable.
+	v.pinned = make([]storage.PageID, 0, len(t.table))
+	for id, ref := range t.table {
+		v.table[id] = ref
+		if t.pins.Pin(ref.page) {
+			v.pinned = append(v.pinned, ref.page)
+		}
+	}
+
+	t.latestVersionID = versionID
+	t.latestVersionLSN = lsn
+
+	t.vmu.Lock()
+	t.versions[versionID] = v
+	t.vmu.Unlock()
+
+	t.metrics.snapshots.Inc()
+	t.metrics.snapshotOverlayNodes.Add(int64(len(v.overlay)))
+	return v, nil
+}
+
+// releaseVersionExtents drops the version's extent pins and executes the
+// frees that checkpoints parked behind them. Failed frees are queued on the
+// pending-free list and retried by the next checkpoint install.
+func (t *Tree) releaseVersionExtents(v *Version) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, page := range v.pinned {
+		ext, due := t.pins.Unpin(page)
+		if !due {
+			continue
+		}
+		if err := t.store.Free(ext.Page, ext.Blocks); err != nil {
+			t.pendingFree = append(t.pendingFree, extentRef{page: ext.Page, blocks: ext.Blocks})
+			t.metrics.checkpointFreeDeferred.Inc()
+		}
+	}
+	v.pinned = nil
+	t.metrics.snapshotReleases.Inc()
+}
+
+// VersionInfo describes one live version for tooling.
+type VersionInfo struct {
+	ID        uint64    // version number
+	LSN       uint64    // WAL position of the snapshot point (0 without a WAL)
+	Records   int64     // live data records at capture
+	Overlay   int       // nodes captured by value (dirty at snapshot time)
+	Pinned    int       // storage extents the version pins
+	CreatedAt time.Time // capture (or recovery re-capture) time
+}
+
+// LatestVersion reports the most recent snapshot's stamps as persisted in
+// the metadata (v5): its version number and the WAL LSN of its record.
+// Zero values mean no snapshot was ever taken. The stamped version is not
+// necessarily live — non-WAL versions die with the process, and a
+// checkpoint can supersede a WAL version's record.
+func (t *Tree) LatestVersion() (id, lsn uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.latestVersionID, t.latestVersionLSN
+}
+
+// Versions lists the live versions, oldest number first.
+func (t *Tree) Versions() []VersionInfo {
+	t.vmu.Lock()
+	infos := make([]VersionInfo, 0, len(t.versions))
+	for _, v := range t.versions {
+		infos = append(infos, VersionInfo{
+			ID:        v.id,
+			LSN:       v.lsn,
+			Records:   v.count,
+			Overlay:   len(v.overlay),
+			Pinned:    len(v.pinned),
+			CreatedAt: v.created,
+		})
+	}
+	t.vmu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// VersionByID returns the live version with the given number.
+func (t *Tree) VersionByID(id uint64) (*Version, bool) {
+	t.vmu.Lock()
+	defer t.vmu.Unlock()
+	v, ok := t.versions[id]
+	return v, ok
+}
+
+// ReleaseVersion releases the live version with the given number. It
+// returns ErrVersionReleased if no such version is live.
+func (t *Tree) ReleaseVersion(id uint64) error {
+	v, ok := t.VersionByID(id)
+	if !ok {
+		return fmt.Errorf("%w: version %d", ErrVersionReleased, id)
+	}
+	return v.Release()
+}
+
+// releaseAllVersions releases every live version; Close uses it so parked
+// extent frees execute before the final checkpoint persists the freelist.
+func (t *Tree) releaseAllVersions() {
+	t.vmu.Lock()
+	live := make([]*Version, 0, len(t.versions))
+	for _, v := range t.versions {
+		live = append(live, v)
+	}
+	t.vmu.Unlock()
+	for _, v := range live {
+		_ = v.Release()
+	}
+}

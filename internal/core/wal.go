@@ -60,6 +60,7 @@ const (
 	walOpDictDelta byte = 3 // dictionary registration delta batch
 	walOpInsertV2  byte = 4 // v2 insert: interned leaf IDs
 	walOpDeleteV2  byte = 5 // v2 delete: interned leaf IDs
+	walOpVersion   byte = 6 // MVCC snapshot marker: version ID at this LSN
 )
 
 // Config.WALRecordFormat values.
@@ -510,6 +511,26 @@ func decodeWALRecordV1(schema *cube.Schema, payload []byte) (byte, cube.Record, 
 	return op, rec, nil
 }
 
+// encodeVersionRecord serializes an MVCC snapshot marker: the record's LSN
+// is the snapshot point, and the payload names the version it defines.
+func encodeVersionRecord(versionID uint64) []byte {
+	buf := []byte{walOpVersion}
+	return binary.AppendUvarint(buf, versionID)
+}
+
+// decodeVersionRecord parses a walOpVersion payload.
+func decodeVersionRecord(payload []byte) (uint64, error) {
+	r := metaReader{buf: payload}
+	if r.byte() != walOpVersion {
+		return 0, fmt.Errorf("%w: not a version record", ErrCorrupt)
+	}
+	id := r.uvarint()
+	if r.err != nil || id == 0 || r.off != len(payload) {
+		return 0, fmt.Errorf("%w: version record", ErrCorrupt)
+	}
+	return id, nil
+}
+
 // installDictHooks arms the per-dimension registration hooks that feed
 // dictionary deltas into dictPending. Called once a durable tree's record
 // format is known to be v2 — AFTER the initial checkpoint (NewDurable) or
@@ -664,6 +685,21 @@ func (t *Tree) recoverFrom(w *storage.WAL) error {
 			}
 			return nil
 		}
+		if len(payload) > 0 && payload[0] == walOpVersion {
+			// The tree right now is exactly the state at this record's LSN
+			// (checkpoint plus the replayed prefix), so re-capturing here
+			// reconstructs the version with its original contents. Versions
+			// whose record the checkpoint superseded died with the process.
+			id, err := decodeVersionRecord(payload)
+			if err != nil {
+				return fmt.Errorf("dctree: replaying version record lsn %d: %w", lsn, err)
+			}
+			if _, err := t.snapshotLocked(id, lsn); err != nil {
+				return fmt.Errorf("dctree: reconstructing version %d lsn %d: %w", id, lsn, err)
+			}
+			t.metrics.snapshotsRecovered.Inc()
+			return nil
+		}
 		op, rec, err := decodeWALRecord(t.schema, payload)
 		if err != nil {
 			return err
@@ -692,6 +728,10 @@ func (t *Tree) Close() error {
 		t.cp.shutdown()
 		t.cp = nil
 	}
+	// Release live versions first: their parked extent frees must execute
+	// before the final checkpoint persists the freelist, or the extents
+	// would leak on disk until the next fsck.
+	t.releaseAllVersions()
 	err := t.Flush()
 	if t.wal != nil {
 		if werr := t.wal.shutdown(); err == nil {

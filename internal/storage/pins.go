@@ -1,0 +1,120 @@
+package storage
+
+import "sync"
+
+// Extent pinning for snapshot readers.
+//
+// The DC-tree persists with shadow paging: a checkpoint install writes fresh
+// extents and frees the superseded ones. An MVCC snapshot, however, keeps
+// reading the extents its captured translation table references — without any
+// tree lock — so a later install must not return those extents to the
+// allocator while the snapshot is live. Pins is the refcount ledger both
+// sides share: snapshot capture pins every extent of its table, installs
+// route frees through FreeOrDefer (which parks the free instead of executing
+// it while a pin is held), and the snapshot's release unpins and surfaces the
+// parked frees for execution.
+//
+// Pins never talks to a Store itself: it only decides *whether* an extent may
+// be freed now. The owner executes (or retries) the store.Free calls, so
+// error handling and free-retry policy stay in one place.
+
+// Extent pairs a PageID with its size in blocks — the two values a deferred
+// Free needs.
+type Extent struct {
+	Page   PageID
+	Blocks int
+}
+
+// Pins is a refcount ledger over extents. Safe for concurrent use.
+type Pins struct {
+	mu       sync.Mutex
+	refs     map[PageID]int
+	deferred map[PageID]int // page → blocks of a Free that arrived while pinned
+}
+
+// NewPins returns an empty ledger.
+func NewPins() *Pins {
+	return &Pins{
+		refs:     make(map[PageID]int),
+		deferred: make(map[PageID]int),
+	}
+}
+
+// Pin takes one reference on an extent. Pinning an extent whose free is
+// already deferred is forbidden by the owner's protocol (a superseded extent
+// never re-enters a translation table) and would resurrect a dead extent;
+// Pin reports it by returning false and taking no reference.
+func (p *Pins) Pin(page PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dead := p.deferred[page]; dead {
+		return false
+	}
+	p.refs[page]++
+	return true
+}
+
+// FreeOrDefer decides an extent's fate at free time: unpinned extents return
+// false (the caller frees them now); pinned extents have their free parked
+// and return true. Double-deferring the same page is the owner's bug — the
+// shadow-paging protocol frees each superseded extent exactly once — and is
+// tolerated by keeping the first record.
+func (p *Pins) FreeOrDefer(page PageID, blocks int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.refs[page] == 0 {
+		return false
+	}
+	if _, ok := p.deferred[page]; !ok {
+		p.deferred[page] = blocks
+	}
+	return true
+}
+
+// Unpin drops one reference. When the last reference goes and a deferred
+// free is parked on the extent, the extent is returned with due=true: the
+// caller must now execute the free.
+func (p *Pins) Unpin(page PageID) (ext Extent, due bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.refs[page]
+	if !ok {
+		return Extent{}, false
+	}
+	if n > 1 {
+		p.refs[page] = n - 1
+		return Extent{}, false
+	}
+	delete(p.refs, page)
+	blocks, parked := p.deferred[page]
+	if !parked {
+		return Extent{}, false
+	}
+	delete(p.deferred, page)
+	return Extent{Page: page, Blocks: blocks}, true
+}
+
+// Pinned reports whether the extent currently holds any reference.
+func (p *Pins) Pinned(page PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refs[page] > 0
+}
+
+// PinStats is a point-in-time census of the ledger.
+type PinStats struct {
+	PinnedExtents   int // extents with at least one reference
+	DeferredExtents int // extents whose free is parked behind a pin
+	DeferredBlocks  int // blocks held back from the allocator by those frees
+}
+
+// Stats returns a census of pinned extents and parked frees.
+func (p *Pins) Stats() PinStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PinStats{PinnedExtents: len(p.refs), DeferredExtents: len(p.deferred)}
+	for _, blocks := range p.deferred {
+		s.DeferredBlocks += blocks
+	}
+	return s
+}

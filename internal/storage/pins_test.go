@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinsFreeUnpinnedIsImmediate(t *testing.T) {
+	p := NewPins()
+	if p.FreeOrDefer(7, 2) {
+		t.Fatal("free of an unpinned extent should not defer")
+	}
+	if s := p.Stats(); s.PinnedExtents != 0 || s.DeferredExtents != 0 {
+		t.Fatalf("ledger not empty: %+v", s)
+	}
+}
+
+func TestPinsDeferAndRelease(t *testing.T) {
+	p := NewPins()
+	if !p.Pin(7) {
+		t.Fatal("pin refused")
+	}
+	if !p.FreeOrDefer(7, 3) {
+		t.Fatal("free of a pinned extent should defer")
+	}
+	if s := p.Stats(); s.DeferredExtents != 1 || s.DeferredBlocks != 3 {
+		t.Fatalf("deferred census wrong: %+v", s)
+	}
+	ext, due := p.Unpin(7)
+	if !due || ext != (Extent{Page: 7, Blocks: 3}) {
+		t.Fatalf("unpin did not surface the deferred free: %v %v", ext, due)
+	}
+	if s := p.Stats(); s.PinnedExtents != 0 || s.DeferredExtents != 0 {
+		t.Fatalf("ledger not empty after release: %+v", s)
+	}
+}
+
+func TestPinsSharedAcrossSnapshots(t *testing.T) {
+	p := NewPins()
+	p.Pin(9)
+	p.Pin(9) // second snapshot shares the extent
+	if !p.FreeOrDefer(9, 1) {
+		t.Fatal("free should defer while pinned")
+	}
+	if _, due := p.Unpin(9); due {
+		t.Fatal("free surfaced while another pin is live")
+	}
+	if !p.Pinned(9) {
+		t.Fatal("extent should still be pinned")
+	}
+	ext, due := p.Unpin(9)
+	if !due || ext.Page != 9 {
+		t.Fatalf("last unpin must surface the free, got %v %v", ext, due)
+	}
+}
+
+func TestPinsUnpinWithoutDeferredFree(t *testing.T) {
+	p := NewPins()
+	p.Pin(4)
+	if ext, due := p.Unpin(4); due {
+		t.Fatalf("no free was parked, got %v", ext)
+	}
+	// The extent was never freed, so it may be pinned again later.
+	if !p.Pin(4) {
+		t.Fatal("re-pin after clean unpin refused")
+	}
+}
+
+func TestPinsRefusesResurrection(t *testing.T) {
+	p := NewPins()
+	p.Pin(5)
+	p.FreeOrDefer(5, 1)
+	if p.Pin(5) {
+		t.Fatal("pinning an extent with a parked free must be refused")
+	}
+}
+
+func TestPinsUnpinUnknownPage(t *testing.T) {
+	p := NewPins()
+	if ext, due := p.Unpin(123); due {
+		t.Fatalf("unpin of unknown page surfaced a free: %v", ext)
+	}
+}
+
+func TestPinsConcurrent(t *testing.T) {
+	p := NewPins()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				page := PageID(i%16 + 1)
+				if p.Pin(page) {
+					p.Unpin(page)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Stats(); s.PinnedExtents != 0 {
+		t.Fatalf("pins leaked: %+v", s)
+	}
+}

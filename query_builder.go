@@ -18,6 +18,7 @@ var ErrBadQuerySpec = errors.New("dctree: bad query specification")
 type QueryBuilder struct {
 	schema *Schema
 	sets   map[int]DimSet
+	asOf   *Version
 	err    error
 }
 
@@ -114,6 +115,26 @@ func (b *QueryBuilder) WhereIDs(dimension string, ids ...ID) *QueryBuilder {
 	return b
 }
 
+// AsOf pins the query to an MVCC version (Tree.Snapshot): the request
+// built by BuildRequest resolves against the version's captured state,
+// without the tree lock. A nil version queries the live tree.
+func (b *QueryBuilder) AsOf(v *Version) *QueryBuilder {
+	b.asOf = v
+	return b
+}
+
+// BuildRequest assembles the query as a QueryRequest for Tree.Execute,
+// carrying the AsOf version if one was set. Measure, AllMeasures,
+// Parallel and CollectStats start at their zero values — set them on the
+// returned request.
+func (b *QueryBuilder) BuildRequest() (QueryRequest, error) {
+	q, err := b.Build()
+	if err != nil {
+		return QueryRequest{}, err
+	}
+	return QueryRequest{Query: q, AsOf: b.asOf}, nil
+}
+
 // Build assembles the MDS, validating it against the schema.
 func (b *QueryBuilder) Build() (MDS, error) {
 	if b.err != nil {
@@ -133,12 +154,20 @@ func (b *QueryBuilder) Build() (MDS, error) {
 	return q, nil
 }
 
+// dedupIDs removes duplicate IDs in place, keeping the first occurrence
+// of each in its original position. Correct for ANY input order — the old
+// implementation only collapsed adjacent duplicates, so it silently left
+// duplicates in unsorted input; first-seen order keeps the result
+// deterministic for the caller's ordering, sorted or not.
 func dedupIDs(ids []ID) []ID {
+	seen := make(map[ID]struct{}, len(ids))
 	out := ids[:0]
-	for i, id := range ids {
-		if i == 0 || ids[i-1] != id {
-			out = append(out, id)
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
 		}
+		seen[id] = struct{}{}
+		out = append(out, id)
 	}
 	return out
 }

@@ -1,0 +1,119 @@
+package dctree
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// dedupIDs must preserve first-seen order for ANY input ordering and drop
+// every duplicate, not just adjacent ones — unsorted inputs previously
+// leaked duplicates into built MDS predicates.
+func TestDedupIDsFirstSeenOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []ID
+		want []ID
+	}{
+		{"empty", nil, nil},
+		{"sorted adjacent dups", []ID{1, 1, 2, 3, 3, 3}, []ID{1, 2, 3}},
+		{"unsorted non-adjacent dups", []ID{5, 2, 5, 9, 2, 5}, []ID{5, 2, 9}},
+		{"all same", []ID{7, 7, 7}, []ID{7}},
+		{"no dups keeps order", []ID{9, 3, 1}, []ID{9, 3, 1}},
+	}
+	for _, tc := range cases {
+		got := dedupIDs(append([]ID(nil), tc.in...))
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: got %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+func builderSchema(t testing.TB) *Schema {
+	t.Helper()
+	cust, err := NewHierarchy("Customer", "Customer", "Nation", "Region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := NewHierarchy("Product", "Product", "Category")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewSchema([]*Hierarchy{cust, prod}, "Revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+// TestBuildRequestAsOf drives the builder's time-travel path end to end:
+// a request built with AsOf answers from the snapshot while the live tree
+// moves on, and the versioned constructor surface (Open + options) is what
+// sets the whole scene up.
+func TestBuildRequestAsOf(t *testing.T) {
+	schema := builderSchema(t)
+	tree, err := Open(NewMemStore(DefaultConfig().BlockSize), WithSchema(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(region, nation, cust, cat, prod string, rev float64) Record {
+		rec, err := schema.InternRecord(
+			[][]string{{region, nation, cust}, {cat, prod}}, []float64{rev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	insert("EUROPE", "GERMANY", "C1", "Electronics", "TV", 100)
+	insert("EUROPE", "FRANCE", "C2", "Electronics", "VCR", 200)
+
+	v, err := tree.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	insert("EUROPE", "GERMANY", "C3", "Food", "Wine", 400)
+
+	req, err := NewQuery(schema).
+		Where("Customer", "Region", "EUROPE").
+		AsOf(v).
+		BuildRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tree.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Agg.Value(Sum); got != 300 {
+		t.Fatalf("as-of sum = %v, want 300 (snapshot predates the 400)", got)
+	}
+
+	// The same builder without AsOf sees the live tree.
+	liveReq, err := NewQuery(schema).Where("Customer", "Region", "EUROPE").BuildRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := tree.Execute(context.Background(), liveReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := liveRes.Agg.Value(Sum); got != 700 {
+		t.Fatalf("live sum = %v, want 700", got)
+	}
+
+	if err := v.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Execute(context.Background(), req); !errors.Is(err, ErrVersionReleased) {
+		t.Fatalf("released version: got %v, want ErrVersionReleased", err)
+	}
+}
