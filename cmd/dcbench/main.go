@@ -24,6 +24,9 @@
 //	-snapshot-scan  benchmark insert tail latency during long concurrent
 //	                scans (locked live scans vs MVCC snapshot scans) and
 //	                print JSON; tune with -snapshot-n
+//	-mmap           benchmark the cold read path (heap decode vs zero-copy
+//	                flat views over the memory-mapped store file) and
+//	                print JSON; tune with -mmap-n, -mmap-queries
 //
 // Example (the paper's full sweep — takes a while):
 //
@@ -64,6 +67,9 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 25*time.Millisecond, "checkpoint cadence for -checkpoint")
 	snapScan := flag.Bool("snapshot-scan", false, "benchmark insert tail latency during long concurrent scans: locked live scans vs MVCC snapshot scans, JSON output")
 	snapN := flag.Int("snapshot-n", 40000, "records inserted per variant of -snapshot-scan (half pre-loaded before the clock starts)")
+	mmapBench := flag.Bool("mmap", false, "benchmark the cold read path: heap decode vs zero-copy flat views over the memory-mapped store file, JSON output")
+	mmapN := flag.Int("mmap-n", 30000, "records indexed by -mmap")
+	mmapQueries := flag.Int("mmap-queries", 200, "cold queries per variant of -mmap")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -105,6 +111,19 @@ func main() {
 
 	if *ckptBench {
 		res, err := bench.CheckpointBench(opt, *ckptN, *ckptEvery, "")
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *mmapBench {
+		res, err := bench.MmapBench(opt, *mmapN, *mmapQueries)
 		if err != nil {
 			fatal(err)
 		}

@@ -631,6 +631,7 @@ func runFsck(args []string) error {
 func runVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	indexPath := fs.String("index", "index.dc", "index file")
+	useMmap := fs.Bool("mmap", false, "verify extents through the store's memory-mapped views (the bytes queries read zero-copy)")
 	fs.Parse(args)
 
 	tree, store, err := openTree(*indexPath)
@@ -638,7 +639,7 @@ func runVerify(args []string) error {
 		return err
 	}
 	defer store.Close()
-	rep := tree.VerifyExtents()
+	rep := tree.VerifyExtentsOpts(dctree.VerifyOpts{Mmap: *useMmap})
 	for _, e := range rep.Errors {
 		fmt.Fprintf(os.Stderr, "node %d: extent %d (%d blocks): %v\n",
 			e.NodeID, e.Page, e.Blocks, e.Err)
@@ -646,7 +647,11 @@ func runVerify(args []string) error {
 	if !rep.OK() {
 		return fmt.Errorf("%d of %d extents damaged", len(rep.Errors), rep.Extents)
 	}
-	fmt.Printf("%s: OK (%d extents scanned, %d checksummed)\n",
-		*indexPath, rep.Extents, rep.Checksummed)
+	fmt.Printf("%s: OK (%d extents scanned, %d checksummed, layout v2=%d v3=%d",
+		*indexPath, rep.Extents, rep.Checksummed, rep.LayoutV2, rep.LayoutV3)
+	if *useMmap {
+		fmt.Printf(", %d mapped", rep.Mapped)
+	}
+	fmt.Println(")")
 	return nil
 }

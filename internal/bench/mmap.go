@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/dcindex/dctree/internal/core"
+	"github.com/dcindex/dctree/internal/storage"
+	"github.com/dcindex/dctree/internal/tpcd"
+)
+
+// MmapVariant is one read-path mode of the zero-copy benchmark: the same
+// cold query workload answered either by decoding every faulted extent
+// into heap nodes (the legacy path) or by walking flat layout-v3 extents
+// in place through the store's memory mapping.
+type MmapVariant struct {
+	Mode    string  `json:"mode"` // "decode" or "mmap"
+	Queries int     `json:"queries"`
+	Seconds float64 `json:"seconds"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per query (runtime mallocs delta /
+	// queries) — the zero-copy path's headline: descents over mapped flat
+	// nodes allocate nothing per node.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Read-path accounting from the tree's metrics over the measured run.
+	FlatNodeReads   int64 `json:"flat_node_reads"`
+	DecodeFallbacks int64 `json:"decode_fallbacks"`
+	MmapViews       int64 `json:"mmap_views"`
+	MmapRemaps      int64 `json:"mmap_remaps"`
+	MmapFallbacks   int64 `json:"mmap_fallbacks"`
+}
+
+// MmapBenchResult is the JSON shape dcbench -mmap emits.
+type MmapBenchResult struct {
+	Records     int           `json:"records"`
+	Queries     int           `json:"queries"`
+	Selectivity float64       `json:"selectivity"`
+	Variants    []MmapVariant `json:"variants"`
+	// Speedup is decode ns/op over mmap ns/op; AllocReduction the fraction
+	// of per-query allocations the flat path eliminates.
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+	// Host metadata so recorded numbers carry their context.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// mmapBenchSelectivity keeps the workload descent-heavy: moderate ranges
+// visit many directory and data nodes per query, which is exactly where
+// the decode-vs-view difference lives.
+const mmapBenchSelectivity = 0.05
+
+// MmapBench measures the cold read path — every query starts with an empty
+// node cache, so each node visit faults an extent — comparing the heap
+// decode path against zero-copy flat views over the memory-mapped store
+// file. Both variants run the identical query workload against the same
+// on-disk layout-v3 image.
+func MmapBench(opt Options, n, queries int) (*MmapBenchResult, error) {
+	dir, err := os.MkdirTemp("", "dctree-mmap-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := opt.DCConfig
+	st, err := storage.OpenPagedStore(filepath.Join(dir, "bench.dct"), cfg.BlockSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	scale := opt.Scale
+	if scale == (tpcd.Scale{}) {
+		scale = tpcd.ScaleFor(n)
+	}
+	gen, err := tpcd.New(opt.Seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.New(st, gen.Schema(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer tree.Close()
+	for _, r := range gen.Records(n) {
+		if err := tree.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := tree.Flush(); err != nil {
+		return nil, err
+	}
+
+	qg := gen.Queries(opt.Seed + 77)
+	qs := make([]tpcd.Query, queries)
+	for i := range qs {
+		q, err := qg.Query(mmapBenchSelectivity)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+
+	res := &MmapBenchResult{
+		Records:     n,
+		Queries:     queries,
+		Selectivity: mmapBenchSelectivity,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, mode := range []string{"decode", "mmap"} {
+		v, err := runMmapVariant(tree, qs, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	if m := res.Variants[1].NsPerOp; m > 0 {
+		res.Speedup = res.Variants[0].NsPerOp / m
+	}
+	if d := res.Variants[0].AllocsPerOp; d > 0 {
+		res.AllocReduction = 1 - res.Variants[1].AllocsPerOp/d
+	}
+	return res, nil
+}
+
+func runMmapVariant(tree *core.Tree, qs []tpcd.Query, mode string) (MmapVariant, error) {
+	tree.SetZeroCopyReads(mode == "mmap")
+	// Warm pass: fault every query's working set once so dictionary and
+	// mapping setup costs are off the clock, then measure fully cold.
+	for _, q := range qs[:minInt(3, len(qs))] {
+		tree.EvictCache()
+		if _, err := tree.Execute(context.Background(), core.QueryRequest{Query: q.MDS}); err != nil {
+			return MmapVariant{}, err
+		}
+	}
+
+	before := tree.Metrics()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for _, q := range qs {
+		tree.EvictCache()
+		if _, err := tree.Execute(context.Background(), core.QueryRequest{Query: q.MDS}); err != nil {
+			return MmapVariant{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	after := tree.Metrics()
+
+	nq := float64(len(qs))
+	v := MmapVariant{
+		Mode:            mode,
+		Queries:         len(qs),
+		Seconds:         elapsed.Seconds(),
+		NsPerOp:         float64(elapsed.Nanoseconds()) / nq,
+		AllocsPerOp:     float64(ms1.Mallocs-ms0.Mallocs) / nq,
+		BytesPerOp:      float64(ms1.TotalAlloc-ms0.TotalAlloc) / nq,
+		FlatNodeReads:   after.FlatNodeReads - before.FlatNodeReads,
+		DecodeFallbacks: after.DecodeFallbacks - before.DecodeFallbacks,
+		MmapViews:       after.MmapViews - before.MmapViews,
+		MmapRemaps:      after.MmapRemaps - before.MmapRemaps,
+		MmapFallbacks:   after.MmapFallbacks - before.MmapFallbacks,
+	}
+	if mode == "mmap" && v.FlatNodeReads == 0 {
+		return v, fmt.Errorf("bench: mmap variant served no flat node reads (platform fallback?)")
+	}
+	return v, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

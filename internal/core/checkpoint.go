@@ -43,6 +43,7 @@ type ckptNode struct {
 	id      nodeID
 	seq     uint64 // dirty sequence at capture; clear-if-unchanged at install
 	payload []byte
+	layout  uint8     // node encoding of payload (cfg.NodeLayout at capture)
 	need    int       // extent size in blocks
 	old     extentRef // extent superseded by this write
 	hasOld  bool
@@ -80,12 +81,21 @@ func (t *Tree) captureLocked() (*ckptCapture, error) {
 			t.nc.clearDirtyIf(e.id, e.seq)
 			continue
 		}
-		payload := n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
+		// Every rewrite re-encodes in the configured layout, so a v2 image
+		// upgrades to v3 extent by extent as its nodes go dirty.
+		var payload []byte
+		layout := layoutV2
+		if t.cfg.NodeLayout == 3 {
+			payload = n.appendEncodeFlat(nil, t.schema.Dims(), t.schema.Measures())
+			layout = layoutV3
+		} else {
+			payload = n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
+		}
 		need := storage.BlocksFor(t.cfg.BlockSize, len(payload))
 		if need < n.blocks {
 			need = n.blocks // supernodes occupy their full logical extent
 		}
-		cn := ckptNode{id: e.id, seq: e.seq, payload: payload, need: need}
+		cn := ckptNode{id: e.id, seq: e.seq, payload: payload, layout: layout, need: need}
 		if old, ok := t.table[e.id]; ok {
 			cn.old, cn.hasOld = old, true
 		}
@@ -116,7 +126,7 @@ func (t *Tree) writeExtents(ctx context.Context, c *ckptCapture) error {
 		if err != nil {
 			return err
 		}
-		cn.fresh = extentRef{page: page, blocks: cn.need}
+		cn.fresh = extentRef{page: page, blocks: cn.need, layout: cn.layout}
 		if err := t.store.Write(page, cn.need, cn.payload); err != nil {
 			return err
 		}
@@ -397,13 +407,29 @@ type VerifyError struct {
 // VerifyReport summarizes a physical scan of every extent the tree's
 // translation table references.
 type VerifyReport struct {
-	Extents     int           // extents scanned
-	Checksummed int           // extents carrying a CRC (v2 format)
-	Errors      []VerifyError // damaged extents, in node-ID order
+	Extents     int // extents scanned
+	Checksummed int // extents carrying a CRC (v2 store format)
+	// Node layout population: extents holding the varint (v2) and flat
+	// (v3) node encodings, per the translation table. A mixed image is
+	// normal mid-upgrade — v2 extents go v3 as their nodes are rewritten.
+	LayoutV2 int
+	LayoutV3 int
+	// Mapped counts extents whose checksum was verified through the
+	// memory-mapped view path (VerifyOpts.Mmap on a store that maps).
+	Mapped int
+	Errors []VerifyError // damaged extents, in node-ID order
 }
 
 // OK reports whether the scan found no damage.
 func (r VerifyReport) OK() bool { return len(r.Errors) == 0 }
+
+// VerifyOpts configures VerifyExtentsOpts.
+type VerifyOpts struct {
+	// Mmap verifies extents through the store's memory-mapped views (the
+	// bytes queries actually read zero-copy) instead of plain file reads.
+	// Stores without a mapping fall back to the file read per extent.
+	Mmap bool
+}
 
 // extentVerifier is implemented by stores that can check an extent's
 // checksum without decoding (and without polluting a buffer pool).
@@ -411,11 +437,22 @@ type extentVerifier interface {
 	VerifyExtent(id storage.PageID) (blocks int, checksummed bool, err error)
 }
 
+// extentViewVerifier is implemented by stores that can force-verify an
+// extent through their memory mapping (bypassing the verified-bit cache).
+type extentViewVerifier interface {
+	VerifyExtentView(id storage.PageID) (blocks int, checksummed bool, mapped bool, err error)
+}
+
 // VerifyExtents reads every extent referenced by the translation table and
 // verifies its checksum (on stores that carry them; otherwise the read
 // itself is the check). Damage is collected, not returned early, so one
 // scan reports every bad extent.
 func (t *Tree) VerifyExtents() VerifyReport {
+	return t.VerifyExtentsOpts(VerifyOpts{})
+}
+
+// VerifyExtentsOpts is VerifyExtents with options (dctool verify -mmap).
+func (t *Tree) VerifyExtentsOpts(opts VerifyOpts) VerifyReport {
 	t.mu.RLock()
 	refs := make(map[nodeID]extentRef, len(t.table))
 	for id, ref := range t.table {
@@ -431,14 +468,28 @@ func (t *Tree) VerifyExtents() VerifyReport {
 
 	var rep VerifyReport
 	ev, hasVerify := t.store.(extentVerifier)
+	vv, hasView := t.store.(extentViewVerifier)
 	for _, id := range ids {
 		ref := refs[id]
 		rep.Extents++
+		switch ref.layout {
+		case layoutV3:
+			rep.LayoutV3++
+		default:
+			rep.LayoutV2++
+		}
 		var err error
 		checksummed := false
-		if hasVerify {
+		switch {
+		case opts.Mmap && hasView:
+			var mapped bool
+			_, checksummed, mapped, err = vv.VerifyExtentView(ref.page)
+			if mapped {
+				rep.Mapped++
+			}
+		case hasVerify:
 			_, checksummed, err = ev.VerifyExtent(ref.page)
-		} else {
+		default:
 			_, _, err = t.store.Read(ref.page)
 		}
 		if checksummed {

@@ -111,6 +111,15 @@ type Config struct {
 	// setting, so the knob (and the build writing the log) can change
 	// between opens.
 	WALRecordFormat int
+
+	// NodeLayout selects how checkpoints encode node payloads. Layout 3
+	// (the default) is the fixed-stride flat encoding that memory-mapped
+	// reads walk in place without decoding; layout 2 is the legacy varint
+	// encoding. Reads decode both regardless of this setting, and the
+	// choice is deliberately not persisted in the meta page: an image
+	// written by an older build upgrades extent by extent as its nodes are
+	// rewritten by later checkpoints.
+	NodeLayout int
 }
 
 // DefaultConfig returns the configuration used by the paper reproduction.
@@ -124,6 +133,7 @@ func DefaultConfig() Config {
 		MaxSupernodeBlocks: 64,
 		RefineBound:        8,
 		Materialize:        true,
+		NodeLayout:         3,
 		CommitInterval:     2 * time.Millisecond,
 		CommitBytes:        256 << 10,
 	}
@@ -171,6 +181,9 @@ func (c *Config) Normalize() error {
 	if c.WALRecordFormat == 0 {
 		c.WALRecordFormat = walFormatIDs
 	}
+	if c.NodeLayout == 0 {
+		c.NodeLayout = int(layoutV3)
+	}
 	switch {
 	case c.BlockSize < 256:
 		return fmt.Errorf("%w: block size %d < 256", ErrBadConfig, c.BlockSize)
@@ -194,6 +207,8 @@ func (c *Config) Normalize() error {
 		return fmt.Errorf("%w: negative checkpoint dirty bytes", ErrBadConfig)
 	case c.WALRecordFormat != walFormatPaths && c.WALRecordFormat != walFormatIDs:
 		return fmt.Errorf("%w: wal record format %d (want 1 or 2)", ErrBadConfig, c.WALRecordFormat)
+	case c.NodeLayout != int(layoutV2) && c.NodeLayout != int(layoutV3):
+		return fmt.Errorf("%w: node layout %d (want 2 or 3)", ErrBadConfig, c.NodeLayout)
 	}
 	return nil
 }

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/hierarchy"
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// Checkpoint node layout v3: a fixed-stride, offset-indexed flat encoding
+// designed to be QUERIED in place, without decoding. The v2 encoding
+// (node.go) is a varint stream — compact, but every access walks the whole
+// payload and materializes entries, MDSs and aggregate vectors on the heap.
+// v3 trades a few percent of size for direct addressing, so a mapped
+// extent serves MDS pruning, aggregate merges and record tests straight
+// from the page cache:
+//
+//	header (20 bytes):
+//	  [0]      magic 0xD3
+//	  [1]      flags (bit 0: leaf)
+//	  [2:4]    reserved (0)
+//	  [4:8]    u32 blocks
+//	  [8:12]   u32 entry count
+//	  [12:16]  u32 mdsBase — start of the MDS blob area
+//	  [16:20]  u32 total payload length
+//	offset table:  (count+1) × u32, MDS blob offsets relative to mdsBase;
+//	               off[0] = 0, monotone, off[count] = total − mdsBase
+//	agg area:      count × measures × 32 bytes
+//	               (f64 sum, i64 count, f64 min, f64 max — all LE)
+//	fixed area:    leaf:      count × (dims × u32 coord + measures × f64)
+//	               directory: count × u64 child node id
+//	MDS area:      the entries' MDS wire encodings (mds codec),
+//	               concatenated; entry i's blob is [off[i], off[i+1])
+//
+// Every per-entry access is index arithmetic: agg i,j at a fixed stride,
+// child i one u64 load, MDS i one offset-table pair. The layout version
+// travels per extent in the translation table (meta v6), so v2 and v3
+// extents coexist in one image and v2 upgrades to v3 on rewrite.
+
+const (
+	// layoutV2 is the varint node encoding (node.go); layoutV3 the flat
+	// encoding above. The zero value of an extentRef's layout field means
+	// "unspecified" and is treated as v2 — the decode path reads anything.
+	layoutV2 uint8 = 2
+	layoutV3 uint8 = 3
+
+	flatMagic      = 0xD3
+	flatHeaderSize = 20
+	flatAggStride  = 32
+)
+
+// flatLayoutSizes returns the section bases of a flat node with the given
+// shape: offset-table end (= agg area start), fixed area start, MDS area
+// start, and the per-entry fixed stride.
+func flatLayoutSizes(leaf bool, count, dims, measures int) (aggBase, fixBase, mdsBase, fixedPer int) {
+	aggBase = flatHeaderSize + 4*(count+1)
+	fixBase = aggBase + flatAggStride*measures*count
+	fixedPer = 8
+	if leaf {
+		fixedPer = 4*dims + 8*measures
+	}
+	mdsBase = fixBase + fixedPer*count
+	return aggBase, fixBase, mdsBase, fixedPer
+}
+
+// appendEncodeFlat serializes the node in layout v3. The fixed-size prefix
+// (header, offset table, agg and fixed areas) is reserved up front and
+// filled by indexed writes; the MDS blobs are appended behind it, each one
+// recording its start in the offset table as it goes — no second sizing
+// pass over the MDS encodings.
+func (n *node) appendEncodeFlat(buf []byte, dims, measures int) []byte {
+	count := len(n.entries)
+	aggBase, fixBase, mdsBase, fixedPer := flatLayoutSizes(n.leaf, count, dims, measures)
+	start := len(buf)
+	buf = append(buf, make([]byte, mdsBase)...)
+	hdr := buf[start : start+mdsBase]
+	hdr[0] = flatMagic
+	if n.leaf {
+		hdr[1] |= nodeFlagLeaf
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(n.blocks))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(mdsBase))
+	for i := range n.entries {
+		e := &n.entries[i]
+		a := aggBase + flatAggStride*measures*i
+		for j := range e.Agg {
+			binary.LittleEndian.PutUint64(hdr[a:], math.Float64bits(e.Agg[j].Sum))
+			binary.LittleEndian.PutUint64(hdr[a+8:], uint64(e.Agg[j].Count))
+			binary.LittleEndian.PutUint64(hdr[a+16:], math.Float64bits(e.Agg[j].Min))
+			binary.LittleEndian.PutUint64(hdr[a+24:], math.Float64bits(e.Agg[j].Max))
+			a += flatAggStride
+		}
+		f := fixBase + fixedPer*i
+		if n.leaf {
+			for _, c := range e.Rec.Coords {
+				binary.LittleEndian.PutUint32(hdr[f:], uint32(c))
+				f += 4
+			}
+			for _, m := range e.Rec.Measures {
+				binary.LittleEndian.PutUint64(hdr[f:], math.Float64bits(m))
+				f += 8
+			}
+		} else {
+			binary.LittleEndian.PutUint64(hdr[f:], uint64(e.Child))
+		}
+	}
+	// MDS area + offset table. Appends may reallocate buf, so the table is
+	// written through buf (re-indexed each round), never through hdr.
+	for i := range n.entries {
+		binary.LittleEndian.PutUint32(buf[start+flatHeaderSize+4*i:], uint32(len(buf)-start-mdsBase))
+		buf = n.entries[i].MDS.AppendEncode(buf)
+	}
+	binary.LittleEndian.PutUint32(buf[start+flatHeaderSize+4*count:], uint32(len(buf)-start-mdsBase))
+	binary.LittleEndian.PutUint32(buf[start+16:], uint32(len(buf)-start))
+	return buf
+}
+
+// flatNode is a read-only view of a layout-v3 payload — typically a mapped
+// extent, sometimes a pooled read buffer. It owns nothing: every accessor
+// is pointer math over b, and b must stay valid for the flatNode's
+// lifetime (the descent bounds it by the tree read lock or a version pin).
+// The zero value is invalid; makeFlatNode validates the structural
+// invariants once so the accessors can skip per-call checks.
+type flatNode struct {
+	id       nodeID
+	b        []byte
+	leaf     bool
+	blocks   int
+	count    int
+	dims     int
+	measures int
+	aggBase  int
+	fixBase  int
+	mdsBase  int
+	fixedPer int
+}
+
+// makeFlatNode validates a v3 payload's frame — header, section bases,
+// offset-table monotonicity, and (for directories) non-nil children — in
+// O(count), without touching the MDS blobs. MDS malformations surface
+// later, at pruning time, as ErrCorrupt from the view iterator.
+func makeFlatNode(id nodeID, b []byte, dims, measures int) (flatNode, error) {
+	if len(b) < flatHeaderSize || b[0] != flatMagic {
+		return flatNode{}, fmt.Errorf("%w: node %d: not a flat (v3) payload", ErrCorrupt, id)
+	}
+	f := flatNode{
+		id:       id,
+		b:        b,
+		leaf:     b[1]&nodeFlagLeaf != 0,
+		blocks:   int(binary.LittleEndian.Uint32(b[4:])),
+		count:    int(binary.LittleEndian.Uint32(b[8:])),
+		dims:     dims,
+		measures: measures,
+	}
+	total := int(binary.LittleEndian.Uint32(b[16:]))
+	mdsBase := int(binary.LittleEndian.Uint32(b[12:]))
+	if f.blocks < 1 || f.count < 0 || total != len(b) {
+		return flatNode{}, fmt.Errorf("%w: node %d: flat header blocks=%d count=%d total=%d/%d",
+			ErrCorrupt, id, f.blocks, f.count, total, len(b))
+	}
+	// Recompute the bases from the shape: a payload whose stored mdsBase
+	// disagrees was encoded for a different schema (or corrupted) and every
+	// fixed-offset access would read the wrong section.
+	aggBase, fixBase, wantBase, fixedPer := flatLayoutSizes(f.leaf, f.count, dims, measures)
+	if mdsBase != wantBase || mdsBase > len(b) {
+		return flatNode{}, fmt.Errorf("%w: node %d: flat mds base %d, want %d (len %d)",
+			ErrCorrupt, id, mdsBase, wantBase, len(b))
+	}
+	f.aggBase, f.fixBase, f.mdsBase, f.fixedPer = aggBase, fixBase, mdsBase, fixedPer
+	prev := uint32(0)
+	for i := 0; i <= f.count; i++ {
+		off := binary.LittleEndian.Uint32(b[flatHeaderSize+4*i:])
+		if off < prev || int(off) > len(b)-mdsBase {
+			return flatNode{}, fmt.Errorf("%w: node %d: flat offset table entry %d", ErrCorrupt, id, i)
+		}
+		prev = off
+	}
+	if int(prev) != len(b)-mdsBase {
+		return flatNode{}, fmt.Errorf("%w: node %d: flat mds area length", ErrCorrupt, id)
+	}
+	if !f.leaf {
+		for i := 0; i < f.count; i++ {
+			if f.child(i) == nilNode {
+				return flatNode{}, fmt.Errorf("%w: node %d entry %d: nil child", ErrCorrupt, id, i)
+			}
+		}
+	}
+	return f, nil
+}
+
+// valid reports whether the view is populated (nodeView dispatch).
+func (f *flatNode) valid() bool { return f.b != nil }
+
+// entryMDS returns entry i's MDS wire encoding, in place.
+func (f *flatNode) entryMDS(i int) []byte {
+	o := int(binary.LittleEndian.Uint32(f.b[flatHeaderSize+4*i:]))
+	e := int(binary.LittleEndian.Uint32(f.b[flatHeaderSize+4*i+4:]))
+	return f.b[f.mdsBase+o : f.mdsBase+e]
+}
+
+// agg returns entry i's aggregate of measure j.
+func (f *flatNode) agg(i, j int) cube.Agg {
+	a := f.aggBase + flatAggStride*(f.measures*i+j)
+	return cube.Agg{
+		Sum:   math.Float64frombits(binary.LittleEndian.Uint64(f.b[a:])),
+		Count: int64(binary.LittleEndian.Uint64(f.b[a+8:])),
+		Min:   math.Float64frombits(binary.LittleEndian.Uint64(f.b[a+16:])),
+		Max:   math.Float64frombits(binary.LittleEndian.Uint64(f.b[a+24:])),
+	}
+}
+
+// mergeAggInto folds entry i's full aggregate vector into vec.
+func (f *flatNode) mergeAggInto(i int, vec cube.AggVector) {
+	for j := 0; j < f.measures; j++ {
+		vec[j].Merge(f.agg(i, j))
+	}
+}
+
+// child returns directory entry i's child node id.
+func (f *flatNode) child(i int) nodeID {
+	return nodeID(binary.LittleEndian.Uint64(f.b[f.fixBase+f.fixedPer*i:]))
+}
+
+// coord returns data entry i's coordinate in dimension d.
+func (f *flatNode) coord(i, d int) hierarchy.ID {
+	return hierarchy.ID(binary.LittleEndian.Uint32(f.b[f.fixBase+f.fixedPer*i+4*d:]))
+}
+
+// measure returns data entry i's measure j.
+func (f *flatNode) measure(i, j int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(f.b[f.fixBase+f.fixedPer*i+4*f.dims+8*j:]))
+}
+
+// record materializes data entry i as an owned Record (scan path).
+func (f *flatNode) record(i int) cube.Record {
+	r := cube.Record{
+		Coords:   make([]hierarchy.ID, f.dims),
+		Measures: make([]float64, f.measures),
+	}
+	for d := range r.Coords {
+		r.Coords[d] = f.coord(i, d)
+	}
+	for j := range r.Measures {
+		r.Measures[j] = f.measure(i, j)
+	}
+	return r
+}
+
+// decodeFlatNode materializes a layout-v3 payload as a heap node — the
+// write path and the no-zero-copy fallback still need mutable *nodes. It
+// shares the arena discipline of decodeNode: one allocation per node for
+// entries, aggs, coords, measures and MDS storage each, instead of one per
+// entry.
+func decodeFlatNode(id nodeID, buf []byte, dims, measures int) (*node, error) {
+	f, err := makeFlatNode(id, buf, dims, measures)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: id, leaf: f.leaf, blocks: f.blocks, entries: make([]entry, f.count)}
+	aggArena := make(cube.AggVector, f.count*measures)
+	var dimArena []mds.DimSet
+	var idArena []hierarchy.ID
+	var coordArena []hierarchy.ID
+	var measureArena []float64
+	if f.leaf {
+		coordArena = make([]hierarchy.ID, 0, f.count*dims)
+		measureArena = make([]float64, 0, f.count*measures)
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		m, k, err := mds.AppendDecode(f.entryMDS(i), &dimArena, &idArena)
+		if err != nil || k != len(f.entryMDS(i)) {
+			return nil, fmt.Errorf("%w: node %d entry %d mds: %v", ErrCorrupt, id, i, err)
+		}
+		e.MDS = m
+		e.Agg = aggArena[i*measures : (i+1)*measures : (i+1)*measures]
+		for j := 0; j < measures; j++ {
+			e.Agg[j] = f.agg(i, j)
+		}
+		if f.leaf {
+			cs := len(coordArena)
+			for d := 0; d < dims; d++ {
+				coordArena = append(coordArena, f.coord(i, d))
+			}
+			e.Rec.Coords = coordArena[cs:len(coordArena):len(coordArena)]
+			ms := len(measureArena)
+			for j := 0; j < measures; j++ {
+				measureArena = append(measureArena, f.measure(i, j))
+			}
+			e.Rec.Measures = measureArena[ms:len(measureArena):len(measureArena)]
+		} else {
+			e.Child = f.child(i)
+		}
+	}
+	return n, nil
+}

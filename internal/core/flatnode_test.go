@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/mds"
+)
+
+// collectNodes walks the whole tree and returns every node, root first.
+func collectNodes(t *testing.T, tree *Tree) []*node {
+	t.Helper()
+	var nodes []*node
+	var walk func(id nodeID)
+	walk = func(id nodeID) {
+		n, err := tree.getNode(id)
+		if err != nil {
+			t.Fatalf("getNode(%d): %v", id, err)
+		}
+		nodes = append(nodes, n)
+		if n.leaf {
+			return
+		}
+		for i := range n.entries {
+			walk(n.entries[i].Child)
+		}
+	}
+	walk(tree.root)
+	return nodes
+}
+
+// requireNodesEqual compares a decoded node against the original field by
+// field — the equivalence both decoders (varint and flat) must satisfy.
+func requireNodesEqual(t *testing.T, got, want *node) {
+	t.Helper()
+	if got.id != want.id || got.leaf != want.leaf || got.blocks != want.blocks ||
+		len(got.entries) != len(want.entries) {
+		t.Fatalf("node %d: shape (leaf=%v blocks=%d entries=%d) != (leaf=%v blocks=%d entries=%d)",
+			want.id, got.leaf, got.blocks, len(got.entries),
+			want.leaf, want.blocks, len(want.entries))
+	}
+	for i := range want.entries {
+		ge, we := &got.entries[i], &want.entries[i]
+		if !ge.MDS.Equal(we.MDS) {
+			t.Fatalf("node %d entry %d: MDS %v != %v", want.id, i, ge.MDS, we.MDS)
+		}
+		if len(ge.Agg) != len(we.Agg) {
+			t.Fatalf("node %d entry %d: agg len %d != %d", want.id, i, len(ge.Agg), len(we.Agg))
+		}
+		for j := range we.Agg {
+			if ge.Agg[j] != we.Agg[j] {
+				t.Fatalf("node %d entry %d measure %d: agg %+v != %+v", want.id, i, j, ge.Agg[j], we.Agg[j])
+			}
+		}
+		if want.leaf {
+			if len(ge.Rec.Coords) != len(we.Rec.Coords) {
+				t.Fatalf("node %d entry %d: coord count", want.id, i)
+			}
+			for d := range we.Rec.Coords {
+				if ge.Rec.Coords[d] != we.Rec.Coords[d] {
+					t.Fatalf("node %d entry %d dim %d: coord %v != %v",
+						want.id, i, d, ge.Rec.Coords[d], we.Rec.Coords[d])
+				}
+			}
+			for j := range we.Rec.Measures {
+				if ge.Rec.Measures[j] != we.Rec.Measures[j] {
+					t.Fatalf("node %d entry %d: measure %d differs", want.id, i, j)
+				}
+			}
+		} else if ge.Child != we.Child {
+			t.Fatalf("node %d entry %d: child %d != %d", want.id, i, ge.Child, we.Child)
+		}
+	}
+}
+
+// TestFlatNodeRoundTrip: every node of a grown tree survives flat encode →
+// flat view accessors → full heap decode unchanged, including supernodes.
+func TestFlatNodeRoundTrip(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range genRecords(t, s, rng, 900) {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dims, measures := s.Dims(), s.Measures()
+	nodes := collectNodes(t, tree)
+	// Splits don't reliably produce supernodes under this workload, so
+	// synthesize one: a multi-block directory node holding every directory
+	// entry of the tree. The codec only depends on the node's own fields.
+	super := &node{id: 999999, blocks: 4}
+	for _, n := range nodes {
+		if !n.leaf {
+			super.entries = append(super.entries, n.entries...)
+		}
+	}
+	if len(super.entries) < smallConfig().DirCapacity*2 {
+		t.Fatalf("synthetic supernode too small: %d entries", len(super.entries))
+	}
+	nodes = append(nodes, super)
+	for _, n := range nodes {
+		buf := n.appendEncodeFlat(nil, dims, measures)
+		f, err := makeFlatNode(n.id, buf, dims, measures)
+		if err != nil {
+			t.Fatalf("makeFlatNode(%d): %v", n.id, err)
+		}
+		if f.leaf != n.leaf || f.count != len(n.entries) || f.blocks != n.blocks {
+			t.Fatalf("node %d: flat shape (leaf=%v count=%d blocks=%d)", n.id, f.leaf, f.count, f.blocks)
+		}
+		// Spot-check the in-place accessors against the heap entries.
+		for i := range n.entries {
+			e := &n.entries[i]
+			wantMDS := e.MDS.AppendEncode(nil)
+			if !bytes.Equal(f.entryMDS(i), wantMDS) {
+				t.Fatalf("node %d entry %d: flat MDS bytes differ", n.id, i)
+			}
+			for j := 0; j < measures; j++ {
+				if f.agg(i, j) != e.Agg[j] {
+					t.Fatalf("node %d entry %d: agg(%d) = %+v, want %+v", n.id, i, j, f.agg(i, j), e.Agg[j])
+				}
+			}
+			if n.leaf {
+				for d := 0; d < dims; d++ {
+					if f.coord(i, d) != e.Rec.Coords[d] {
+						t.Fatalf("node %d entry %d: coord(%d) differs", n.id, i, d)
+					}
+				}
+				for j := 0; j < measures; j++ {
+					if f.measure(i, j) != e.Rec.Measures[j] {
+						t.Fatalf("node %d entry %d: measure(%d) differs", n.id, i, j)
+					}
+				}
+			} else if f.child(i) != e.Child {
+				t.Fatalf("node %d entry %d: child differs", n.id, i)
+			}
+		}
+		dec, err := decodeFlatNode(n.id, buf, dims, measures)
+		if err != nil {
+			t.Fatalf("decodeFlatNode(%d): %v", n.id, err)
+		}
+		requireNodesEqual(t, dec, n)
+	}
+}
+
+// TestFlatNodeEmpty: the flat codec handles a zero-entry node (an empty
+// tree's root data node).
+func TestFlatNodeEmpty(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	n, err := tree.getNode(tree.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.entries) != 0 {
+		t.Fatalf("fresh root has %d entries", len(n.entries))
+	}
+	buf := n.appendEncodeFlat(nil, s.Dims(), s.Measures())
+	dec, err := decodeFlatNode(n.id, buf, s.Dims(), s.Measures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireNodesEqual(t, dec, n)
+}
+
+// TestFlatNodeVarintEquivalence: decoding a node from the flat layout and
+// from the legacy varint layout yields identical heap nodes.
+func TestFlatNodeVarintEquivalence(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	rng := rand.New(rand.NewSource(13))
+	for _, r := range genRecords(t, s, rng, 400) {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dims, measures := s.Dims(), s.Measures()
+	for _, n := range collectNodes(t, tree) {
+		v2, err := decodeNode(n.id, n.appendEncode(nil, dims, measures), dims, measures)
+		if err != nil {
+			t.Fatalf("decodeNode(%d): %v", n.id, err)
+		}
+		v3, err := decodeFlatNode(n.id, n.appendEncodeFlat(nil, dims, measures), dims, measures)
+		if err != nil {
+			t.Fatalf("decodeFlatNode(%d): %v", n.id, err)
+		}
+		requireNodesEqual(t, v3, v2)
+	}
+}
+
+// TestFlatNodeCorruptFailClosed: damaged flat encodings are rejected by
+// makeFlatNode, never served or panicked on.
+func TestFlatNodeCorruptFailClosed(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	rng := rand.New(rand.NewSource(17))
+	for _, r := range genRecords(t, s, rng, 60) {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dims, measures := s.Dims(), s.Measures()
+	n, err := tree.getNode(tree.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := n.appendEncodeFlat(nil, dims, measures)
+	if _, err := makeFlatNode(n.id, good, dims, measures); err != nil {
+		t.Fatalf("pristine encoding rejected: %v", err)
+	}
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), good...))
+		if _, err := makeFlatNode(n.id, b, dims, measures); err == nil {
+			t.Errorf("%s: corrupt encoding accepted", name)
+		}
+		if _, err := decodeFlatNode(n.id, b, dims, measures); err == nil {
+			t.Errorf("%s: corrupt encoding decoded", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	mutate("hostile count", func(b []byte) []byte {
+		b[8], b[9], b[10], b[11] = 0xFF, 0xFF, 0xFF, 0x7F
+		return b
+	})
+	mutate("total length mismatch", func(b []byte) []byte { return append(b, 0) })
+	mutate("non-monotone offsets", func(b []byte) []byte {
+		// First offset-table slot (entry 0's MDS offset) bumped past the
+		// second: the monotonicity check must catch it.
+		b[flatHeaderSize] = 0xEE
+		return b
+	})
+	mutate("empty", func(b []byte) []byte { return nil })
+}
+
+// TestFlatNodeMDSView: the flat entry MDS bytes decode through the view
+// iterator to the same DimViews the full decoder produces.
+func TestFlatNodeMDSView(t *testing.T) {
+	tree := newTestTree(t, smallConfig())
+	s := tree.Schema()
+	rng := rand.New(rand.NewSource(19))
+	for _, r := range genRecords(t, s, rng, 300) {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dims, measures := s.Dims(), s.Measures()
+	for _, n := range collectNodes(t, tree) {
+		buf := n.appendEncodeFlat(nil, dims, measures)
+		f, err := makeFlatNode(n.id, buf, dims, measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range n.entries {
+			it, err := mds.NewViewIter(f.entryMDS(i))
+			if err != nil {
+				t.Fatalf("node %d entry %d: %v", n.id, i, err)
+			}
+			want := n.entries[i].MDS
+			if it.Dims() != len(want) {
+				t.Fatalf("node %d entry %d: view dims %d != %d", n.id, i, it.Dims(), len(want))
+			}
+			for d := range want {
+				dv, ok := it.Next()
+				if !ok {
+					t.Fatalf("node %d entry %d: view ended at dim %d", n.id, i, d)
+				}
+				if !(mds.MDS{dv.DimSet()}).Equal(mds.MDS{want[d]}) {
+					t.Fatalf("node %d entry %d dim %d: view %v != %v", n.id, i, d, dv.DimSet(), want[d])
+				}
+			}
+		}
+	}
+}

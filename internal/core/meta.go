@@ -17,18 +17,21 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-// Five format versions are in play: v2 ("DCMETA02") extends v1 with the
+// Six format versions are in play: v2 ("DCMETA02") extends v1 with the
 // group-commit knobs (after the config flags byte) and the WAL checkpoint
 // LSN (after nextID); v3 ("DCMETA03") appends the checkpoint auto-trigger
 // knobs after CommitBytes; v4 ("DCMETA04") appends the WAL record format
 // after CheckpointDirtyBytes; v5 ("DCMETA05") appends the MVCC version
 // stamps (version-number mint, latest version ID and its LSN) after the
-// checkpoint LSN. Writing always produces v5; reading accepts all five,
-// with newer fields defaulting to zero on older blobs (a zero record
-// format normalizes to the current default; zero version stamps mean no
-// snapshot was ever taken).
+// checkpoint LSN; v6 ("DCMETA06") appends a node-layout tag to every
+// translation-table entry, so reads know which extents hold the flat v3
+// encoding. Writing always produces v6; reading accepts all six, with
+// newer fields defaulting to zero on older blobs (a zero record format
+// normalizes to the current default; zero version stamps mean no snapshot
+// was ever taken; a zero layout tag means the legacy varint encoding).
 const (
-	metaMagic   = "DCMETA05"
+	metaMagic   = "DCMETA06"
+	metaMagicV5 = "DCMETA05"
 	metaMagicV4 = "DCMETA04"
 	metaMagicV3 = "DCMETA03"
 	metaMagicV2 = "DCMETA02"
@@ -139,12 +142,13 @@ func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 		buf = append(buf, name...)
 	}
 
-	// Translation table.
+	// Translation table (v6: each entry carries its node-layout tag).
 	buf = binary.AppendUvarint(buf, uint64(len(snap.table)))
 	for id, ref := range snap.table {
 		buf = binary.AppendUvarint(buf, uint64(id))
 		buf = binary.AppendUvarint(buf, uint64(ref.page))
 		buf = binary.AppendUvarint(buf, uint64(ref.blocks))
+		buf = binary.AppendUvarint(buf, uint64(ref.layout))
 	}
 	return buf, nil
 }
@@ -164,6 +168,7 @@ func Open(store storage.Store) (*Tree, error) {
 			ErrCorrupt, t.cfg.BlockSize, store.BlockSize())
 	}
 	t.store = store
+	t.viewer, _ = store.(storage.ExtentViewer)
 	return t, nil
 }
 
@@ -177,6 +182,8 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	var ver int
 	switch string(meta[:len(metaMagic)]) {
 	case metaMagic:
+		ver = 6
+	case metaMagicV5:
 		ver = 5
 	case metaMagicV4:
 		ver = 4
@@ -277,7 +284,18 @@ func decodeMeta(meta []byte) (*Tree, error) {
 		id := nodeID(r.uvarint())
 		page := storage.PageID(r.uvarint())
 		blocks := int(r.uvarint())
-		table[id] = extentRef{page: page, blocks: blocks}
+		var layout uint8
+		if ver >= 6 {
+			l := r.uvarint()
+			// Fail closed on unknown layouts: serving an extent through the
+			// wrong decoder would misread data silently. Zero (pre-v6 blob
+			// rewritten by a v6 build) means the legacy varint encoding.
+			if r.err == nil && l != 0 && l != uint64(layoutV2) && l != uint64(layoutV3) {
+				return nil, fmt.Errorf("%w: node %d layout %d", ErrCorrupt, id, l)
+			}
+			layout = uint8(l)
+		}
+		table[id] = extentRef{page: page, blocks: blocks, layout: layout}
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: metadata body: %v", ErrCorrupt, r.err)

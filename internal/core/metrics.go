@@ -51,6 +51,12 @@ type treeMetrics struct {
 	stealSpawned      obs.Counter
 	stealStolen       obs.Counter
 
+	// Zero-copy read path: descents answered from a flat node view over
+	// mapped bytes, and reads that fell back to the heap decode path
+	// (layout-v2 extent, mmap unavailable, or zero-copy disabled).
+	flatNodeReads   obs.Counter
+	decodeFallbacks obs.Counter
+
 	// Durable write path: WAL appends, fsyncs issued by the group
 	// committer (or inline in naive mode), commit batches with their
 	// record totals and high-water size, and records re-applied by
@@ -141,6 +147,19 @@ type Metrics struct {
 	// than the one that pushed them.
 	ParallelTasksSpawned int64
 	ParallelTasksStolen  int64
+
+	// Zero-copy read path. FlatNodeReads counts node resolutions served as
+	// in-place flat views over memory-mapped extents; DecodeFallbacks counts
+	// uncached resolutions that materialized a heap node instead (layout-v2
+	// extent, mapping unavailable, or zero-copy disabled). MmapViews,
+	// MmapRemaps and MmapFallbacks are the store-side accounting: extent
+	// views served from the mapping, mapping rebuilds after file growth, and
+	// view requests answered by a plain file read.
+	FlatNodeReads   int64
+	DecodeFallbacks int64
+	MmapViews       int64
+	MmapRemaps      int64
+	MmapFallbacks   int64
 
 	// Durable write path (all zero on trees without a WAL). Batch mean is
 	// records per group-commit batch; max is the largest batch observed.
@@ -243,6 +262,9 @@ func (t *Tree) Metrics() Metrics {
 		ParallelTasksSpawned: m.stealSpawned.Load(),
 		ParallelTasksStolen:  m.stealStolen.Load(),
 
+		FlatNodeReads:   m.flatNodeReads.Load(),
+		DecodeFallbacks: m.decodeFallbacks.Load(),
+
 		WALAppends:              m.walAppends.Load(),
 		WALFsyncs:               m.walFsyncs.Load(),
 		WALGroupCommitBatchMax:  m.walBatchMax.Load(),
@@ -273,6 +295,12 @@ func (t *Tree) Metrics() Metrics {
 		CachedNodes: t.CachedNodes(),
 
 		Store: t.store.Stats(),
+	}
+	if t.viewer != nil {
+		vs := t.viewer.ViewStats()
+		s.MmapViews = vs.Views
+		s.MmapRemaps = vs.Remaps
+		s.MmapFallbacks = vs.Fallbacks
 	}
 	t.vmu.Lock()
 	s.LiveVersions = len(t.versions)
@@ -347,6 +375,11 @@ func (m Metrics) Families() []obs.Family {
 		obs.GaugeFamily("dctree_mask_pool_hit_ratio", "Mask-arena pool hits per query.", m.MaskPoolHitRatio),
 		obs.CounterFamily("dctree_parallel_tasks_spawned_total", "Subtree tasks pushed onto the shared work-stealing queue.", m.ParallelTasksSpawned),
 		obs.CounterFamily("dctree_parallel_tasks_stolen_total", "Subtree tasks executed by a worker other than the one that pushed them.", m.ParallelTasksStolen),
+		obs.CounterFamily("dctree_flat_node_reads_total", "Node resolutions served as zero-copy flat views over mapped extents.", m.FlatNodeReads),
+		obs.CounterFamily("dctree_decode_fallback_total", "Uncached node resolutions that materialized a heap node instead of a flat view.", m.DecodeFallbacks),
+		obs.CounterFamily("dctree_mmap_views_total", "Extent views served from the store's memory mapping.", m.MmapViews),
+		obs.CounterFamily("dctree_mmap_remap_total", "Memory-mapping rebuilds after backing-file growth.", m.MmapRemaps),
+		obs.CounterFamily("dctree_mmap_fallback_total", "Extent view requests answered by a plain file read.", m.MmapFallbacks),
 		obs.CounterFamily("dctree_wal_appends_total", "Logical records appended to the write-ahead log.", m.WALAppends),
 		obs.CounterFamily("dctree_wal_fsyncs_total", "WAL fsyncs issued (one per group-commit batch, or per append in naive mode).", m.WALFsyncs),
 		{

@@ -115,7 +115,16 @@ func (n *node) appendEncode(buf []byte, dims, measures int) []byte {
 	return buf
 }
 
-// decodeNode parses a node payload.
+// decodeNode parses a node payload (layout v2, the varint stream).
+//
+// Per-entry state is carved out of node-scoped arenas — one backing array
+// each for aggregate vectors, record coordinates, record measures, and the
+// MDS dimension sets and ID values — so a node of k entries decodes with
+// O(1) slice allocations instead of O(k). Every carve is a capacity-capped
+// subslice: when an arena grows and reallocates, earlier entries keep
+// aliasing the old backing array, which stays correct because decoded
+// values are only ever mutated in place within an entry's own disjoint
+// region, never appended through.
 func decodeNode(id nodeID, buf []byte, dims, measures int) (*node, error) {
 	if len(buf) < 1 {
 		return nil, fmt.Errorf("%w: empty node %d", ErrCorrupt, id)
@@ -132,17 +141,32 @@ func decodeNode(id nodeID, buf []byte, dims, measures int) (*node, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: node %d entry count", ErrCorrupt, id)
 	}
+	// Arena sizing: a hostile count must not drive a huge upfront
+	// allocation, so cap the pre-size by what the remaining bytes could
+	// possibly hold (every entry takes ≥ 2 bytes even when empty).
+	if count > uint64(len(buf)-off) {
+		return nil, fmt.Errorf("%w: node %d entry count", ErrCorrupt, id)
+	}
 	off += k
 	n.entries = make([]entry, count)
+	aggArena := make(cube.AggVector, int(count)*measures)
+	var dimArena []mds.DimSet
+	var idArena []hierarchy.ID
+	var coordArena []hierarchy.ID
+	var measureArena []float64
+	if n.leaf {
+		coordArena = make([]hierarchy.ID, 0, int(count)*dims)
+		measureArena = make([]float64, 0, int(count)*measures)
+	}
 	for i := range n.entries {
 		e := &n.entries[i]
-		m, k, err := mds.Decode(buf[off:])
+		m, k, err := mds.AppendDecode(buf[off:], &dimArena, &idArena)
 		if err != nil {
 			return nil, fmt.Errorf("%w: node %d entry %d mds: %v", ErrCorrupt, id, i, err)
 		}
 		off += k
 		e.MDS = m
-		e.Agg = cube.NewAggVector(measures)
+		e.Agg = aggArena[i*measures : (i+1)*measures : (i+1)*measures]
 		for j := 0; j < measures; j++ {
 			if len(buf[off:]) < 8 {
 				return nil, fmt.Errorf("%w: node %d entry %d agg", ErrCorrupt, id, i)
@@ -167,16 +191,18 @@ func decodeNode(id nodeID, buf []byte, dims, measures int) (*node, error) {
 			if len(buf[off:]) < 4*dims+8*measures {
 				return nil, fmt.Errorf("%w: node %d entry %d record", ErrCorrupt, id, i)
 			}
-			e.Rec.Coords = make([]hierarchy.ID, dims)
-			for d := range e.Rec.Coords {
-				e.Rec.Coords[d] = hierarchy.ID(binary.LittleEndian.Uint32(buf[off:]))
+			cs := len(coordArena)
+			for d := 0; d < dims; d++ {
+				coordArena = append(coordArena, hierarchy.ID(binary.LittleEndian.Uint32(buf[off:])))
 				off += 4
 			}
-			e.Rec.Measures = make([]float64, measures)
-			for j := range e.Rec.Measures {
-				e.Rec.Measures[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			e.Rec.Coords = coordArena[cs:len(coordArena):len(coordArena)]
+			ms := len(measureArena)
+			for j := 0; j < measures; j++ {
+				measureArena = append(measureArena, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
 				off += 8
 			}
+			e.Rec.Measures = measureArena[ms:len(measureArena):len(measureArena)]
 		} else {
 			child, k := binary.Uvarint(buf[off:])
 			if k <= 0 || child == 0 {

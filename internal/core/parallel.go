@@ -204,13 +204,59 @@ func (t *Tree) stealDescend(root nodeID, w int, q *stealQueue, d *descent, req Q
 	for len(s) > 0 {
 		id := s[len(s)-1]
 		s = s[:len(s)-1]
-		n, err := d.src.getNode(id)
+		nv, err := d.src.getView(id)
 		if err != nil {
 			return err
 		}
 		if err := d.visit(); err != nil {
 			return err
 		}
+		if nv.n == nil {
+			f := &nv.f
+			if f.leaf {
+				for i := 0; i < f.count; i++ {
+					d.st.EntriesScanned++
+					if d.qc.recordInRangeFlat(f, i) {
+						if req.AllMeasures {
+							for j := 0; j < f.measures; j++ {
+								vec[j].Add(f.measure(i, j))
+							}
+						} else {
+							agg.Add(f.measure(i, req.Measure))
+						}
+						d.st.RecordsMatched++
+					}
+				}
+				continue
+			}
+			for i := 0; i < f.count; i++ {
+				d.st.EntriesScanned++
+				overlaps, contained, err := d.qc.matchEntryFlat(t, f, i)
+				if err != nil {
+					return err
+				}
+				if !overlaps {
+					d.st.EntriesPruned++
+					continue
+				}
+				if t.cfg.Materialize && contained {
+					if req.AllMeasures {
+						f.mergeAggInto(i, vec)
+					} else {
+						agg.Merge(f.agg(i, req.Measure))
+					}
+					d.st.MaterializedHits++
+					continue
+				}
+				child := f.child(i)
+				if q.trySpawn(child, w) {
+					continue
+				}
+				s = append(s, child)
+			}
+			continue
+		}
+		n := nv.n
 		if n.leaf {
 			for i := range n.entries {
 				e := &n.entries[i]

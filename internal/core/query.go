@@ -38,8 +38,21 @@ func (s *QueryStats) add(o QueryStats) {
 // against its table and shared cache (under the tree read lock); a Version
 // resolves against its captured overlay and pinned extents (no tree lock).
 // The descent code is identical either way — only the resolver differs.
+//
+// getView is the read-only resolution: cached nodes come back as heap
+// nodes, clean layout-v3 extents as zero-copy flatNode views. getNode
+// always materializes a heap node (the write path and the scan/export
+// helpers that need one).
 type nodeSource interface {
 	getNode(id nodeID) (*node, error)
+	getView(id nodeID) (nodeView, error)
+}
+
+// nodeView is what a read-only descent walks: exactly one of a heap node
+// (n != nil) or a flat in-place view (f.valid()).
+type nodeView struct {
+	n *node
+	f flatNode
 }
 
 // descent carries the per-goroutine state of one range-query walk: the
@@ -138,14 +151,50 @@ func (t *Tree) RangeAggParallel(q mds.MDS, measure int, workers int) (cube.Agg, 
 
 // queryNodeAll is queryNode generalized to every measure of the schema.
 func (t *Tree) queryNodeAll(id nodeID, d *descent, result cube.AggVector) error {
-	n, err := d.src.getNode(id)
+	nv, err := d.src.getView(id)
 	if err != nil {
 		return err
 	}
 	if err := d.visit(); err != nil {
 		return err
 	}
+	if nv.n == nil {
+		f := &nv.f
+		if f.leaf {
+			for i := 0; i < f.count; i++ {
+				d.st.EntriesScanned++
+				if d.qc.recordInRangeFlat(f, i) {
+					for j := 0; j < f.measures; j++ {
+						result[j].Add(f.measure(i, j))
+					}
+					d.st.RecordsMatched++
+				}
+			}
+			return nil
+		}
+		for i := 0; i < f.count; i++ {
+			d.st.EntriesScanned++
+			overlaps, contained, err := d.qc.matchEntryFlat(t, f, i)
+			if err != nil {
+				return err
+			}
+			if !overlaps {
+				d.st.EntriesPruned++
+				continue
+			}
+			if t.cfg.Materialize && contained {
+				f.mergeAggInto(i, result)
+				d.st.MaterializedHits++
+				continue
+			}
+			if err := t.queryNodeAll(f.child(i), d, result); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
+	n := nv.n
 	if n.leaf {
 		for i := range n.entries {
 			e := &n.entries[i]
@@ -186,14 +235,48 @@ func (t *Tree) queryNodeAll(id nodeID, d *descent, result cube.AggVector) error 
 // fully contained in the range contribute their materialized aggregate,
 // and partially overlapping directory entries are descended into.
 func (t *Tree) queryNode(id nodeID, d *descent, measure int, result *cube.Agg) error {
-	n, err := d.src.getNode(id)
+	nv, err := d.src.getView(id)
 	if err != nil {
 		return err
 	}
 	if err := d.visit(); err != nil {
 		return err
 	}
+	if nv.n == nil {
+		f := &nv.f
+		if f.leaf {
+			for i := 0; i < f.count; i++ {
+				d.st.EntriesScanned++
+				if d.qc.recordInRangeFlat(f, i) {
+					result.Add(f.measure(i, measure))
+					d.st.RecordsMatched++
+				}
+			}
+			return nil
+		}
+		for i := 0; i < f.count; i++ {
+			d.st.EntriesScanned++
+			overlaps, contained, err := d.qc.matchEntryFlat(t, f, i)
+			if err != nil {
+				return err
+			}
+			if !overlaps {
+				d.st.EntriesPruned++
+				continue
+			}
+			if t.cfg.Materialize && contained {
+				result.Merge(f.agg(i, measure))
+				d.st.MaterializedHits++
+				continue
+			}
+			if err := t.queryNode(f.child(i), d, measure, result); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
+	n := nv.n
 	if n.leaf {
 		for i := range n.entries {
 			e := &n.entries[i]
@@ -239,10 +322,30 @@ func (t *Tree) Scan(fn func(cube.Record) bool) error {
 }
 
 func (t *Tree) scanNode(src nodeSource, id nodeID, fn func(cube.Record) bool) (bool, error) {
-	n, err := src.getNode(id)
+	nv, err := src.getView(id)
 	if err != nil {
 		return false, err
 	}
+	if nv.n == nil {
+		f := &nv.f
+		if f.leaf {
+			for i := 0; i < f.count; i++ {
+				if !fn(f.record(i)) {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		for i := 0; i < f.count; i++ {
+			cont, err := t.scanNode(src, f.child(i), fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+
+	n := nv.n
 	if n.leaf {
 		for i := range n.entries {
 			if !fn(n.entries[i].Rec.Clone()) {

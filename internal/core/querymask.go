@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/dcindex/dctree/internal/bitmap"
 	"github.com/dcindex/dctree/internal/hierarchy"
 	"github.com/dcindex/dctree/internal/mds"
@@ -143,6 +145,79 @@ func (ctx *queryCtx) recordInRange(coords []hierarchy.ID) bool {
 		}
 	}
 	return true
+}
+
+// recordInRangeFlat is recordInRange over a flat node's data entry i: the
+// coordinates are read straight from the mapped bytes, one mask word load
+// per constrained dimension, no record materialization.
+func (ctx *queryCtx) recordInRangeFlat(f *flatNode, i int) bool {
+	for d, levels := range ctx.masks {
+		if levels == nil {
+			continue
+		}
+		if !levels[0].Get(f.coord(i, d).Code()) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchEntryFlat is matchEntry over a flat node's entry i: the entry's MDS
+// is walked in its wire encoding via a view iterator, testing each ID
+// against the query masks in place. Only the rare coarser-than-query
+// dimension materializes a DimSet for the slow upward path. A malformed
+// encoding surfaces as ErrCorrupt — the descent plumbs entry-match errors
+// already.
+func (ctx *queryCtx) matchEntryFlat(t *Tree, f *flatNode, i int) (overlaps, contained bool, err error) {
+	it, err := mds.NewViewIter(f.entryMDS(i))
+	if err != nil || it.Dims() != len(ctx.q) {
+		return false, false, fmt.Errorf("%w: node %d entry %d mds", ErrCorrupt, f.id, i)
+	}
+	space := t.space()
+	contained = true
+	for d := range ctx.q {
+		dv, ok := it.Next()
+		if !ok {
+			return false, false, fmt.Errorf("%w: node %d entry %d mds dim %d", ErrCorrupt, f.id, i, d)
+		}
+		levels := ctx.masks[d]
+		if levels == nil {
+			continue // unconstrained dimension; still consumed above
+		}
+		qd := ctx.q[d]
+		if dv.IsALL() || levelAboveInt(dv.Level, qd.Level) {
+			ov, _, err := dimMatch(space[d], qd, dv.DimSet())
+			if err != nil {
+				return false, false, err
+			}
+			if !ov {
+				return false, false, nil
+			}
+			contained = false
+			continue
+		}
+		// dv.Level ≤ qd.Level here, so the mask exists: single word per value.
+		mask := levels[dv.Level]
+		dimOverlap := false
+		dimContained := true
+		for j, n := 0, dv.Len(); j < n; j++ {
+			if mask.Get(dv.ID(j).Code()) {
+				dimOverlap = true
+			} else {
+				dimContained = false
+			}
+			if dimOverlap && !dimContained {
+				break
+			}
+		}
+		if !dimOverlap {
+			return false, false, nil
+		}
+		if !dimContained {
+			contained = false
+		}
+	}
+	return true, contained, nil
 }
 
 // matchEntry classifies an entry MDS against the query: whether the entry

@@ -18,10 +18,13 @@ type nodeID uint64
 
 const nilNode nodeID = 0
 
-// extentRef locates a node's current extent.
+// extentRef locates a node's current extent. layout records the node
+// encoding the extent holds (layoutV2/layoutV3, flatnode.go); zero means
+// unspecified and is served by the decode path, which reads v2.
 type extentRef struct {
 	page   storage.PageID
 	blocks int
+	layout uint8
 }
 
 // Tree is a DC-tree over a data cube. It is safe for concurrent use:
@@ -90,6 +93,14 @@ type Tree struct {
 	// their membership masks without allocating.
 	qcPool sync.Pool
 
+	// viewer is the store's zero-copy view interface, when it has one
+	// (PagedStore mmap views, MemStore in-memory extents). Clean layout-v3
+	// nodes are then queried in place as flatNodes instead of being decoded
+	// onto the heap. noZeroCopy turns the flat path off at runtime
+	// (SetZeroCopyReads) — benchmarks compare the two paths on one tree.
+	viewer     storage.ExtentViewer
+	noZeroCopy atomic.Bool
+
 	// metrics is the always-on observability instrumentation (atomic-only
 	// on hot paths); slowHook optionally records queries over a latency
 	// threshold. Both are usable at their zero value.
@@ -119,6 +130,7 @@ func New(store storage.Store, schema *cube.Schema, cfg Config) (*Tree, error) {
 		versions: make(map[uint64]*Version),
 		pins:     storage.NewPins(),
 	}
+	t.viewer, _ = store.(storage.ExtentViewer)
 	root := t.newNode(true)
 	t.root = root.id
 	return t, nil
@@ -180,7 +192,8 @@ func (t *Tree) getNode(id nodeID) (*node, error) {
 	return n, err
 }
 
-// loadNode reads and decodes a node's extent from the store.
+// loadNode reads and decodes a node's extent from the store, dispatching
+// on the extent's recorded layout.
 func (t *Tree) loadNode(id nodeID) (*node, error) {
 	ref, ok := t.table[id]
 	if !ok {
@@ -190,8 +203,51 @@ func (t *Tree) loadNode(id nodeID) (*node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dctree: reading node %d: %w", id, err)
 	}
+	if ref.layout == layoutV3 {
+		return decodeFlatNode(id, payload, t.schema.Dims(), t.schema.Measures())
+	}
 	return decodeNode(id, payload, t.schema.Dims(), t.schema.Measures())
 }
+
+// getView resolves a node for a read-only descent. Cached (hot or dirty)
+// nodes come back as heap nodes; a clean layout-v3 node whose store can
+// serve zero-copy views comes back as a flatNode over the extent bytes —
+// no decode, no cache insertion (per-visit view construction is index
+// math, and keeping flat reads out of the cache leaves its capacity to the
+// write path). Everything else falls back to the decode path. Caller holds
+// t.mu.RLock for the whole descent, which keeps the viewed extent from
+// being freed and rewritten mid-walk.
+func (t *Tree) getView(id nodeID) (nodeView, error) {
+	if n := t.nc.get(id); n != nil {
+		t.metrics.cacheHits.Inc()
+		return nodeView{n: n}, nil
+	}
+	if t.viewer != nil && !t.noZeroCopy.Load() {
+		if ref, ok := t.table[id]; ok && ref.layout == layoutV3 {
+			if payload, _, err := t.viewer.ViewExtent(ref.page); err == nil {
+				f, ferr := makeFlatNode(id, payload, t.schema.Dims(), t.schema.Measures())
+				if ferr != nil {
+					// A structurally bad frame from a checksum-clean extent:
+					// re-reading would yield the same bytes, so fail closed.
+					return nodeView{}, ferr
+				}
+				t.metrics.flatNodeReads.Inc()
+				return nodeView{f: f}, nil
+			}
+			// View not servable (or an integrity error the checked file
+			// read will reproduce and report): take the decode path.
+		}
+	}
+	t.metrics.decodeFallbacks.Inc()
+	n, err := t.getNode(id)
+	return nodeView{n: n}, err
+}
+
+// SetZeroCopyReads toggles the flat-node read path at runtime (default
+// on). Off, every descent decodes nodes onto the heap through the node
+// cache — the pre-v3 behavior; dcbench -mmap uses the toggle to compare
+// the two paths over the same image.
+func (t *Tree) SetZeroCopyReads(enabled bool) { t.noZeroCopy.Store(!enabled) }
 
 // markDirty flags a node for the next Flush.
 func (t *Tree) markDirty(n *node) {

@@ -158,6 +158,8 @@ func (v *Version) getNode(id nodeID) (*node, error) {
 
 func (v *Version) loadNode(id nodeID) (*node, error) {
 	if payload, ok := v.overlay[id]; ok {
+		// Overlays are always encoded in v2 (snapshotLocked captures dirty
+		// nodes with appendEncode).
 		return decodeNode(id, payload, v.t.schema.Dims(), v.t.schema.Measures())
 	}
 	ref, ok := v.table[id]
@@ -168,7 +170,41 @@ func (v *Version) loadNode(id nodeID) (*node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dctree: reading node %d of version %d: %w", id, v.id, err)
 	}
+	if ref.layout == layoutV3 {
+		return decodeFlatNode(id, payload, v.t.schema.Dims(), v.t.schema.Measures())
+	}
 	return decodeNode(id, payload, v.t.schema.Dims(), v.t.schema.Measures())
+}
+
+// getView resolves a node for a read-only as-of descent: nodes already
+// decoded into the version's private cache (and overlay nodes, which have
+// no extent) come back as heap nodes; clean layout-v3 extents are served
+// as zero-copy flatNode views. The view's lifetime is bounded by the
+// query's reference on the version — the pinned extent cannot be freed and
+// rewritten while the version holds its pin, even across checkpoint
+// installs. Version implements nodeSource.
+func (v *Version) getView(id nodeID) (nodeView, error) {
+	if n := v.nc.get(id); n != nil {
+		v.t.metrics.cacheHits.Inc()
+		return nodeView{n: n}, nil
+	}
+	if v.t.viewer != nil && !v.t.noZeroCopy.Load() {
+		if _, inOverlay := v.overlay[id]; !inOverlay {
+			if ref, ok := v.table[id]; ok && ref.layout == layoutV3 {
+				if payload, _, err := v.t.viewer.ViewExtent(ref.page); err == nil {
+					f, ferr := makeFlatNode(id, payload, v.t.schema.Dims(), v.t.schema.Measures())
+					if ferr != nil {
+						return nodeView{}, ferr
+					}
+					v.t.metrics.flatNodeReads.Inc()
+					return nodeView{f: f}, nil
+				}
+			}
+		}
+	}
+	v.t.metrics.decodeFallbacks.Inc()
+	n, err := v.getNode(id)
+	return nodeView{n: n}, err
 }
 
 // Scan streams every data record of the version to fn in unspecified

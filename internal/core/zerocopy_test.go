@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dcindex/dctree/internal/cube"
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// newPagedTree builds a tree on a file-backed store and loads n records.
+func newPagedTree(t *testing.T, cfg Config, n int) (*Tree, *storage.PagedStore, []cube.Record, *rand.Rand) {
+	t.Helper()
+	st, err := storage.OpenPagedStore(filepath.Join(t.TempDir(), "index.dc"), cfg.BlockSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := testSchema(t)
+	tree, err := New(st, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	recs := genRecords(t, s, rng, n)
+	for _, r := range recs {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tree, st, recs, rng
+}
+
+// TestZeroCopyQueryEquivalence: on a flushed layout-v3 image, every query —
+// serial, all-measures, and parallel — returns identical answers with the
+// flat view path on and off, and the flat path actually serves reads.
+func TestZeroCopyQueryEquivalence(t *testing.T) {
+	tree, _, _, rng := newPagedTree(t, smallConfig(), 800)
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Schema()
+	for i := 0; i < 40; i++ {
+		q := randomQuery(rng, s, 0.3)
+		reqs := []QueryRequest{
+			{Query: q},
+			{Query: q, AllMeasures: true},
+			{Query: q, Parallel: 4},
+		}
+		for _, req := range reqs {
+			tree.SetZeroCopyReads(false)
+			tree.EvictCache()
+			want, err := tree.Execute(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree.SetZeroCopyReads(true)
+			tree.EvictCache()
+			got, err := tree.Execute(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !aggMatches(got.Agg, want.Agg) {
+				t.Fatalf("query %d: flat %+v != decode %+v", i, got.Agg, want.Agg)
+			}
+			if req.AllMeasures {
+				for j := range want.AggVector {
+					if !aggMatches(got.AggVector[j], want.AggVector[j]) {
+						t.Fatalf("query %d measure %d: flat %+v != decode %+v",
+							i, j, got.AggVector[j], want.AggVector[j])
+					}
+				}
+			}
+		}
+	}
+	m := tree.Metrics()
+	if m.FlatNodeReads == 0 {
+		t.Fatalf("flat path never served a read: %+v", m)
+	}
+	if m.MmapViews == 0 {
+		t.Fatalf("no mapped views served: %+v", m)
+	}
+}
+
+// TestZeroCopyScanEquivalence: Scan delivers the same record multiset over
+// flat views as over decoded nodes.
+func TestZeroCopyScanEquivalence(t *testing.T) {
+	tree, _, recs, _ := newPagedTree(t, smallConfig(), 500)
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	count := func() (n int, sum float64) {
+		tree.EvictCache()
+		err := tree.Scan(func(r cube.Record) bool {
+			n++
+			sum += r.Measures[0]
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, sum
+	}
+	tree.SetZeroCopyReads(false)
+	wantN, wantSum := count()
+	tree.SetZeroCopyReads(true)
+	gotN, gotSum := count()
+	if gotN != wantN || gotSum != wantSum {
+		t.Fatalf("flat scan (%d, %g) != decode scan (%d, %g)", gotN, gotSum, wantN, wantSum)
+	}
+	if wantN != len(recs) {
+		t.Fatalf("scan returned %d records, want %d", wantN, len(recs))
+	}
+}
+
+// TestLayoutV2Upgrade: an image written with the legacy varint layout
+// opens and answers queries (via the decode path), and its extents upgrade
+// to the flat layout as checkpoints rewrite them.
+func TestLayoutV2Upgrade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NodeLayout = 2
+	path := filepath.Join(t.TempDir(), "index.dc")
+	st, err := storage.OpenPagedStore(path, cfg.BlockSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSchema(t)
+	tree, err := New(st, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	recs := genRecords(t, s, rng, 400)
+	for _, r := range recs {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randomQuery(rng, s, 0.4)
+	want, err := tree.RangeAgg(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := tree.VerifyExtents(); rep.LayoutV3 != 0 || rep.LayoutV2 != rep.Extents {
+		t.Fatalf("v2 image layout census: %+v", rep)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the default config: reads must keep working through the
+	// decode path, with zero flat reads.
+	st2, err := storage.OpenPagedStore(path, cfg.BlockSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tree2, err := Open(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree2.Close()
+	got, err := tree2.RangeAgg(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggMatches(got, want) {
+		t.Fatalf("reopened v2 image: %+v, want %+v", got, want)
+	}
+	if m := tree2.Metrics(); m.FlatNodeReads != 0 {
+		t.Fatalf("flat reads served from a v2 image: %+v", m)
+	}
+
+	// Delete+reinsert every record dirties each leaf's root path, so the
+	// next checkpoint rewrites (and thereby upgrades) those extents.
+	for _, r := range recs {
+		if err := tree2.Delete(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree2.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep := tree2.VerifyExtentsOpts(VerifyOpts{Mmap: true})
+	if !rep.OK() {
+		t.Fatalf("verify after upgrade: %+v", rep.Errors)
+	}
+	if rep.LayoutV3 == 0 {
+		t.Fatalf("no extents upgraded to the flat layout: %+v", rep)
+	}
+	tree2.EvictCache()
+	got, err = tree2.RangeAgg(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggMatches(got, want) {
+		t.Fatalf("after upgrade: %+v, want %+v", got, want)
+	}
+	if m := tree2.Metrics(); m.FlatNodeReads == 0 {
+		t.Fatalf("upgraded image served no flat reads: %+v", m)
+	}
+}
+
+// TestSnapshotFlatViewsSurviveChurn: as-of queries over flat views run
+// lock-free while writers grow and checkpoint the tree — remaps happen
+// mid-descent and checkpoint installs land while extents are mapped and
+// pinned. Run with -race this doubles as the memory-safety stress.
+func TestSnapshotFlatViewsSurviveChurn(t *testing.T) {
+	cfg := smallConfig()
+	tree, _, _, rng := newPagedTree(t, cfg, 600)
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Schema()
+
+	snap, err := tree.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := snap.Count()
+	q := randomQuery(rng, s, 0.5)
+	want, err := tree.Execute(context.Background(), QueryRequest{Query: q, AsOf: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	extra := genRecords(t, s, rand.New(rand.NewSource(99)), 1500)
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		werr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, r := range extra {
+			if stop.Load() {
+				return
+			}
+			if err := tree.Insert(r); err != nil {
+				werr = err
+				return
+			}
+			// Checkpoints rewrite extents and grow the file, forcing
+			// remaps under the reader's feet.
+			if i%150 == 149 {
+				if err := tree.Checkpoint(context.Background()); err != nil {
+					werr = err
+					return
+				}
+			}
+		}
+	}()
+
+	for i := 0; i < 60; i++ {
+		snap.EvictCache()
+		got, err := tree.Execute(context.Background(), QueryRequest{Query: q, AsOf: snap})
+		if err != nil {
+			t.Errorf("as-of query %d: %v", i, err)
+			break
+		}
+		if !aggMatches(got.Agg, want.Agg) {
+			t.Errorf("as-of query %d drifted: %+v, want %+v", i, got.Agg, want.Agg)
+			break
+		}
+		var n int64
+		if err := snap.Scan(func(cube.Record) bool { n++; return true }); err != nil {
+			t.Errorf("as-of scan %d: %v", i, err)
+			break
+		}
+		if n != wantCount {
+			t.Errorf("as-of scan %d saw %d records, want %d", i, n, wantCount)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if werr != nil {
+		t.Fatalf("writer: %v", werr)
+	}
+	if err := snap.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

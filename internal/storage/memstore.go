@@ -21,6 +21,7 @@ type MemStore struct {
 	extents   map[PageID]memExtent
 	meta      []byte
 	stats     statsCounters
+	viewStats viewStatsCounters
 	closed    bool
 }
 

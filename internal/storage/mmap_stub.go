@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: this platform has no mmap path; ViewExtent serves every
+// view through the plain-read fallback (a checked file read), which keeps
+// the flat-node code path exercised with identical semantics.
+const mmapSupported = false
+
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return nil, errors.New("storage: mmap not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can serve zero-copy extent views
+// from a read-only memory mapping of the store file. On other platforms
+// ViewExtent transparently degrades to a checked file read.
+const mmapSupported = true
+
+// mmapFile maps length bytes of f read-only and shared, so bytes written
+// through the file descriptor (checkpoint extent writes) are visible in the
+// mapping without any explicit invalidation.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

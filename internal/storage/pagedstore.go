@@ -52,6 +52,7 @@ type PagedStore struct {
 	stats       statsCounters
 	closed      bool
 	dirtyHdr    bool
+	mm          mmapRegion // zero-copy extent views (mmapstore.go)
 }
 
 // extentSpan identifies an extent scheduled for release after the next
@@ -103,6 +104,7 @@ func OpenPagedStore(path string, blockSize int, poolBytes int) (*PagedStore, err
 		free:      make(map[int][]PageID),
 		pool:      newLRUPool(poolBytes),
 	}
+	s.mm.init(f, blockSize)
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -238,6 +240,9 @@ func (s *PagedStore) writeExtent(id PageID, blocks int, data []byte) error {
 	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.blockSize)); err != nil {
 		return err
 	}
+	// The mapping shares pages with the file, so the new bytes are already
+	// visible there; only the cached CRC verdict for this page is stale.
+	s.mm.invalidate(id)
 	s.pool.put(id, blocks, data)
 	return nil
 }
@@ -450,11 +455,13 @@ func (s *PagedStore) Close() error {
 		return ErrClosed
 	}
 	if err := s.syncLocked(); err != nil {
+		s.mm.close()
 		s.f.Close()
 		s.closed = true
 		return err
 	}
 	s.closed = true
+	s.mm.close()
 	return s.f.Close()
 }
 
