@@ -27,6 +27,9 @@
 //	-mmap           benchmark the cold read path (heap decode vs zero-copy
 //	                flat views over the memory-mapped store file) and
 //	                print JSON; tune with -mmap-n, -mmap-queries
+//	-replica        benchmark log-shipping replication (primary overhead,
+//	                follower lag, drain, promotion) and print JSON; tune
+//	                with -replica-n, -replica-workers
 //
 // Example (the paper's full sweep — takes a while):
 //
@@ -70,6 +73,9 @@ func main() {
 	mmapBench := flag.Bool("mmap", false, "benchmark the cold read path: heap decode vs zero-copy flat views over the memory-mapped store file, JSON output")
 	mmapN := flag.Int("mmap-n", 30000, "records indexed by -mmap")
 	mmapQueries := flag.Int("mmap-queries", 200, "cold queries per variant of -mmap")
+	replBench := flag.Bool("replica", false, "benchmark log-shipping replication: primary overhead, follower lag, drain and promotion, JSON output")
+	replN := flag.Int("replica-n", 20000, "records inserted per run of -replica")
+	replWorkers := flag.Int("replica-workers", 4, "concurrent inserters on the primary for -replica")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -124,6 +130,19 @@ func main() {
 
 	if *mmapBench {
 		res, err := bench.MmapBench(opt, *mmapN, *mmapQueries)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *replBench {
+		res, err := bench.ReplBench(opt, *replN, *replWorkers, "")
 		if err != nil {
 			fatal(err)
 		}

@@ -11,6 +11,19 @@
 //	dctool verify -index out.dc
 //	dctool recover -index out.dc -wal out
 //	dctool versions -index out.dc -wal out [-prune id|all]
+//	dctool replica -dir standby/ -from primary/out [-auto-promote]
+//	dctool promote -dir standby/
+//	dctool ship -wal primary/out -addr :7421
+//
+// `replica` runs a warm standby: it tails a primary's write-ahead log —
+// over a shared filesystem (-from is the primary's WAL path prefix) or
+// over HTTP (-from is the base URL of `dctool ship`) — keeping a local
+// mirror of the log and a continuously applied read-only index. `promote`
+// turns a replica directory into a read-write index after the primary is
+// gone; `replica -auto-promote` does the same automatically once the
+// source has been unreachable for -promote-after. `ship` is the serving
+// sidecar for the HTTP transport. See REPLICATION.md for the protocol and
+// OPERATIONS.md for runbooks.
 //
 // `recover` reopens a WAL-backed index after a crash: it replays the log
 // tail past the last checkpoint, verifies the result, and (unless
@@ -79,6 +92,12 @@ func main() {
 		err = runRecover(os.Args[2:])
 	case "versions":
 		err = runVersions(os.Args[2:])
+	case "replica":
+		err = runReplica(os.Args[2:])
+	case "promote":
+		err = runPromote(os.Args[2:])
+	case "ship":
+		err = runShip(os.Args[2:])
 	default:
 		usage()
 	}
@@ -89,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|verify|export|recover|versions} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dctool {build|query|stats|fsck|verify|export|recover|versions|replica|promote|ship} [flags]")
 	os.Exit(2)
 }
 

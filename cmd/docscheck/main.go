@@ -1,0 +1,222 @@
+// Command docscheck keeps the prose honest: it fails when the
+// documentation references a command-line flag no command defines, or
+// when a Go code fence in the markdown is not gofmt-formatted.
+//
+//	go run ./cmd/docscheck
+//
+// Run from the repository root (CI runs it as the docs-check job). Two
+// checks:
+//
+//  1. Every `-flag` token in inline code or non-Go code fences of the
+//     operator-facing documents (README.md, OPERATIONS.md,
+//     REPLICATION.md, DURABILITY.md) must be a flag some command under
+//     cmd/ actually defines — so renaming or removing a flag without
+//     updating the docs breaks the build, not the user.
+//  2. Every ```go fence in any root-level markdown file must survive
+//     gofmt unchanged (leading 4-space indents are treated as tabs, the
+//     usual markdown rendering of Go indentation).
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// flagDocs are the documents whose flag references are validated.
+var flagDocs = []string{"README.md", "OPERATIONS.md", "REPLICATION.md", "DURABILITY.md"}
+
+// allowedTools are non-repo flags the docs may legitimately mention
+// (go test / go build flags in testing instructions).
+var allowedTools = map[string]bool{
+	"race": true, "bench": true, "benchmem": true, "count": true,
+	"run": true, "short": true, "v": true, "cover": true, "tags": true,
+}
+
+var (
+	// flagDef matches flag definitions: flag.String("name", …) and
+	// fs.Bool("name", …) alike.
+	flagDef = regexp.MustCompile(`\.(?:(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)\(|Var\([^,]+,\s*)"([^"]+)"`)
+	// flagRef matches a flag token in documentation text: a dash followed
+	// by a letter, up to a value or word boundary. "-checkpoint=false"
+	// and "-n 100000" both yield their flag name.
+	flagRef = regexp.MustCompile(`(?:^|[\s(|])-([a-z][a-z0-9-]*)`)
+	// inlineCode matches `…` spans.
+	inlineCode = regexp.MustCompile("`([^`]+)`")
+)
+
+func main() {
+	defined, err := definedFlags("cmd")
+	if err != nil {
+		fatal(err)
+	}
+	var problems []string
+	for _, doc := range flagDocs {
+		p, err := checkFlagRefs(doc, defined)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, p...)
+	}
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		fatal(err)
+	}
+	for _, doc := range docs {
+		p, err := checkGoFences(doc)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+	os.Exit(1)
+}
+
+// definedFlags collects every flag name defined by any command under
+// cmdDir, by scanning the source for flag-definition calls.
+func definedFlags(cmdDir string) (map[string]bool, error) {
+	defined := make(map[string]bool)
+	err := filepath.WalkDir(cmdDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range flagDef.FindAllStringSubmatch(string(src), -1) {
+			defined[m[1]] = true
+		}
+		return nil
+	})
+	if len(defined) == 0 && err == nil {
+		err = fmt.Errorf("no flag definitions found under %s — run from the repository root", cmdDir)
+	}
+	return defined, err
+}
+
+// checkFlagRefs scans doc's inline code spans and non-Go code fences for
+// flag tokens and reports any that no command defines.
+func checkFlagRefs(doc string, defined map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	inFence, goFence := false, false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			if !inFence {
+				lang := strings.TrimPrefix(strings.TrimSpace(line), "```")
+				goFence = lang == "go"
+			}
+			inFence = !inFence
+			continue
+		}
+		var code []string
+		switch {
+		case inFence && !goFence:
+			code = append(code, line)
+		case !inFence:
+			for _, m := range inlineCode.FindAllStringSubmatch(line, -1) {
+				code = append(code, m[1])
+			}
+		}
+		for _, c := range code {
+			for _, m := range flagRef.FindAllStringSubmatch(c, -1) {
+				name := m[1]
+				if !defined[name] && !allowedTools[name] {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: flag -%s is not defined by any command under cmd/", doc, i+1, name))
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkGoFences gofmt-checks every ```go fence in doc. Snippets without a
+// package clause are treated as statements (wrapped in a function);
+// leading 4-space indents count as tabs.
+func checkGoFences(doc string) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		snippet := strings.Join(lines[start:j], "\n")
+		if err := gofmtClean(snippet); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: go fence: %v", doc, start, err))
+		}
+		i = j
+	}
+	return problems, nil
+}
+
+// gofmtClean reports whether the snippet is gofmt-formatted (after
+// normalizing 4-space indentation to tabs).
+func gofmtClean(snippet string) error {
+	norm := normalizeIndent(snippet)
+	src := norm
+	wrapped := !strings.Contains(norm, "package ")
+	if wrapped {
+		var b strings.Builder
+		b.WriteString("package p\n\nfunc _() {\n")
+		for _, line := range strings.Split(norm, "\n") {
+			if line != "" {
+				b.WriteByte('\t')
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		b.WriteString("}\n")
+		src = b.String()
+	}
+	formatted, err := format.Source([]byte(src))
+	if err != nil {
+		return fmt.Errorf("does not parse: %v", err)
+	}
+	if string(formatted) != src {
+		return fmt.Errorf("not gofmt-formatted")
+	}
+	return nil
+}
+
+// normalizeIndent rewrites leading 4-space groups as tabs, line by line.
+func normalizeIndent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, line := range lines {
+		var tabs int
+		for strings.HasPrefix(line, "    ") {
+			line = line[4:]
+			tabs++
+		}
+		lines[i] = strings.Repeat("\t", tabs) + line
+	}
+	return strings.Join(lines, "\n")
+}

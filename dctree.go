@@ -61,6 +61,14 @@
 // storage extents. On WAL-backed trees versions survive crashes until a
 // checkpoint supersedes their log record. See DESIGN.md.
 //
+// # Replication
+//
+// A WAL-backed tree's log can be shipped to warm standbys that replay it
+// into read-only replicas and can be promoted in place when the primary
+// dies. The machinery lives in the internal repl package and is operated
+// through the dctool replica, promote and ship subcommands; the protocol
+// is specified in REPLICATION.md and the runbooks in OPERATIONS.md.
+//
 // The subpackages under internal implement the machinery: concept
 // hierarchies and dictionaries, MDS algebra, the tree itself, the paged
 // storage substrate, and the X-tree / sequential-scan baselines used by
@@ -292,8 +300,9 @@ type WALStats = storage.WALStats
 // WALOptions tunes the write-ahead log's segment files: SegmentBytes
 // (rotation size), Compress (store frames compressed when that shrinks
 // them), RecyclePool (retired segments kept for reuse; 0 = default of 4,
-// negative disables), and SyncDelay (modeled device latency, used by the
-// benchmarks).
+// negative disables), RetainSegments (extra sealed segments kept below
+// the retention floor for log-shipping followers — see REPLICATION.md),
+// and SyncDelay (modeled device latency, used by the benchmarks).
 type WALOptions = storage.WALOptions
 
 // ErrChecksum reports a stored page whose checksum no longer matches its

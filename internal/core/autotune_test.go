@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dcindex/dctree/internal/storage"
+)
+
+// TestCommitAutoTune drives the adaptive group committer through its two
+// regimes: a concurrent burst against a slow modeled device must stretch
+// the window from its configured seed toward the fsync latency, and a
+// subsequent sparse single-writer phase must collapse it again. Thresholds
+// are deliberately loose — the test asserts direction, not convergence
+// speed, to stay robust on loaded CI machines.
+func TestCommitAutoTune(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.CommitInterval = 100 * time.Microsecond
+	cfg.CommitAutoTune = true
+	schema := testSchema(t)
+	tree, err := NewDurableOpts(storage.NewMemStore(cfg.BlockSize), schema, cfg,
+		filepath.Join(dir, "idx"), storage.WALOptions{SyncDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	if got := tree.Metrics().WALCommitInterval; got != cfg.CommitInterval {
+		t.Fatalf("initial window = %v, want %v", got, cfg.CommitInterval)
+	}
+
+	// Burst: 4 writers keep batches full, so the window grows toward the
+	// ~1 ms modeled fsync.
+	recs := genRecords(t, schema, rand.New(rand.NewSource(1)), 400)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(recs); i += 4 {
+				if err := tree.Insert(recs[i]); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := tree.Metrics()
+	if m.WALAutotuneAdjusts == 0 {
+		t.Fatal("no autotune adjustments under sustained batching")
+	}
+	burst := m.WALCommitInterval
+	if burst <= cfg.CommitInterval {
+		t.Fatalf("window after burst = %v, want > seed %v", burst, cfg.CommitInterval)
+	}
+	if lim := 8 * cfg.CommitInterval; burst > lim {
+		t.Fatalf("window after burst = %v, beyond clamp %v", burst, lim)
+	}
+
+	// Sparse: one record per batch, spaced wider than the window — the
+	// committer sheds the wait instead of delaying lone records.
+	sparse := genRecords(t, schema, rand.New(rand.NewSource(2)), 24)
+	for _, r := range sparse {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	if got := tree.Metrics().WALCommitInterval; got >= burst {
+		t.Fatalf("window after sparse phase = %v, want < %v", got, burst)
+	}
+}
+
+// TestAutoTuneOffKeepsFixedWindow pins the default behavior: without the
+// knob the gauge reports the configured interval and never moves.
+func TestAutoTuneOffKeepsFixedWindow(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.CommitInterval = time.Millisecond
+	schema := testSchema(t)
+	tree, err := NewDurableOpts(storage.NewMemStore(cfg.BlockSize), schema, cfg,
+		filepath.Join(dir, "idx"), storage.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	for _, r := range genRecords(t, schema, rand.New(rand.NewSource(3)), 50) {
+		if err := tree.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tree.Metrics()
+	if m.WALAutotuneAdjusts != 0 {
+		t.Fatalf("adjustments = %d without CommitAutoTune", m.WALAutotuneAdjusts)
+	}
+	if m.WALCommitInterval != cfg.CommitInterval {
+		t.Fatalf("window = %v, want fixed %v", m.WALCommitInterval, cfg.CommitInterval)
+	}
+}

@@ -21,6 +21,9 @@ import (
 // BulkVsDynamic benchmark); the paper's contribution is that the DC-tree
 // makes the trade-off unnecessary.
 func (t *Tree) BulkLoad(recs []cube.Record) error {
+	if t.replica {
+		return ErrReplica
+	}
 	t.mu.Lock()
 	needFlush, err := t.bulkLoadLocked(recs)
 	t.mu.Unlock()

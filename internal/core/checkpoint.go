@@ -64,6 +64,11 @@ func (t *Tree) captureLocked() (*ckptCapture, error) {
 	c := &ckptCapture{lsn: t.checkpointLSN}
 	if t.wal != nil {
 		c.lsn = t.wal.w.LastLSN()
+	} else if t.replica && t.appliedLSN > c.lsn {
+		// A replica has no WAL of its own: its checkpoints persist the
+		// applied frontier, so a restarted follower resumes replay exactly
+		// past what this image already contains.
+		c.lsn = t.appliedLSN
 	}
 	for _, e := range t.nc.dirtySnapshot() {
 		n := t.nc.get(e.id)

@@ -90,6 +90,17 @@ type Config struct {
 	// write bursts. 0 selects the 256 KiB default.
 	CommitBytes int
 
+	// CommitAutoTune lets the group committer adapt its window at runtime:
+	// the effective interval tracks an EWMA of observed fsync latency (the
+	// point where batching amortizes the sync without adding avoidable
+	// latency) while sustained single-record batches collapse the window
+	// toward zero, so sparse writers pay no idle wait. CommitInterval then
+	// serves as the starting value and bounds the adapted window at 8× its
+	// setting. Like NodeLayout this is a per-open runtime knob, not
+	// persisted in the metadata. Ignored in naive mode (negative
+	// CommitInterval) and by trees without a WAL.
+	CommitAutoTune bool
+
 	// CheckpointInterval, when positive, makes a WAL-backed tree checkpoint
 	// itself in the background at least this often: dirty nodes are written
 	// with the fuzzy protocol (writers stall only for the capture and

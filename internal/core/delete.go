@@ -15,6 +15,9 @@ import (
 // removal), empty nodes are unlinked, oversized supernodes shrink back,
 // and a root with a single directory entry is collapsed.
 func (t *Tree) Delete(rec cube.Record) error {
+	if t.replica {
+		return ErrReplica
+	}
 	if err := t.schema.ValidateRecord(rec); err != nil {
 		return err
 	}

@@ -71,6 +71,9 @@ func (t *Tree) newRecContext(rec cube.Record) (*recContext, error) {
 // superseded by a checkpoint. The durability wait happens outside the
 // tree lock, so concurrent inserts batch into shared fsyncs.
 func (t *Tree) Insert(rec cube.Record) error {
+	if t.replica {
+		return ErrReplica
+	}
 	if err := t.schema.ValidateRecord(rec); err != nil {
 		return err
 	}

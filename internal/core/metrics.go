@@ -68,6 +68,13 @@ type treeMetrics struct {
 	walBatchMax      obs.Gauge
 	walDictDeltas    obs.Counter
 	recoveryReplayed obs.Counter
+	// Group-commit autotuning: the committer's current effective window in
+	// nanoseconds, and how many batches moved it.
+	walCommitIntervalNs obs.Gauge
+	walAutotuneAdjusts  obs.Counter
+	// Replica apply mode: mutation records folded in by ApplyReplicated
+	// (dict deltas and version records are bookkeeping, like recovery).
+	replicaApplied obs.Counter
 
 	// Fuzzy checkpoints: completed and failed checkpoints, pages (extents)
 	// and payload bytes written, nodes re-dirtied during the background
@@ -176,6 +183,17 @@ type Metrics struct {
 	WALRecycledSegments     int64
 	WALBytesPerRecord       float64
 	RecoveryReplayedRecords int64
+	// Group-commit autotuning (Config.CommitAutoTune): the committer's
+	// current effective batch window and the number of batches that moved
+	// it. Without autotuning the interval reports the configured value and
+	// the adjust counter stays zero.
+	WALCommitInterval  time.Duration
+	WALAutotuneAdjusts int64
+
+	// Replica apply mode: mutation records applied from the primary's log
+	// (ReplicaApplied) and the applied LSN frontier. Zero on non-replicas.
+	ReplicaApplied    int64
+	ReplicaAppliedLSN uint64
 
 	// Fuzzy checkpoints. CheckpointWriterStallSeconds is the cumulative
 	// time writers were excluded by checkpoint critical sections — for the
@@ -270,6 +288,10 @@ func (t *Tree) Metrics() Metrics {
 		WALGroupCommitBatchMax:  m.walBatchMax.Load(),
 		WALDictDeltas:           m.walDictDeltas.Load(),
 		RecoveryReplayedRecords: m.recoveryReplayed.Load(),
+		WALCommitInterval:       time.Duration(m.walCommitIntervalNs.Load()),
+		WALAutotuneAdjusts:      m.walAutotuneAdjusts.Load(),
+		ReplicaApplied:          m.replicaApplied.Load(),
+		ReplicaAppliedLSN:       t.AppliedLSN(),
 
 		Checkpoints:                  m.checkpoints.Load(),
 		CheckpointFailures:           m.checkpointFailures.Load(),
@@ -393,6 +415,10 @@ func (m Metrics) Families() []obs.Family {
 		obs.CounterFamily("dctree_wal_recycled_segments_total", "WAL segment creations served from the recycle pool instead of a fresh create.", m.WALRecycledSegments),
 		obs.GaugeFamily("dctree_wal_bytes_per_record", "Frame bytes written to the WAL per logical record appended.", m.WALBytesPerRecord),
 		obs.CounterFamily("dctree_recovery_replayed_records_total", "WAL records re-applied by OpenDurable crash recovery.", m.RecoveryReplayedRecords),
+		obs.GaugeFamily("dctree_wal_commit_interval_seconds", "Effective group-commit batch window (adapted under CommitAutoTune).", m.WALCommitInterval.Seconds()),
+		obs.CounterFamily("dctree_wal_autotune_adjustments_total", "Group-commit batches that moved the autotuned window.", m.WALAutotuneAdjusts),
+		obs.CounterFamily("dctree_replica_applied_records_total", "Mutation records applied from the primary's log in replica mode.", m.ReplicaApplied),
+		obs.GaugeFamily("dctree_replica_applied_lsn", "Replica applied-LSN frontier (0 on non-replicas).", float64(m.ReplicaAppliedLSN)),
 		obs.CounterFamily("dctree_checkpoints_total", "Checkpoints completed (Flush, Checkpoint, or the auto-trigger).", m.Checkpoints),
 		obs.CounterFamily("dctree_checkpoint_failures_total", "Checkpoints that failed and rolled back.", m.CheckpointFailures),
 		obs.CounterFamily("dctree_checkpoint_pages_written_total", "Node extents written by checkpoints.", m.CheckpointPagesWritten),

@@ -55,6 +55,14 @@ type Tree struct {
 	wal           *walState
 	checkpointLSN uint64
 
+	// replica marks an apply-only tree (OpenReplica/NewReplica): local
+	// mutations are rejected and state advances solely through
+	// ApplyReplicated, which replays the primary's WAL records and stamps
+	// appliedLSN (guarded by t.mu) — the replica's durability frontier,
+	// persisted by its checkpoints in place of a WAL LSN.
+	replica    bool
+	appliedLSN uint64
+
 	// dictMu guards dictPending: dictionary registration deltas observed by
 	// the hierarchy hooks (which fire inside Schema.InternRecord, outside
 	// t.mu) and drained into a walOpDictDelta record immediately before the

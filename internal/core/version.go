@@ -233,6 +233,11 @@ func (v *Version) EvictCache() {
 // Snapshot returns, so the version survives a crash (recovery re-captures
 // it from the log tail) until a checkpoint supersedes its record.
 func (t *Tree) Snapshot() (*Version, error) {
+	// Replicas reconstruct the primary's versions from replicated version
+	// records; minting local version numbers would collide with them.
+	if t.replica {
+		return nil, ErrReplica
+	}
 	t.mu.Lock()
 	v, err := t.snapshotLocked(0, 0)
 	t.mu.Unlock()

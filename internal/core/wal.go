@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dcindex/dctree/internal/cube"
@@ -96,6 +97,18 @@ type walState struct {
 	bytes    int64
 	m        *treeMetrics
 
+	// Group-commit autotuning (Config.CommitAutoTune): the committer adapts
+	// its effective window each batch instead of sleeping the fixed
+	// interval. effNs is the current window in nanoseconds (atomic: the
+	// committer stores, Metrics loads); fsyncEWMA and sparseRuns are
+	// committer-goroutine-only state — an exponentially weighted average of
+	// observed fsync latency, and how many consecutive batches held a single
+	// record (the signal that waiting buys no batching).
+	autotune   bool
+	effNs      atomic.Int64
+	fsyncEWMA  time.Duration
+	sparseRuns int
+
 	mu sync.Mutex
 	// Two condition variables on one mutex keep the wakeups targeted: an
 	// append signals only the committer; a finished batch broadcasts only
@@ -124,6 +137,11 @@ func newWALState(w *storage.WAL, cfg *Config, m *treeMetrics) *walState {
 	ws.ackCond = sync.NewCond(&ws.mu)
 	ws.durableLSN = w.SyncedLSN()
 	ws.pendingLSN = w.LastLSN()
+	ws.autotune = cfg.CommitAutoTune && ws.interval > 0
+	if ws.interval > 0 {
+		ws.effNs.Store(int64(ws.interval))
+		m.walCommitIntervalNs.Set(int64(ws.interval))
+	}
 	if ws.interval >= 0 {
 		go ws.run()
 	} else {
@@ -213,8 +231,8 @@ func (ws *walState) run() {
 		fill := !ws.closing && ws.pendingB < ws.bytes
 		ws.mu.Unlock()
 
-		if fill && ws.interval > 0 {
-			time.Sleep(ws.interval)
+		if iv := ws.window(); fill && iv > 0 {
+			time.Sleep(iv)
 		}
 
 		ws.mu.Lock()
@@ -222,21 +240,83 @@ func (ws *walState) run() {
 		ws.pendingB = 0
 		ws.mu.Unlock()
 
+		syncStart := time.Now()
 		covered, err := ws.w.Sync()
 		if err != nil {
 			ws.poison(err)
 			return
 		}
 		ws.m.walFsyncs.Inc()
-		if batch := int64(covered) - int64(prev); batch > 0 {
+		batch := int64(covered) - int64(prev)
+		if batch > 0 {
 			ws.m.walBatches.Inc()
 			ws.m.walBatchRecords.Add(batch)
 			if batch > ws.m.walBatchMax.Load() {
 				ws.m.walBatchMax.Set(batch)
 			}
 		}
+		if ws.autotune {
+			ws.retune(time.Since(syncStart), batch)
+		}
 		ws.noteDurable(covered)
 	}
+}
+
+// window returns the batch window the committer sleeps: the configured
+// interval, or the adapted one under autotuning.
+func (ws *walState) window() time.Duration {
+	if ws.autotune {
+		return time.Duration(ws.effNs.Load())
+	}
+	return ws.interval
+}
+
+// retune adapts the group-commit window after one batch. Committer
+// goroutine only. Two forces act on the window:
+//
+//   - Sustained batching pulls it toward the fsync-latency EWMA: while one
+//     sync is in flight the next batch fills for free, so a window much
+//     longer than the sync adds latency without batching more, and a much
+//     shorter one issues syncs faster than the device completes them.
+//     The pull is gradual (a quarter of the gap per batch) so one outlier
+//     sync cannot yank the window.
+//   - Consecutive single-record batches mean arrivals are sparser than the
+//     window: waiting delayed the lone record and batched nothing, so the
+//     window halves toward zero and solo writers converge on sync-per-append
+//     latency. One sparse batch is ignored — bursty workloads routinely
+//     trail a burst with a straggler.
+//
+// The window is clamped to [0, 8×CommitInterval], so the configured value
+// keeps its meaning as the knob an operator reasons about.
+func (ws *walState) retune(fsync time.Duration, batch int64) {
+	if ws.fsyncEWMA == 0 {
+		ws.fsyncEWMA = fsync
+	} else {
+		ws.fsyncEWMA += (fsync - ws.fsyncEWMA) / 4
+	}
+	if batch <= 1 {
+		ws.sparseRuns++
+	} else {
+		ws.sparseRuns = 0
+	}
+	cur := time.Duration(ws.effNs.Load())
+	var next time.Duration
+	if ws.sparseRuns >= 2 {
+		next = cur / 2
+	} else {
+		next = cur + (ws.fsyncEWMA-cur)/4
+	}
+	if lim := 8 * ws.interval; next > lim {
+		next = lim
+	}
+	if next < 0 {
+		next = 0
+	}
+	if next != cur {
+		ws.effNs.Store(int64(next))
+		ws.m.walAutotuneAdjusts.Inc()
+	}
+	ws.m.walCommitIntervalNs.Set(int64(next))
 }
 
 // noteDurable advances the durable frontier and wakes acknowledgment
@@ -740,6 +820,18 @@ func (t *Tree) Close() error {
 		t.wal = nil
 	}
 	return err
+}
+
+// WAL exposes the tree's write-ahead log to the log-shipping layer
+// (internal/repl): segment enumeration with durable frontiers, range reads,
+// and the replication retention floor. Nil on trees without a WAL. Callers
+// must not append, sync, truncate or close the log — those belong to the
+// tree's committer and checkpoints.
+func (t *Tree) WAL() *storage.WAL {
+	if t.wal == nil {
+		return nil
+	}
+	return t.wal.w
 }
 
 // WALStats exposes the log's activity counters (zero value without a WAL).

@@ -1,0 +1,80 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Lease is the primary's liveness beacon for filesystem-transport
+// followers: a file whose modification time the primary refreshes on a
+// fixed heartbeat. A follower considers the primary dead when the file
+// goes stale past its TTL or disappears — Stop removes it, so a clean
+// primary shutdown releases waiting followers immediately.
+//
+// The lease is advisory, not a lock: it cannot fence a primary that is
+// alive but wedged. Operators who need single-writer guarantees must
+// ensure the old primary is down before promoting (see OPERATIONS.md).
+type Lease struct {
+	path string
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartLease writes the lease file and begins refreshing it every
+// interval until Stop. The interval should be a small fraction of the
+// followers' TTL (StartLease(path, ttl/3) against LeaseFresh(path, ttl)
+// is the conventional pairing).
+func StartLease(path string, interval time.Duration) (*Lease, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("repl: lease interval must be positive")
+	}
+	l := &Lease{path: path, stop: make(chan struct{}), done: make(chan struct{})}
+	if err := l.beat(); err != nil {
+		return nil, err
+	}
+	go func() {
+		defer close(l.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				// A failed heartbeat (disk full, directory removed) is
+				// indistinguishable from death to followers, which is the
+				// correct failure direction; nothing to do but retry.
+				_ = l.beat()
+			}
+		}
+	}()
+	return l, nil
+}
+
+// beat refreshes the lease file's modification time.
+func (l *Lease) beat() error {
+	return os.WriteFile(l.path, []byte(time.Now().UTC().Format(time.RFC3339Nano)+"\n"), 0o644)
+}
+
+// Stop halts the heartbeat and removes the lease file, signalling an
+// intentional shutdown to followers. Safe to call more than once.
+func (l *Lease) Stop() {
+	l.once.Do(func() {
+		close(l.stop)
+		<-l.done
+		_ = os.Remove(l.path)
+	})
+}
+
+// LeaseFresh reports whether the lease file at path exists and was
+// refreshed within ttl — the follower-side liveness check.
+func LeaseFresh(path string, ttl time.Duration) bool {
+	st, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	return time.Since(st.ModTime()) <= ttl
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package repl
+
+// e2eInserts is the primary's write volume in the end-to-end test: the
+// acceptance bar for the replication arc is ≥ 50k acknowledged inserts
+// with background checkpoints running while the follower tails. Under the
+// race detector (see volume_race_test.go) the volume is reduced — the
+// interleavings it hunts show up within a few thousand records, and the
+// instrumented run would otherwise dominate CI.
+const e2eInserts = 50_000

@@ -1,0 +1,9 @@
+//go:build race
+
+package repl
+
+// e2eInserts under the race detector: enough volume for segment rotation,
+// background checkpoints and truncation to all interleave with the
+// follower, without the instrumented run dominating CI. The full 50k
+// acceptance volume runs in the uninstrumented test job.
+const e2eInserts = 8_000

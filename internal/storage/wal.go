@@ -78,6 +78,12 @@ type WAL struct {
 	// the frontier describing bytes of a segment that is no longer active.
 	syncedLSN uint64
 
+	// retainLSN is the replication retention floor (SetRetainLSN):
+	// TruncateBefore never discards records with LSN above it, so a
+	// follower that acknowledged shipping up to the floor can always
+	// resume. MaxUint64 (the initial value) disables the floor.
+	retainLSN uint64
+
 	// recycle is the pool of retired segment files awaiting reuse
 	// (non-numeric names, invisible to findSegments); recycleSeq names them
 	// uniquely across the log's lifetime.
@@ -121,6 +127,12 @@ type WALOptions struct {
 	// avoiding the create/remove metadata churn of every checkpoint.
 	// 0 selects the default of 4; negative disables recycling.
 	RecyclePool int
+	// RetainSegments keeps at least this many of the newest sealed
+	// segments through TruncateBefore even when a checkpoint supersedes
+	// them — a static retention cushion for log-shipping followers that
+	// tail the segment directory without an acknowledgment channel (the
+	// dynamic floor is SetRetainLSN). 0 retains nothing extra.
+	RetainSegments int
 }
 
 // WALStats is a snapshot of the log's activity counters.
@@ -184,7 +196,7 @@ func OpenWAL(prefix string, opts WALOptions) (*WAL, error) {
 	if opts.SegmentBytes < walSegHeaderSize+walFrameOverhead {
 		return nil, fmt.Errorf("%w: segment size %d too small", ErrBadExtent, opts.SegmentBytes)
 	}
-	w := &WAL{prefix: prefix, opts: opts, nextLSN: 1, poolCap: opts.RecyclePool}
+	w := &WAL{prefix: prefix, opts: opts, nextLSN: 1, poolCap: opts.RecyclePool, retainLSN: ^uint64(0)}
 	if w.poolCap == 0 {
 		w.poolCap = walDefaultPool
 	} else if w.poolCap < 0 {
@@ -740,14 +752,26 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 	if w.closed {
 		return ErrWALClosed
 	}
-	if lsn >= w.nextLSN-1 {
+	// Replication retention: the dynamic floor (SetRetainLSN) caps how far
+	// the truncation may reach, and RetainSegments keeps a static cushion
+	// of the newest sealed segments. Both exist so that a follower tailing
+	// the segment directory never finds the log truncated past the records
+	// it has yet to ship.
+	if lsn > w.retainLSN {
+		lsn = w.retainLSN
+	}
+	if lsn >= w.nextLSN-1 && w.opts.RetainSegments <= 0 {
 		if w.records == 0 && len(w.sealed) == 0 {
 			return nil // nothing to discard; keep the active segment
 		}
 		return w.truncateAllLocked()
 	}
+	maxCut := len(w.sealed) - w.opts.RetainSegments
+	if maxCut < 0 {
+		maxCut = 0
+	}
 	cut := 0
-	for cut < len(w.sealed) {
+	for cut < maxCut {
 		// The last LSN of sealed[i] is the first LSN of the next segment
 		// minus one.
 		nextFirst := w.active.firstLSN

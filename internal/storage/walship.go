@@ -1,0 +1,291 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Log shipping support: the segmented WAL doubles as a replication stream.
+// A follower process tails the primary's segment files — sealed segments in
+// full, the active segment up to its durable frontier — and replays the
+// records into its own replica of the store. This file holds the pieces of
+// that protocol that belong to the storage layer: safe enumeration of the
+// segment set, reading segment bytes without racing rotation and
+// recycling, and the retention floor that keeps segments on disk until
+// followers have shipped them.
+//
+// The one hazard specific to reading another process's live log is segment
+// recycling: a sealed segment that a checkpoint retires is renamed into
+// the recycle pool and may be REWRITTEN in place (new header, truncated,
+// re-appended) before being renamed back into the log under a new index. A
+// reader holding the file open across that rewrite could observe
+// CRC-valid frames that belong to a different segment. The defense is the
+// header double-check: every read validates the 24-byte header against the
+// expected (index, firstLSN) BOTH before and after reading the byte range,
+// and reuse rewrites the header first — so any read that overlapped a
+// rewrite fails with ErrSegmentGone instead of returning stale frames.
+
+// WALSegmentInfo describes one segment of a write-ahead log as visible to
+// a log-shipping reader.
+type WALSegmentInfo struct {
+	// Index is the segment's position in the log (monotone, never reused).
+	Index uint64
+	// Path is the segment file's location.
+	Path string
+	// FirstLSN is the LSN of the segment's first record.
+	FirstLSN uint64
+	// Size is the number of readable bytes, including the 24-byte header.
+	// For a live WAL (WAL.Segments) this is the durable frontier — sealed
+	// segments are durable in full, the active one up to its last fsync.
+	// For a directory scan (ListSegments) it is the file size, which may
+	// end in a torn frame that readers must tolerate on the final segment.
+	Size int64
+	// Sealed reports whether the segment will never be appended to again.
+	Sealed bool
+}
+
+// LastLSN returns the LSN of the segment's final record given the first
+// LSN of its successor (segments store only their own first LSN).
+func (s WALSegmentInfo) LastLSN(nextFirstLSN uint64) uint64 { return nextFirstLSN - 1 }
+
+// ErrSegmentGone reports a segment file that no longer holds the expected
+// segment: it was truncated away, or recycled into a new segment, between
+// the reader learning about it and reading it. Followers resynchronize
+// from a fresh Segments listing when they see it.
+var ErrSegmentGone = errors.New("storage: wal segment gone or recycled")
+
+// SegmentHeader is the parsed 24-byte header of a WAL segment file.
+type SegmentHeader struct {
+	Index    uint64
+	FirstLSN uint64
+}
+
+// Segments enumerates the log's current segments with their durable byte
+// frontiers: every byte below a segment's Size survived an fsync, so a
+// follower that ships only those bytes never replicates a record the
+// primary could still lose. The listing is a consistent snapshot under the
+// log's mutex; segments may be retired concurrently afterwards, which
+// readers detect via ErrSegmentGone.
+func (w *WAL) Segments() []WALSegmentInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs := make([]WALSegmentInfo, 0, len(w.sealed)+1)
+	for _, s := range w.sealed {
+		segs = append(segs, WALSegmentInfo{
+			Index: s.index, Path: s.path, FirstLSN: s.firstLSN, Size: s.synced, Sealed: true,
+		})
+	}
+	segs = append(segs, WALSegmentInfo{
+		Index: w.active.index, Path: w.active.path, FirstLSN: w.active.firstLSN,
+		Size: w.active.synced, Sealed: false,
+	})
+	return segs
+}
+
+// SetRetainLSN sets the log's replication retention floor: TruncateBefore
+// keeps every record with LSN strictly greater than lsn on disk regardless
+// of how far checkpoints have advanced, so a follower that has acknowledged
+// shipping up to lsn can always resume. MaxUint64 (the initial value)
+// disables the floor; 0 retains everything. Truncate (the full reset) is
+// not affected.
+func (w *WAL) SetRetainLSN(lsn uint64) {
+	w.mu.Lock()
+	w.retainLSN = lsn
+	w.mu.Unlock()
+}
+
+// RetainLSN returns the current replication retention floor.
+func (w *WAL) RetainLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.retainLSN
+}
+
+// ListSegments lists the numeric segment files of a WAL prefix in index
+// order by scanning the directory — the cross-process view a follower has
+// of a primary's log when no shipping server mediates. Sizes are file
+// sizes: the final (active) segment may end in bytes not yet durable on
+// the primary, or in a torn frame; followers validate frames as they ship.
+// Segment files that vanish between listing and header read (a concurrent
+// truncation) are skipped.
+func ListSegments(prefix string) ([]WALSegmentInfo, error) {
+	files, err := findSegments(prefix)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]WALSegmentInfo, 0, len(files))
+	for _, f := range files {
+		hdr, size, err := readHeaderAndSize(f.path)
+		if err != nil {
+			if errors.Is(err, ErrSegmentGone) {
+				continue
+			}
+			return nil, err
+		}
+		if hdr.Index != f.index {
+			// Mid-recycle rewrite caught between rename steps; not part of
+			// the log right now.
+			continue
+		}
+		segs = append(segs, WALSegmentInfo{
+			Index: hdr.Index, Path: f.path, FirstLSN: hdr.FirstLSN, Size: size,
+		})
+	}
+	for i := range segs {
+		segs[i].Sealed = i < len(segs)-1
+	}
+	return segs, nil
+}
+
+// readHeaderAndSize reads and validates a segment file's header and
+// returns it with the current file size. A missing file or invalid header
+// is ErrSegmentGone.
+func readHeaderAndSize(path string) (SegmentHeader, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return SegmentHeader{}, 0, ErrSegmentGone
+		}
+		return SegmentHeader{}, 0, err
+	}
+	defer f.Close()
+	hdr, err := readHeader(f)
+	if err != nil {
+		return SegmentHeader{}, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return SegmentHeader{}, 0, err
+	}
+	return hdr, st.Size(), nil
+}
+
+// readHeader reads and validates the 24-byte segment header from an open
+// file. An absent or foreign header is ErrSegmentGone (the file is being
+// created or was recycled), not corruption.
+func readHeader(f *os.File) (SegmentHeader, error) {
+	var buf [walSegHeaderSize]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return SegmentHeader{}, ErrSegmentGone
+		}
+		return SegmentHeader{}, err
+	}
+	if string(buf[:8]) != walMagic {
+		return SegmentHeader{}, ErrSegmentGone
+	}
+	return SegmentHeader{
+		Index:    binary.LittleEndian.Uint64(buf[8:]),
+		FirstLSN: binary.LittleEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// ReadSegmentHeader reads and validates the header of one segment file.
+func ReadSegmentHeader(path string) (SegmentHeader, error) {
+	hdr, _, err := readHeaderAndSize(path)
+	return hdr, err
+}
+
+// ReadSegmentRange reads up to max raw bytes of the segment at path
+// starting at byte offset off, on behalf of a log-shipping reader. The
+// header is validated against want both BEFORE and AFTER the range read:
+// segment reuse rewrites the header first, so a read that overlapped a
+// recycle rewrite — the only way the file's bytes can change other than
+// growing — fails with ErrSegmentGone rather than returning frames of a
+// different segment. A short (or empty) result near the end of the file is
+// normal for the active segment and not an error.
+func ReadSegmentRange(path string, want SegmentHeader, off int64, max int) ([]byte, error) {
+	if off < walSegHeaderSize || max <= 0 {
+		return nil, fmt.Errorf("storage: bad segment range off=%d max=%d", off, max)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrSegmentGone
+		}
+		return nil, err
+	}
+	defer f.Close()
+	check := func() error {
+		hdr, err := readHeader(f)
+		if err != nil {
+			return err
+		}
+		if hdr != want {
+			return ErrSegmentGone
+		}
+		return nil
+	}
+	if err := check(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, max)
+	n, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if err := check(); err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// EncodeSegmentHeader renders a 24-byte segment header — the bytes a
+// follower writes at the start of a mirrored segment file so its mirror
+// reopens as a valid WAL.
+func EncodeSegmentHeader(hdr SegmentHeader) []byte {
+	buf := make([]byte, walSegHeaderSize)
+	copy(buf, walMagic)
+	binary.LittleEndian.PutUint64(buf[8:], hdr.Index)
+	binary.LittleEndian.PutUint64(buf[16:], hdr.FirstLSN)
+	return buf
+}
+
+// SegmentHeaderSize is the length of the fixed segment file header.
+const SegmentHeaderSize = walSegHeaderSize
+
+// SegmentPath returns the file path of the segment with the given index
+// under a WAL prefix — the naming a mirrored log must reproduce for
+// OpenWAL to adopt it.
+func SegmentPath(prefix string, index uint64) string { return walSegmentPath(prefix, index) }
+
+// DecodeFrames parses the leading whole, CRC-valid frames of data (raw
+// segment bytes with no header) and returns their logical payloads
+// (decompressed when the frame is compressed) along with the byte length
+// of the valid prefix. Bytes past validLen are an incomplete or torn
+// frame: a follower keeps them pending until the rest arrives. A CRC-valid
+// frame that fails to decompress is corruption, reported as ErrWALCorrupt.
+func DecodeFrames(data []byte) (payloads [][]byte, validLen int64, err error) {
+	var off int64
+	for {
+		n, ok := frameAt(data, off)
+		if !ok {
+			return payloads, off, nil
+		}
+		p, err := framePayload(data, off, n)
+		if err != nil {
+			return payloads, off, fmt.Errorf("%w: frame at %d: %v", ErrWALCorrupt, off, err)
+		}
+		payloads = append(payloads, p)
+		off += n
+	}
+}
+
+// ValidFramePrefix returns the byte length and frame count of the leading
+// whole, CRC-valid frames of data (raw segment bytes with no header),
+// without materializing payloads — the validation a follower runs before
+// appending shipped bytes to its mirror.
+func ValidFramePrefix(data []byte) (frames int, validLen int64) {
+	var off int64
+	for {
+		n, ok := frameAt(data, off)
+		if !ok {
+			return frames, off
+		}
+		frames++
+		off += n
+	}
+}
