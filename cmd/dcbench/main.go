@@ -29,7 +29,8 @@
 //	                print JSON; tune with -mmap-n, -mmap-queries
 //	-replica        benchmark log-shipping replication (primary overhead,
 //	                follower lag, drain, promotion) and print JSON; tune
-//	                with -replica-n, -replica-workers
+//	                with -replica-n, -replica-workers; add -sync for a
+//	                synchronous-replication (quorum-acknowledged) run
 //
 // Example (the paper's full sweep — takes a while):
 //
@@ -76,6 +77,7 @@ func main() {
 	replBench := flag.Bool("replica", false, "benchmark log-shipping replication: primary overhead, follower lag, drain and promotion, JSON output")
 	replN := flag.Int("replica-n", 20000, "records inserted per run of -replica")
 	replWorkers := flag.Int("replica-workers", 4, "concurrent inserters on the primary for -replica")
+	replSync := flag.Bool("sync", false, "with -replica, add a synchronous-replication run (SyncReplication=1: every insert held for a follower acknowledgment) and report its overhead")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -142,7 +144,7 @@ func main() {
 	}
 
 	if *replBench {
-		res, err := bench.ReplBench(opt, *replN, *replWorkers, "")
+		res, err := bench.ReplBench(opt, *replN, *replWorkers, "", *replSync)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,10 +1,11 @@
 // Command docscheck keeps the prose honest: it fails when the
-// documentation references a command-line flag no command defines, or
-// when a Go code fence in the markdown is not gofmt-formatted.
+// documentation references a command-line flag no command defines, an
+// error variable no package declares, or when a Go code fence in the
+// markdown is not gofmt-formatted.
 //
 //	go run ./cmd/docscheck
 //
-// Run from the repository root (CI runs it as the docs-check job). Two
+// Run from the repository root (CI runs it as the docs-check job). Three
 // checks:
 //
 //  1. Every `-flag` token in inline code or non-Go code fences of the
@@ -12,7 +13,11 @@
 //     REPLICATION.md, DURABILITY.md) must be a flag some command under
 //     cmd/ actually defines — so renaming or removing a flag without
 //     updating the docs breaks the build, not the user.
-//  2. Every ```go fence in any root-level markdown file must survive
+//  2. Every `ErrXxx` identifier those documents mention (ErrFenced,
+//     core.ErrCorrupt, …) must be declared somewhere in the repository's
+//     Go source — retiring or renaming a sentinel error without updating
+//     the failure-handling docs breaks the build too.
+//  3. Every ```go fence in any root-level markdown file must survive
 //     gofmt unchanged (leading 4-space indents are treated as tabs, the
 //     usual markdown rendering of Go indentation).
 package main
@@ -46,6 +51,12 @@ var (
 	flagRef = regexp.MustCompile(`(?:^|[\s(|])-([a-z][a-z0-9-]*)`)
 	// inlineCode matches `…` spans.
 	inlineCode = regexp.MustCompile("`([^`]+)`")
+	// errDef matches sentinel error declarations: `var ErrGap = …` and
+	// `ErrGap = errors.New(…)` inside a var block alike.
+	errDef = regexp.MustCompile(`(?m)^\s*(?:var\s+)?(Err[A-Z][A-Za-z0-9]*)\s*=`)
+	// errRef matches an error identifier in documentation code, with or
+	// without a package qualifier (core.ErrFenced, ErrGap).
+	errRef = regexp.MustCompile(`\b(?:[a-z][a-z0-9]*\.)?(Err[A-Z][A-Za-z0-9]*)\b`)
 )
 
 func main() {
@@ -53,9 +64,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	errs, err := declaredErrors(".")
+	if err != nil {
+		fatal(err)
+	}
 	var problems []string
 	for _, doc := range flagDocs {
 		p, err := checkFlagRefs(doc, defined)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, p...)
+		p, err = checkErrRefs(doc, errs)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,6 +128,74 @@ func definedFlags(cmdDir string) (map[string]bool, error) {
 		err = fmt.Errorf("no flag definitions found under %s — run from the repository root", cmdDir)
 	}
 	return defined, err
+}
+
+// declaredErrors collects every ErrXxx sentinel declared anywhere in the
+// repository's Go source (tests included — docs may cite test-only
+// sentinels is not a case we want, but over-collection only costs the
+// check a little sharpness, never a false failure).
+func declaredErrors(root string) (map[string]bool, error) {
+	declared := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range errDef.FindAllStringSubmatch(string(src), -1) {
+			declared[m[1]] = true
+		}
+		return nil
+	})
+	if len(declared) == 0 && err == nil {
+		err = fmt.Errorf("no error declarations found under %s — run from the repository root", root)
+	}
+	return declared, err
+}
+
+// checkErrRefs scans doc's inline code spans and code fences for ErrXxx
+// identifiers and reports any the Go source does not declare.
+func checkErrRefs(doc string, declared map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		var code []string
+		if inFence {
+			code = append(code, line)
+		} else {
+			for _, m := range inlineCode.FindAllStringSubmatch(line, -1) {
+				code = append(code, m[1])
+			}
+		}
+		for _, c := range code {
+			for _, m := range errRef.FindAllStringSubmatch(c, -1) {
+				if name := m[1]; !declared[name] {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: error %s is not declared anywhere in the Go source", doc, i+1, name))
+				}
+			}
+		}
+	}
+	return problems, nil
 }
 
 // checkFlagRefs scans doc's inline code spans and non-Go code fences for

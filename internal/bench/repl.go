@@ -15,8 +15,12 @@ import (
 
 // ReplBenchResult is the JSON shape dcbench -replica emits: what log
 // shipping costs the primary, how closely a filesystem-transport follower
-// tracks it, and what a promotion pause looks like.
+// tracks it, and what a promotion pause looks like. Version 2 adds the
+// synchronous-replication section (dcbench -replica -sync): the same
+// storm with SyncReplication=1, every insert held until a follower
+// acknowledged its LSN.
 type ReplBenchResult struct {
+	Version int `json:"version"`
 	Records int `json:"records"`
 	Workers int `json:"workers"`
 	// BaselineInsertsPerSec is the primary's durable-insert throughput
@@ -48,6 +52,19 @@ type ReplBenchResult struct {
 	// FollowerCheckpoints is how many replica checkpoints the follower
 	// took while tailing (each bounds its restart replay).
 	FollowerCheckpoints int64 `json:"follower_checkpoints"`
+
+	// SyncReplication is the quorum size the sync section ran with (0 when
+	// -sync was off and the section is absent).
+	SyncReplication int `json:"sync_replication,omitempty"`
+	// SyncInsertsPerSec is the primary's insert throughput with every
+	// write held for a follower acknowledgment (in-process transport).
+	SyncInsertsPerSec float64 `json:"sync_inserts_per_sec,omitempty"`
+	// SyncOverheadPct is the throughput cost of synchronous acknowledgment
+	// versus the async replicated run.
+	SyncOverheadPct float64 `json:"sync_overhead_pct,omitempty"`
+	// SyncDegraded counts writes acknowledged on local durability alone
+	// because the quorum wait timed out (0 = every ack was real).
+	SyncDegraded int64 `json:"sync_degraded"`
 }
 
 // replInsert drives the records through durable inserts from `workers`
@@ -80,8 +97,11 @@ func replInsert(tree *core.Tree, recs []cube.Record, workers int) (time.Duration
 // ReplBench measures log-shipping replication end to end on the
 // filesystem transport: a baseline insert storm with no follower, the
 // same storm with a follower tailing (lag sampled as it runs), the
-// post-quiesce drain, and a promotion. dir == "" uses a temp directory.
-func ReplBench(opt Options, n, workers int, dir string) (*ReplBenchResult, error) {
+// post-quiesce drain, and a promotion. With sync true a third storm runs
+// under SyncReplication=1 on the in-process transport (the only cheap
+// ack channel), reporting what quorum acknowledgment costs on top of
+// async shipping. dir == "" uses a temp directory.
+func ReplBench(opt Options, n, workers int, dir string, syncRun bool) (*ReplBenchResult, error) {
 	if dir == "" {
 		d, err := os.MkdirTemp("", "dcreplbench")
 		if err != nil {
@@ -93,7 +113,7 @@ func ReplBench(opt Options, n, workers int, dir string) (*ReplBenchResult, error
 	cfg := opt.DCConfig
 	wopts := storage.WALOptions{SegmentBytes: 256 << 10}
 
-	build := func(sub string) (*core.Tree, []cube.Record, error) {
+	build := func(sub string, cfg core.Config) (*core.Tree, []cube.Record, error) {
 		schema, recs, err := walBenchSchema(n)
 		if err != nil {
 			return nil, nil, err
@@ -109,10 +129,10 @@ func ReplBench(opt Options, n, workers int, dir string) (*ReplBenchResult, error
 		return tree, recs, nil
 	}
 
-	res := &ReplBenchResult{Records: n, Workers: workers}
+	res := &ReplBenchResult{Version: 2, Records: n, Workers: workers}
 
 	// Baseline: no follower.
-	base, recs, err := build("base")
+	base, recs, err := build("base", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +146,7 @@ func ReplBench(opt Options, n, workers int, dir string) (*ReplBenchResult, error
 	}
 
 	// Replicated: follower tails the WAL directory while the storm runs.
-	prim, recs, err := build("prim")
+	prim, recs, err := build("prim", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -215,5 +235,45 @@ func ReplBench(opt Options, n, workers int, dir string) (*ReplBenchResult, error
 	if err := rw.Close(); err != nil {
 		return nil, err
 	}
-	return res, f.Close()
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if !syncRun {
+		return res, nil
+	}
+
+	// Synchronous: the same storm, every insert held until the follower
+	// acknowledges its LSN. The in-process transport is the ack channel
+	// (DirSource carries none), so the overhead measured is the quorum
+	// round-trip itself, not transport noise.
+	scfg := cfg
+	scfg.SyncReplication = 1
+	res.SyncReplication = 1
+	sprim, srecs, err := build("sync", scfg)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := repl.NewFollower(&repl.WALSource{Tree: sprim}, repl.FollowerOptions{
+		Dir:             filepath.Join(dir, "syncfol"),
+		ID:              "bench-sync",
+		Config:          scfg,
+		Poll:            time.Millisecond,
+		CheckpointEvery: 100 * time.Millisecond,
+		WAL:             wopts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed, err = replInsert(sprim, srecs, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.SyncInsertsPerSec = float64(n) / elapsed.Seconds()
+	res.SyncOverheadPct = 100 * (res.ReplicatedInsertsPerSec - res.SyncInsertsPerSec) /
+		res.ReplicatedInsertsPerSec
+	res.SyncDegraded = sprim.Metrics().ReplSyncDegraded
+	if err := sf.Close(); err != nil {
+		return nil, err
+	}
+	return res, sprim.Close()
 }

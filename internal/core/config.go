@@ -131,6 +131,24 @@ type Config struct {
 	// written by an older build upgrades extent by extent as its nodes are
 	// rewritten by later checkpoints.
 	NodeLayout int
+
+	// SyncReplication, when positive, makes the group committer withhold
+	// write acknowledgements until that many followers have confirmed the
+	// commit LSN (1 = semi-synchronous, n = quorum of n). Followers confirm
+	// through Tree.ObserveFollowerAck, which the in-process replication
+	// source wires to the follower ack path. 0 (the default) acknowledges
+	// on local fsync alone — asynchronous replication. Like NodeLayout this
+	// is a per-open runtime knob, not persisted in the metadata; it is
+	// ignored by trees without a WAL.
+	SyncReplication int
+
+	// SyncReplicationTimeout bounds how long a synchronous write waits for
+	// follower confirmation. On expiry the write is acknowledged on local
+	// durability alone and the dctree_repl_sync_degraded_total counter is
+	// incremented — the mode degrades to asynchronous rather than blocking
+	// the primary on a dead follower. 0 selects the 1 s default. Ignored
+	// when SyncReplication is 0.
+	SyncReplicationTimeout time.Duration
 }
 
 // DefaultConfig returns the configuration used by the paper reproduction.
@@ -147,6 +165,8 @@ func DefaultConfig() Config {
 		NodeLayout:         3,
 		CommitInterval:     2 * time.Millisecond,
 		CommitBytes:        256 << 10,
+
+		SyncReplicationTimeout: time.Second,
 	}
 }
 
@@ -192,6 +212,9 @@ func (c *Config) Normalize() error {
 	if c.WALRecordFormat == 0 {
 		c.WALRecordFormat = walFormatIDs
 	}
+	if c.SyncReplicationTimeout == 0 {
+		c.SyncReplicationTimeout = d.SyncReplicationTimeout
+	}
 	if c.NodeLayout == 0 {
 		c.NodeLayout = int(layoutV3)
 	}
@@ -220,6 +243,10 @@ func (c *Config) Normalize() error {
 		return fmt.Errorf("%w: wal record format %d (want 1 or 2)", ErrBadConfig, c.WALRecordFormat)
 	case c.NodeLayout != int(layoutV2) && c.NodeLayout != int(layoutV3):
 		return fmt.Errorf("%w: node layout %d (want 2 or 3)", ErrBadConfig, c.NodeLayout)
+	case c.SyncReplication < 0:
+		return fmt.Errorf("%w: negative sync replication ack count", ErrBadConfig)
+	case c.SyncReplicationTimeout < 0:
+		return fmt.Errorf("%w: negative sync replication timeout", ErrBadConfig)
 	}
 	return nil
 }

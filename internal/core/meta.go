@@ -17,7 +17,7 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-// Six format versions are in play: v2 ("DCMETA02") extends v1 with the
+// Seven format versions are in play: v2 ("DCMETA02") extends v1 with the
 // group-commit knobs (after the config flags byte) and the WAL checkpoint
 // LSN (after nextID); v3 ("DCMETA03") appends the checkpoint auto-trigger
 // knobs after CommitBytes; v4 ("DCMETA04") appends the WAL record format
@@ -25,12 +25,17 @@ import (
 // stamps (version-number mint, latest version ID and its LSN) after the
 // checkpoint LSN; v6 ("DCMETA06") appends a node-layout tag to every
 // translation-table entry, so reads know which extents hold the flat v3
-// encoding. Writing always produces v6; reading accepts all six, with
-// newer fields defaulting to zero on older blobs (a zero record format
-// normalizes to the current default; zero version stamps mean no snapshot
-// was ever taken; a zero layout tag means the legacy varint encoding).
+// encoding; v7 ("DCMETA07") appends the replication fencing epoch after
+// the version stamps, so a promoted follower's authority survives
+// restarts even if its WAL is later truncated away. Writing always
+// produces v7; reading accepts all seven, with newer fields defaulting to
+// zero on older blobs (a zero record format normalizes to the current
+// default; zero version stamps mean no snapshot was ever taken; a zero
+// layout tag means the legacy varint encoding; a zero epoch means the
+// tree predates fencing and accepts any source).
 const (
-	metaMagic   = "DCMETA06"
+	metaMagic   = "DCMETA07"
+	metaMagicV6 = "DCMETA06"
 	metaMagicV5 = "DCMETA05"
 	metaMagicV4 = "DCMETA04"
 	metaMagicV3 = "DCMETA03"
@@ -58,7 +63,11 @@ type metaSnapshot struct {
 	versionSeq       uint64
 	latestVersionID  uint64
 	latestVersionLSN uint64
-	table            map[nodeID]extentRef
+	// epoch is the replication fencing epoch (meta v7): bumped by every
+	// promotion, checked by followers and ApplyReplicated so a deposed
+	// primary's stale log can never be folded back in.
+	epoch uint64
+	table map[nodeID]extentRef
 }
 
 // metaSnapshotLocked copies the mutable metadata fields. Caller holds t.mu.
@@ -77,6 +86,7 @@ func (t *Tree) metaSnapshotLocked() metaSnapshot {
 		versionSeq:       t.versionSeq,
 		latestVersionID:  t.latestVersionID,
 		latestVersionLSN: t.latestVersionLSN,
+		epoch:            t.epoch,
 		table:            table,
 	}
 }
@@ -121,6 +131,7 @@ func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, snap.versionSeq)
 	buf = binary.AppendUvarint(buf, snap.latestVersionID)
 	buf = binary.AppendUvarint(buf, snap.latestVersionLSN)
+	buf = binary.AppendUvarint(buf, snap.epoch)
 	buf = snap.rootMDS.AppendEncode(buf)
 
 	// Schema: dimensions with full dictionaries, then measure names.
@@ -182,6 +193,8 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	var ver int
 	switch string(meta[:len(metaMagic)]) {
 	case metaMagic:
+		ver = 7
+	case metaMagicV6:
 		ver = 6
 	case metaMagicV5:
 		ver = 5
@@ -235,6 +248,10 @@ func decodeMeta(meta []byte) (*Tree, error) {
 		versionSeq = r.uvarint()
 		latestVersionID = r.uvarint()
 		latestVersionLSN = r.uvarint()
+	}
+	var epoch uint64
+	if ver >= 7 {
+		epoch = r.uvarint()
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: metadata header: %v", ErrCorrupt, r.err)
@@ -316,6 +333,7 @@ func decodeMeta(meta []byte) (*Tree, error) {
 		versionSeq:       versionSeq,
 		latestVersionID:  latestVersionID,
 		latestVersionLSN: latestVersionLSN,
+		epoch:            epoch,
 		table:            table,
 		nc:               newNodeCache(),
 		versions:         make(map[uint64]*Version),

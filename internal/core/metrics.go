@@ -75,6 +75,9 @@ type treeMetrics struct {
 	// Replica apply mode: mutation records folded in by ApplyReplicated
 	// (dict deltas and version records are bookkeeping, like recovery).
 	replicaApplied obs.Counter
+	// Synchronous replication: writes that timed out waiting for the
+	// follower quorum and were acknowledged on local durability alone.
+	replSyncDegraded obs.Counter
 
 	// Fuzzy checkpoints: completed and failed checkpoints, pages (extents)
 	// and payload bytes written, nodes re-dirtied during the background
@@ -195,6 +198,13 @@ type Metrics struct {
 	ReplicaApplied    int64
 	ReplicaAppliedLSN uint64
 
+	// Replication fencing and synchronous acknowledgment. FencingEpoch is
+	// the tree's current epoch (0 = pre-fencing); ReplSyncDegraded counts
+	// synchronous writes that timed out waiting for the follower quorum
+	// and fell back to local-durability acknowledgment.
+	FencingEpoch     uint64
+	ReplSyncDegraded int64
+
 	// Fuzzy checkpoints. CheckpointWriterStallSeconds is the cumulative
 	// time writers were excluded by checkpoint critical sections — for the
 	// fuzzy protocol the capture and install phases only, for FlushSync the
@@ -292,6 +302,8 @@ func (t *Tree) Metrics() Metrics {
 		WALAutotuneAdjusts:      m.walAutotuneAdjusts.Load(),
 		ReplicaApplied:          m.replicaApplied.Load(),
 		ReplicaAppliedLSN:       t.AppliedLSN(),
+		FencingEpoch:            t.Epoch(),
+		ReplSyncDegraded:        m.replSyncDegraded.Load(),
 
 		Checkpoints:                  m.checkpoints.Load(),
 		CheckpointFailures:           m.checkpointFailures.Load(),
@@ -419,6 +431,8 @@ func (m Metrics) Families() []obs.Family {
 		obs.CounterFamily("dctree_wal_autotune_adjustments_total", "Group-commit batches that moved the autotuned window.", m.WALAutotuneAdjusts),
 		obs.CounterFamily("dctree_replica_applied_records_total", "Mutation records applied from the primary's log in replica mode.", m.ReplicaApplied),
 		obs.GaugeFamily("dctree_replica_applied_lsn", "Replica applied-LSN frontier (0 on non-replicas).", float64(m.ReplicaAppliedLSN)),
+		obs.GaugeFamily("dctree_fencing_epoch", "Replication fencing epoch (0 = pre-fencing, bumped by every promotion).", float64(m.FencingEpoch)),
+		obs.CounterFamily("dctree_repl_sync_degraded_total", "Synchronous writes acknowledged on local durability after the follower-quorum wait timed out.", m.ReplSyncDegraded),
 		obs.CounterFamily("dctree_checkpoints_total", "Checkpoints completed (Flush, Checkpoint, or the auto-trigger).", m.Checkpoints),
 		obs.CounterFamily("dctree_checkpoint_failures_total", "Checkpoints that failed and rolled back.", m.CheckpointFailures),
 		obs.CounterFamily("dctree_checkpoint_pages_written_total", "Node extents written by checkpoints.", m.CheckpointPagesWritten),

@@ -85,7 +85,17 @@ func (t *Tree) AppliedLSN() uint64 {
 // re-shipping an overlapping range is idempotent. The tree write lock is
 // held per record, keeping the replica continuously queryable between
 // records of a batch.
-func (t *Tree) ApplyReplicated(lsn uint64, payload []byte) error {
+//
+// epoch is the fencing epoch of the segment the record was shipped from.
+// The idempotence check runs FIRST — restart replay of a mirror that
+// legitimately mixes epochs (history from before a promotion below the
+// frontier) must never fence. A NEW record from an epoch below the
+// replica's is a deposed primary still writing: it is rejected with
+// ErrFenced and nothing is applied. A record from a higher epoch advances
+// the replica's epoch — it has durably observed the new timeline and will
+// refuse the old one from here on. Epoch 0 records (a pre-fencing
+// primary) are accepted by a replica still at epoch 0.
+func (t *Tree) ApplyReplicated(epoch, lsn uint64, payload []byte) error {
 	if !t.replica {
 		return fmt.Errorf("dctree: ApplyReplicated on a non-replica tree")
 	}
@@ -93,6 +103,12 @@ func (t *Tree) ApplyReplicated(lsn uint64, payload []byte) error {
 	defer t.mu.Unlock()
 	if lsn <= t.appliedLSN || lsn <= t.checkpointLSN {
 		return nil // already applied, or inside the restored checkpoint
+	}
+	if epoch < t.epoch {
+		return fmt.Errorf("%w: record epoch %d below replica epoch %d (lsn %d)", ErrFenced, epoch, t.epoch, lsn)
+	}
+	if epoch > t.epoch {
+		t.epoch = epoch
 	}
 	if len(payload) > 0 && payload[0] == walOpDictDelta {
 		if err := applyDictDelta(t.schema, payload); err != nil {

@@ -13,8 +13,9 @@ import (
 // the in-process equivalent of what repl.Follower does across processes.
 func shipAll(t *testing.T, primary, replica *Tree) {
 	t.Helper()
+	epoch := primary.Epoch()
 	if err := primary.wal.w.Replay(func(lsn uint64, payload []byte) error {
-		return replica.ApplyReplicated(lsn, append([]byte(nil), payload...))
+		return replica.ApplyReplicated(epoch, lsn, append([]byte(nil), payload...))
 	}); err != nil {
 		t.Fatalf("shipping: %v", err)
 	}

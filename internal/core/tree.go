@@ -63,6 +63,15 @@ type Tree struct {
 	replica    bool
 	appliedLSN uint64
 
+	// epoch is the replication fencing epoch (guarded by t.mu, persisted
+	// in meta v7 and stamped into WAL segment headers). Every promotion
+	// bumps it; ApplyReplicated rejects records from lower epochs with
+	// ErrFenced, so a deposed primary that keeps writing can never corrupt
+	// a follower that has acknowledged the new timeline. Zero on trees
+	// that predate fencing — no promotion has ever occurred, so nothing is
+	// fenced.
+	epoch uint64
+
 	// dictMu guards dictPending: dictionary registration deltas observed by
 	// the hierarchy hooks (which fire inside Schema.InternRecord, outside
 	// t.mu) and drained into a walOpDictDelta record immediately before the

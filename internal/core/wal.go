@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,16 @@ type dictDelta struct {
 // recoverable mutations — use OpenDurable instead.
 var ErrWALRejected = errors.New("dctree: wal holds unreplayed records")
 
+// ErrFenced is the fencing violation: a replication peer presented an
+// epoch older than the local one. A follower returns it from
+// ApplyReplicated when a deposed primary keeps shipping records minted
+// before the promotion; a primary's write path is poisoned with it when a
+// follower acknowledgment reveals a higher epoch — the primary has been
+// deposed, and acknowledging further writes would lose them on failover.
+// Like an fsync failure it is sticky: the poisoned tree stays queryable
+// but rejects mutations until reopened.
+var ErrFenced = errors.New("dctree: replication epoch fenced (peer was promoted)")
+
 // walState runs group commit for one tree's WAL: appenders (holding the
 // tree write lock) register their appended LSN, a committer goroutine
 // batches all registrations inside a CommitInterval window (closed early
@@ -109,6 +120,13 @@ type walState struct {
 	fsyncEWMA  time.Duration
 	sparseRuns int
 
+	// Synchronous replication (Config.SyncReplication): when syncAcks > 0,
+	// waitDurable additionally blocks until replLSN — the syncAcks-th
+	// highest follower-confirmed LSN — covers the write, or syncTimeout
+	// expires and the write degrades to asynchronous acknowledgment.
+	syncAcks    int
+	syncTimeout time.Duration
+
 	mu sync.Mutex
 	// Two condition variables on one mutex keep the wakeups targeted: an
 	// append signals only the committer; a finished batch broadcasts only
@@ -123,15 +141,25 @@ type walState struct {
 	err        error      // sticky: a failed fsync poisons the write path
 	closing    bool
 	done       chan struct{}
+	// Follower acknowledgment registry: the highest LSN each follower has
+	// confirmed durable on its side. The minimum is the log retention
+	// floor (a truncation past it would strand the slowest follower); the
+	// syncAcks-th highest is replLSN, the quorum-confirmed frontier
+	// synchronous writes wait on.
+	followers map[string]uint64
+	replLSN   uint64
 }
 
 func newWALState(w *storage.WAL, cfg *Config, m *treeMetrics) *walState {
 	ws := &walState{
-		w:        w,
-		interval: cfg.CommitInterval,
-		bytes:    int64(cfg.CommitBytes),
-		m:        m,
-		done:     make(chan struct{}),
+		w:           w,
+		interval:    cfg.CommitInterval,
+		bytes:       int64(cfg.CommitBytes),
+		m:           m,
+		syncAcks:    cfg.SyncReplication,
+		syncTimeout: cfg.SyncReplicationTimeout,
+		followers:   make(map[string]uint64),
+		done:        make(chan struct{}),
 	}
 	ws.commitCond = sync.NewCond(&ws.mu)
 	ws.ackCond = sync.NewCond(&ws.mu)
@@ -199,7 +227,11 @@ func (ws *walState) append(payload []byte) (uint64, error) {
 
 // waitDurable blocks until lsn is durable (or the write path is
 // poisoned). Called WITHOUT the tree lock, so concurrent mutators keep
-// filling the current batch while earlier callers wait on it.
+// filling the current batch while earlier callers wait on it. Under
+// synchronous replication (syncAcks > 0) it then also waits for the
+// quorum frontier to cover lsn; if syncTimeout expires first the write is
+// acknowledged on local durability alone and the degradation is counted —
+// a dead follower slows the primary down to the timeout, never to a halt.
 func (ws *walState) waitDurable(lsn uint64) error {
 	if lsn == 0 {
 		return nil
@@ -212,7 +244,63 @@ func (ws *walState) waitDurable(lsn uint64) error {
 		}
 		ws.ackCond.Wait()
 	}
-	return ws.err
+	if ws.err != nil || ws.syncAcks <= 0 || ws.replLSN >= lsn {
+		return ws.err
+	}
+	// Quorum wait. sync.Cond has no timed wait, so a one-shot timer flips
+	// a per-waiter flag and broadcasts; the loop re-checks it on wakeup.
+	timedOut := false
+	timer := time.AfterFunc(ws.syncTimeout, func() {
+		ws.mu.Lock()
+		timedOut = true
+		ws.ackCond.Broadcast()
+		ws.mu.Unlock()
+	})
+	defer timer.Stop()
+	for ws.replLSN < lsn && ws.err == nil && !ws.closing && !timedOut {
+		ws.ackCond.Wait()
+	}
+	if ws.err != nil {
+		return ws.err
+	}
+	if ws.replLSN < lsn {
+		// Timed out (or the tree is closing): the record is durable locally
+		// but unconfirmed by the quorum. Degrade to async rather than fail
+		// a write that recovery would replay anyway.
+		ws.m.replSyncDegraded.Inc()
+	}
+	return nil
+}
+
+// observeAck records one follower's confirmation that it has durably
+// applied the log through lsn, and returns the new retention floor (the
+// slowest follower's frontier) for the caller to push into the WAL. The
+// quorum frontier advances to the syncAcks-th highest confirmed LSN,
+// waking synchronous writers it now covers.
+func (ws *walState) observeAck(follower string, lsn uint64) uint64 {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if lsn > ws.followers[follower] {
+		ws.followers[follower] = lsn
+	}
+	floor := ^uint64(0)
+	for _, l := range ws.followers {
+		if l < floor {
+			floor = l
+		}
+	}
+	if ws.syncAcks > 0 && len(ws.followers) >= ws.syncAcks {
+		acked := make([]uint64, 0, len(ws.followers))
+		for _, l := range ws.followers {
+			acked = append(acked, l)
+		}
+		sort.Slice(acked, func(i, j int) bool { return acked[i] > acked[j] })
+		if fr := acked[ws.syncAcks-1]; fr > ws.replLSN {
+			ws.replLSN = fr
+			ws.ackCond.Broadcast()
+		}
+	}
+	return floor
 }
 
 // run is the group committer: wait for pending appends, let the batch
@@ -697,6 +785,14 @@ func NewDurableOpts(store storage.Store, schema *cube.Schema, cfg Config, walPre
 		w.Close()
 		return nil, ErrWALRejected
 	}
+	// Fresh durable trees start at epoch 1 (0 is reserved for pre-fencing
+	// trees, which nothing ever fences). The empty first segment is
+	// restamped so the log agrees with the meta from the first record on.
+	t.epoch = 1
+	if e := w.Epoch(); e > t.epoch {
+		t.epoch = e // reattached to a pre-epoched (empty) log
+	}
+	w.SetEpoch(t.epoch)
 	t.checkpointLSN = w.LastLSN()
 	// Initial checkpoint: the store must hold valid (empty-tree) metadata
 	// before the first log record is acknowledged, or a crash before the
@@ -736,6 +832,15 @@ func OpenDurableOpts(store storage.Store, walPrefix string, wopts storage.WALOpt
 	if err != nil {
 		return nil, err
 	}
+	// Reconcile the fencing epoch: the meta blob and the WAL segment
+	// headers each carry it durably, and either can be ahead (a promotion
+	// rotates the log before the next checkpoint rewrites the meta; a
+	// checkpoint can survive a log truncated by retention). The truth is
+	// the maximum, pushed back down into the WAL so new segments carry it.
+	if e := w.Epoch(); e > t.epoch {
+		t.epoch = e
+	}
+	w.SetEpoch(t.epoch)
 	if err := t.recoverFrom(w); err != nil {
 		w.Close()
 		return nil, err
@@ -840,4 +945,56 @@ func (t *Tree) WALStats() storage.WALStats {
 		return storage.WALStats{}
 	}
 	return t.wal.w.Stats()
+}
+
+// Epoch returns the tree's replication fencing epoch: 1 for a fresh
+// durable tree, incremented by every promotion, 0 for trees that predate
+// fencing. Shipped log records carry the epoch of the segment that holds
+// them; a follower refuses records below its own epoch (ErrFenced).
+func (t *Tree) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// BumpEpoch increments the fencing epoch and makes the new value durable
+// before returning: the WAL rotates onto a segment stamped with the new
+// epoch (its header is fsynced by creation), so every record acknowledged
+// after a promotion is provably from the new timeline even if the process
+// dies before the next checkpoint persists the epoch in meta. Promotion
+// (internal/repl) is the only intended caller.
+func (t *Tree) BumpEpoch() (uint64, error) {
+	if t.wal == nil {
+		return 0, fmt.Errorf("dctree: BumpEpoch on a tree without a WAL")
+	}
+	epoch, err := t.wal.w.BumpEpoch()
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	t.epoch = epoch
+	t.mu.Unlock()
+	return epoch, nil
+}
+
+// ObserveFollowerAck folds one follower acknowledgment into the primary:
+// the follower named has durably applied the shipped log through lsn
+// while on the given epoch. The replication retention floor tracks the
+// slowest follower, synchronous writers waiting on the quorum frontier
+// wake as it advances — and an acknowledgment from a HIGHER epoch means a
+// follower was promoted while this primary kept running: the write path
+// is poisoned with ErrFenced exactly as a failed fsync would poison it,
+// because acknowledging further writes here would lose them on failover.
+// No-op on trees without a WAL.
+func (t *Tree) ObserveFollowerAck(follower string, epoch, lsn uint64) error {
+	if t.wal == nil {
+		return nil
+	}
+	if own := t.Epoch(); epoch > own && own > 0 {
+		t.wal.poison(ErrFenced)
+		return ErrFenced
+	}
+	floor := t.wal.observeAck(follower, lsn)
+	t.wal.w.SetRetainLSN(floor)
+	return nil
 }

@@ -20,6 +20,11 @@ type FollowerOptions struct {
 	// (replica.dc), the WAL mirror (wal.*.wal) and the replica's
 	// checkpoints all live here. Created if absent.
 	Dir string
+	// ID is the follower's stable identity, sent with every
+	// acknowledgment — the primary's quorum registry and retention floor
+	// are keyed by it, so two followers must not share an ID and one
+	// follower should keep its ID across restarts. Empty selects Dir.
+	ID string
 	// Config configures the replica tree when bootstrapping a brand-new
 	// follower (block size, node capacities …). It should match the
 	// primary's; zero fields take core defaults. Ignored when Dir already
@@ -144,6 +149,9 @@ func NewFollower(src Source, opts FollowerOptions) (*Follower, error) {
 	if opts.ChunkBytes <= 0 {
 		opts.ChunkBytes = DefaultChunkBytes
 	}
+	if opts.ID == "" {
+		opts.ID = opts.Dir
+	}
 	if err := opts.Config.Normalize(); err != nil {
 		return nil, err
 	}
@@ -204,6 +212,11 @@ func NewFollower(src Source, opts FollowerOptions) (*Follower, error) {
 		m:     m,
 		chunk: opts.ChunkBytes,
 		floor: tree.AppliedLSN() + 1,
+		// Epoch seed: the mirror's newest segment, or — when checkpoints
+		// pruned the mirror past a promotion point — the replica's
+		// persisted epoch. Whichever is higher is what this follower has
+		// durably observed.
+		epoch: max(m.epoch(), tree.Epoch()),
 		apply: tree.ApplyReplicated,
 	}
 	f.metrics.healthy.Set(1)
@@ -243,8 +256,10 @@ func (f *Follower) pass() {
 	if err == nil {
 		// Acknowledge only the durable mirror frontier: the primary may
 		// then truncate those records, and this follower can still
-		// restart from its own mirror.
-		f.src.Ack(f.sh.m.syncedLSN())
+		// restart from its own mirror. The ack carries this follower's
+		// identity and epoch; ErrFenced back means the SOURCE is a deposed
+		// primary (this follower has durably seen a newer timeline).
+		err = f.src.Ack(AckInfo{Follower: f.opts.ID, Epoch: f.sh.epoch, LSN: f.sh.m.syncedLSN()})
 	}
 
 	healthy := err == nil && f.src.Healthy()
@@ -446,6 +461,15 @@ func (f *Follower) Promote() (*core.Tree, error) {
 	}
 	rw, err := core.OpenDurableOpts(f.store, MirrorPrefix(f.opts.Dir), f.opts.WAL)
 	if err != nil {
+		return nil, err
+	}
+	// Fence the old timeline before the first write is accepted: bump the
+	// epoch and rotate onto a segment stamped with it (durable by
+	// creation). From here on the old primary's records are refused by
+	// every follower that hears from this tree, and its own write path is
+	// poisoned by the first acknowledgment that reaches it.
+	if _, err := rw.BumpEpoch(); err != nil {
+		rw.Close()
 		return nil, err
 	}
 	f.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -17,9 +18,13 @@ import (
 // and HTTPSource is its client-side Source. The wire protocol is
 // deliberately dumb — JSON listing plus raw byte ranges — so a follower
 // can resume from any byte offset and nothing on the server holds
-// per-follower state. Acknowledgements piggyback on the listing poll.
+// per-follower state. Acknowledgements piggyback on the listing poll,
+// carrying the follower's identity and fencing epoch; a server whose
+// primary discovers from the epoch that it has been deposed answers
+// 409 Conflict, which the client reports as ErrFenced.
 //
-//	GET /repl/v1/segments?ack=LSN  -> {"tip":…,"segments":[…]}
+//	GET /repl/v1/segments?ack=LSN&epoch=E&follower=ID -> {"tip":…,"segments":[…]}
+//	    (409 Conflict when the ack's epoch fences the primary)
 //	GET /repl/v1/segment?index=I&first=L&off=O&max=M -> raw bytes
 //	    (410 Gone when the segment vanished or was recycled)
 //	GET /repl/v1/schema            -> core.EncodeSchema blob
@@ -48,11 +53,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 // segmentJSON is one listing entry on the wire (Path stays server-side).
+// Epoch and HeaderSize are absent (zero) when the server predates
+// fencing; the client then assumes a v1 header and epoch 0.
 type segmentJSON struct {
-	Index    uint64 `json:"index"`
-	FirstLSN uint64 `json:"firstLSN"`
-	Size     int64  `json:"size"`
-	Sealed   bool   `json:"sealed"`
+	Index      uint64 `json:"index"`
+	FirstLSN   uint64 `json:"firstLSN"`
+	Size       int64  `json:"size"`
+	Sealed     bool   `json:"sealed"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+	HeaderSize int64  `json:"headerSize,omitempty"`
 }
 
 // listingJSON is the /segments response body.
@@ -64,9 +73,20 @@ type listingJSON struct {
 }
 
 func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
-	if ack := r.URL.Query().Get("ack"); ack != "" {
+	q := r.URL.Query()
+	if ack := q.Get("ack"); ack != "" {
 		if lsn, err := strconv.ParseUint(ack, 10, 64); err == nil {
-			s.src.Ack(lsn)
+			info := AckInfo{Follower: q.Get("follower"), LSN: lsn}
+			info.Epoch, _ = strconv.ParseUint(q.Get("epoch"), 10, 64)
+			if info.Follower == "" {
+				info.Follower = r.RemoteAddr
+			}
+			if err := s.src.Ack(info); errors.Is(err, ErrFenced) {
+				// The primary behind this server has been deposed — tell
+				// the follower so it stops polling a dead timeline.
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
 		}
 	}
 	segs, err := s.src.Segments()
@@ -81,6 +101,7 @@ func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
 	for _, seg := range segs {
 		out.Segments = append(out.Segments, segmentJSON{
 			Index: seg.Index, FirstLSN: seg.FirstLSN, Size: seg.Size, Sealed: seg.Sealed,
+			Epoch: seg.Epoch, HeaderSize: seg.HeaderSize,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -159,7 +180,7 @@ type HTTPSource struct {
 	// DefaultHTTPTimeout.
 	Client *http.Client
 
-	ack atomic.Uint64 // last acknowledged LSN + 1 (0 = none yet)
+	ack atomic.Pointer[AckInfo] // last acknowledgement (nil = none yet)
 	tip atomic.Uint64
 }
 
@@ -191,6 +212,8 @@ func (s *HTTPSource) get(path string) ([]byte, error) {
 		return body, nil
 	case http.StatusGone:
 		return nil, storage.ErrSegmentGone
+	case http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", ErrFenced, body)
 	default:
 		return nil, fmt.Errorf("repl: %s: %s: %s", path, resp.Status, body)
 	}
@@ -200,8 +223,10 @@ func (s *HTTPSource) get(path string) ([]byte, error) {
 // acknowledgement.
 func (s *HTTPSource) Segments() ([]storage.WALSegmentInfo, error) {
 	path := "/repl/v1/segments"
-	if a := s.ack.Load(); a > 0 {
-		path += "?ack=" + strconv.FormatUint(a-1, 10)
+	if a := s.ack.Load(); a != nil {
+		path += "?ack=" + strconv.FormatUint(a.LSN, 10) +
+			"&epoch=" + strconv.FormatUint(a.Epoch, 10) +
+			"&follower=" + url.QueryEscape(a.Follower)
 	}
 	body, err := s.get(path)
 	if err != nil {
@@ -214,8 +239,13 @@ func (s *HTTPSource) Segments() ([]storage.WALSegmentInfo, error) {
 	s.tip.Store(out.Tip)
 	segs := make([]storage.WALSegmentInfo, 0, len(out.Segments))
 	for _, e := range out.Segments {
+		hs := e.HeaderSize
+		if hs == 0 {
+			hs = storage.SegmentHeaderSize // pre-fencing server: v1 headers
+		}
 		segs = append(segs, storage.WALSegmentInfo{
 			Index: e.Index, FirstLSN: e.FirstLSN, Size: e.Size, Sealed: e.Sealed,
+			Epoch: e.Epoch, HeaderSize: hs,
 		})
 	}
 	return segs, nil
@@ -240,8 +270,13 @@ func (s *HTTPSource) Healthy() bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// Ack records the follower's durable frontier for the next listing poll.
-func (s *HTTPSource) Ack(lsn uint64) { s.ack.Store(lsn + 1) }
+// Ack records the follower's durable frontier (and identity and epoch) for
+// the next listing poll. Delivery is deferred, so a fencing rejection
+// surfaces as ErrFenced from a later Segments call, not from Ack itself.
+func (s *HTTPSource) Ack(info AckInfo) error {
+	s.ack.Store(&info)
+	return nil
+}
 
 // TipLSN reports the primary tip from the most recent listing.
 func (s *HTTPSource) TipLSN() uint64 { return s.tip.Load() }

@@ -3,7 +3,9 @@ package repl
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,25 +16,41 @@ import (
 // primary shutdown releases waiting followers immediately.
 //
 // The lease is advisory, not a lock: it cannot fence a primary that is
-// alive but wedged. Operators who need single-writer guarantees must
-// ensure the old primary is down before promoting (see OPERATIONS.md).
+// alive but wedged. Fencing epochs (see ErrFenced) are what actually
+// kill a deposed primary's timeline; the lease only decides when a
+// follower's promotion timer arms.
 type Lease struct {
-	path string
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	path  string
+	token string
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
 }
+
+// leaseSeq disambiguates leases created by the same process in the same
+// nanosecond (tests do this routinely).
+var leaseSeq atomic.Uint64
 
 // StartLease writes the lease file and begins refreshing it every
 // interval until Stop. The interval should be a small fraction of the
 // followers' TTL (StartLease(path, ttl/3) against LeaseFresh(path, ttl)
 // is the conventional pairing).
+//
+// The file's content is a token unique to this Lease; Stop removes the
+// file only while it still holds that token, so a stale holder shutting
+// down late cannot delete a successor's live lease out from under it.
 func StartLease(path string, interval time.Duration) (*Lease, error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("repl: lease interval must be positive")
 	}
-	l := &Lease{path: path, stop: make(chan struct{}), done: make(chan struct{})}
-	if err := l.beat(); err != nil {
+	l := &Lease{
+		path: path,
+		token: fmt.Sprintf("%d-%d-%d\n",
+			os.Getpid(), time.Now().UnixNano(), leaseSeq.Add(1)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := l.create(); err != nil {
 		return nil, err
 	}
 	go func() {
@@ -54,27 +72,81 @@ func StartLease(path string, interval time.Duration) (*Lease, error) {
 	return l, nil
 }
 
-// beat refreshes the lease file's modification time.
+// create writes the lease file atomically (temp + rename), so followers
+// never observe a partially written token.
+func (l *Lease) create() error {
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), ".lease-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(l.token); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// beat refreshes the lease file's modification time in place. Bumping
+// the timestamp with Chtimes instead of rewriting the content keeps the
+// heartbeat from racing readers with a momentarily empty file; the file
+// is recreated (atomically) only when someone removed it.
 func (l *Lease) beat() error {
-	return os.WriteFile(l.path, []byte(time.Now().UTC().Format(time.RFC3339Nano)+"\n"), 0o644)
+	now := time.Now()
+	err := os.Chtimes(l.path, now, now)
+	if os.IsNotExist(err) {
+		return l.create()
+	}
+	return err
 }
 
 // Stop halts the heartbeat and removes the lease file, signalling an
-// intentional shutdown to followers. Safe to call more than once.
+// intentional shutdown to followers. The removal is conditional: if the
+// file no longer holds this Lease's token — a newer primary re-leased
+// the same path — it is left alone. Safe to call more than once.
 func (l *Lease) Stop() {
 	l.once.Do(func() {
 		close(l.stop)
 		<-l.done
+		if cur, err := os.ReadFile(l.path); err != nil || string(cur) != l.token {
+			return
+		}
 		_ = os.Remove(l.path)
 	})
 }
 
 // LeaseFresh reports whether the lease file at path exists and was
 // refreshed within ttl — the follower-side liveness check.
+//
+// "Now" is the filesystem's notion of now, not the local clock: the
+// check stats a freshly created probe file next to the lease and
+// compares the two modification times. On a shared filesystem this
+// makes the comparison immune to wall-clock skew between primary and
+// follower hosts — both timestamps come from the same stamping
+// authority. Residual skew remains on network filesystems whose clients
+// stamp mtimes locally (e.g. NFS without server-side timestamps); keep
+// TTLs comfortably above the mount's documented clock tolerance.
 func LeaseFresh(path string, ttl time.Duration) bool {
 	st, err := os.Stat(path)
 	if err != nil {
 		return false
 	}
-	return time.Since(st.ModTime()) <= ttl
+	now := time.Now()
+	if probe, err := os.CreateTemp(filepath.Dir(path), ".lease-probe-*"); err == nil {
+		name := probe.Name()
+		probe.Close()
+		if pst, err := os.Stat(name); err == nil {
+			now = pst.ModTime()
+		}
+		os.Remove(name)
+	}
+	return now.Sub(st.ModTime()) <= ttl
 }

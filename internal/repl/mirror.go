@@ -36,6 +36,8 @@ type mirrorSeg struct {
 	index    uint64
 	firstLSN uint64
 	size     int64 // bytes on disk including the segment header
+	epoch    uint64
+	hdrSize  int64 // header length (v1: 24 bytes, v2: 32)
 }
 
 // openMirror scans prefix for mirrored segments, validates the mirror
@@ -52,17 +54,17 @@ func openMirror(prefix string) (*mirror, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(data) < storage.SegmentHeaderSize {
+		if int64(len(data)) < s.HeaderSize {
 			return nil, fmt.Errorf("%w: %s shorter than its header", ErrMirrorCorrupt, s.Path)
 		}
-		body := data[storage.SegmentHeaderSize:]
+		body := data[s.HeaderSize:]
 		frames, validLen := storage.ValidFramePrefix(body)
 		last := i == len(segs)-1
 		if int64(len(body)) > validLen {
 			if !last {
 				return nil, fmt.Errorf("%w: sealed segment %s has a torn tail", ErrMirrorCorrupt, s.Path)
 			}
-			if err := os.Truncate(s.Path, storage.SegmentHeaderSize+validLen); err != nil {
+			if err := os.Truncate(s.Path, s.HeaderSize+validLen); err != nil {
 				return nil, err
 			}
 		}
@@ -73,7 +75,8 @@ func openMirror(prefix string) (*mirror, error) {
 		}
 		m.next += uint64(frames)
 		m.segs = append(m.segs, mirrorSeg{
-			index: s.Index, firstLSN: s.FirstLSN, size: storage.SegmentHeaderSize + validLen,
+			index: s.Index, firstLSN: s.FirstLSN, size: s.HeaderSize + validLen,
+			epoch: s.Epoch, hdrSize: s.HeaderSize,
 		})
 	}
 	if n := len(m.segs); n > 0 {
@@ -99,6 +102,16 @@ func (m *mirror) nextLSN() uint64 { return m.next }
 // last returns the final (writable) segment.
 func (m *mirror) last() mirrorSeg { return m.segs[len(m.segs)-1] }
 
+// epoch returns the highest fencing epoch the mirror has durably copied —
+// segment epochs are monotone within one log, so it is the final
+// segment's. 0 on an empty mirror (nothing observed yet).
+func (m *mirror) epoch() uint64 {
+	if m.empty() {
+		return 0
+	}
+	return m.last().epoch
+}
+
 // sizeOf returns the mirrored byte count of the segment with the given
 // index, or false if the mirror does not hold it.
 func (m *mirror) sizeOf(index uint64) (int64, bool) {
@@ -111,15 +124,17 @@ func (m *mirror) sizeOf(index uint64) (int64, bool) {
 }
 
 // beginSegment seals the current segment (fsync + close) and starts a new
-// mirrored segment file with the given identity. On a non-empty mirror the
-// new segment's firstLSN must continue the sequence exactly.
-func (m *mirror) beginSegment(index, firstLSN uint64) error {
+// mirrored segment file with the given identity, reproducing the source's
+// exact header bytes (format version, fencing epoch) so the mirror stays
+// byte-identical to the source log. On a non-empty mirror the new
+// segment's firstLSN must continue the sequence exactly.
+func (m *mirror) beginSegment(hdr storage.SegmentHeader) error {
 	if !m.empty() {
-		if firstLSN != m.next {
-			return fmt.Errorf("%w: segment %d starts at lsn %d, mirror expects %d", ErrMirrorCorrupt, index, firstLSN, m.next)
+		if hdr.FirstLSN != m.next {
+			return fmt.Errorf("%w: segment %d starts at lsn %d, mirror expects %d", ErrMirrorCorrupt, hdr.Index, hdr.FirstLSN, m.next)
 		}
-		if index <= m.last().index {
-			return fmt.Errorf("%w: segment index %d not above %d", ErrMirrorCorrupt, index, m.last().index)
+		if hdr.Index <= m.last().index {
+			return fmt.Errorf("%w: segment index %d not above %d", ErrMirrorCorrupt, hdr.Index, m.last().index)
 		}
 		if err := m.sync(); err != nil {
 			return err
@@ -129,23 +144,27 @@ func (m *mirror) beginSegment(index, firstLSN uint64) error {
 		}
 		m.f = nil
 	} else {
-		m.next = firstLSN
-		if firstLSN > 0 {
-			m.synced.Store(firstLSN - 1)
+		m.next = hdr.FirstLSN
+		if hdr.FirstLSN > 0 {
+			m.synced.Store(hdr.FirstLSN - 1)
 		}
 	}
-	path := storage.SegmentPath(m.prefix, index)
+	path := storage.SegmentPath(m.prefix, hdr.Index)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(storage.EncodeSegmentHeader(storage.SegmentHeader{Index: index, FirstLSN: firstLSN})); err != nil {
+	raw := storage.EncodeSegmentHeader(hdr)
+	if _, err := f.Write(raw); err != nil {
 		f.Close()
 		return err
 	}
 	m.f = f
 	m.dirty = true
-	m.segs = append(m.segs, mirrorSeg{index: index, firstLSN: firstLSN, size: storage.SegmentHeaderSize})
+	m.segs = append(m.segs, mirrorSeg{
+		index: hdr.Index, firstLSN: hdr.FirstLSN, size: int64(len(raw)),
+		epoch: hdr.Epoch, hdrSize: int64(len(raw)),
+	})
 	return nil
 }
 
@@ -202,8 +221,12 @@ func (m *mirror) prune(below uint64) (int, error) {
 }
 
 // replay streams every mirrored record through fn in LSN order — the
-// restart path that re-applies the mirror past a replica checkpoint.
-func (m *mirror) replay(fn func(lsn uint64, payload []byte) error) error {
+// restart path that re-applies the mirror past a replica checkpoint. Each
+// record carries the fencing epoch of the segment that holds it; a mirror
+// legitimately mixes epochs around a promotion point, and the applier's
+// LSN idempotence check runs before its epoch check so replay can never
+// false-fence.
+func (m *mirror) replay(fn func(epoch, lsn uint64, payload []byte) error) error {
 	lsn := uint64(0)
 	for i, s := range m.segs {
 		data, err := os.ReadFile(storage.SegmentPath(m.prefix, s.index))
@@ -213,18 +236,18 @@ func (m *mirror) replay(fn func(lsn uint64, payload []byte) error) error {
 		if int64(len(data)) < s.size {
 			return fmt.Errorf("%w: segment %d shrank", ErrMirrorCorrupt, s.index)
 		}
-		payloads, validLen, err := storage.DecodeFrames(data[storage.SegmentHeaderSize:s.size])
+		payloads, validLen, err := storage.DecodeFrames(data[s.hdrSize:s.size])
 		if err != nil {
 			return err
 		}
-		if validLen != s.size-storage.SegmentHeaderSize {
+		if validLen != s.size-s.hdrSize {
 			return fmt.Errorf("%w: segment %d invalid frames", ErrMirrorCorrupt, s.index)
 		}
 		if i == 0 {
 			lsn = s.firstLSN
 		}
 		for _, p := range payloads {
-			if err := fn(lsn, p); err != nil {
+			if err := fn(s.epoch, lsn, p); err != nil {
 				return err
 			}
 			lsn++

@@ -13,8 +13,10 @@ import (
 //
 // blockSize must match the store's (the primary's Config.BlockSize; the
 // default for stores created with defaults). The returned tree writes new
-// records continuing the old primary's LSN sequence; the caller owns both
-// tree and store and must Close them (tree first).
+// records continuing the old primary's LSN sequence — on a freshly bumped
+// fencing epoch, so the old primary's timeline is dead the moment this
+// returns; the caller owns both tree and store and must Close them (tree
+// first).
 func PromoteDir(dir string, blockSize int, wopts storage.WALOptions, poolBytes int) (*core.Tree, *storage.PagedStore, error) {
 	store, err := storage.OpenPagedStore(StorePath(dir), blockSize, poolBytes)
 	if err != nil {
@@ -22,6 +24,11 @@ func PromoteDir(dir string, blockSize int, wopts storage.WALOptions, poolBytes i
 	}
 	tree, err := core.OpenDurableOpts(store, MirrorPrefix(dir), wopts)
 	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	if _, err := tree.BumpEpoch(); err != nil {
+		tree.Close()
 		store.Close()
 		return nil, nil, err
 	}

@@ -22,9 +22,20 @@
 //   - HTTPSource speaks to a repl.Server over HTTP — resumable by byte
 //     offset, with acknowledgements piggybacked on the segment poll.
 //
+// Split brain is closed by fencing epochs (see fence.go): every promotion
+// bumps a durable epoch stamped into WAL segment headers, a follower that
+// has durably observed the new timeline refuses the old one with
+// ErrFenced, and the first new-epoch acknowledgment that reaches a
+// deposed primary poisons its write path. Acknowledgments carry the
+// follower's identity and epoch (AckInfo); with Config.SyncReplication
+// set, the primary withholds write acknowledgments until that many
+// followers have confirmed the LSN — quorum acknowledgment on the
+// in-process and HTTP transports (DirSource carries no ack channel).
+//
 // The protocol invariants (frontier rules, the recycling hazard and its
-// header double-check defense, gap detection, the promotion state machine)
-// are documented in REPLICATION.md at the repository root.
+// header double-check defense, gap detection, the promotion state machine
+// with its epoch bump, and the failure matrix) are documented in
+// REPLICATION.md at the repository root.
 package repl
 
 import (

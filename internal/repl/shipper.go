@@ -21,9 +21,17 @@ type shipper struct {
 	// floor is the first LSN the tree still needs (applied+1), consulted
 	// only while the mirror is empty to pick the starting segment.
 	floor uint64
+	// epoch is the follower's fencing epoch: the highest epoch observed in
+	// segments actually mirrored (seeded from the mirror and the replica
+	// checkpoint at startup). A source whose newest segment falls below
+	// it, or a stale-epoch segment offering new frames, is a deposed
+	// primary and stops the pass with ErrFenced. Only the shipping
+	// goroutine touches it.
+	epoch uint64
 	// apply receives each shipped record after its frames are in the
-	// mirror. May be nil (mirror-only shipping).
-	apply func(lsn uint64, payload []byte) error
+	// mirror, with the epoch of the segment it came from. May be nil
+	// (mirror-only shipping).
+	apply func(epoch, lsn uint64, payload []byte) error
 }
 
 // shipProgress summarizes one runOnce pass.
@@ -52,6 +60,13 @@ func (sh *shipper) runOnce() (shipProgress, error) {
 	}
 	if len(segs) == 0 {
 		return prog, nil
+	}
+	// Fencing: the source's current epoch is its newest segment's. A
+	// source behind the follower's own epoch is a deposed primary — stop
+	// before mirroring a byte. (Old-epoch segments BELOW the newest are
+	// legitimate pre-promotion history and individually checked later.)
+	if srcEpoch := segs[len(segs)-1].Epoch; srcEpoch < sh.epoch {
+		return prog, fmt.Errorf("%w: source epoch %d below follower epoch %d", ErrFenced, srcEpoch, sh.epoch)
 	}
 
 	// Position: the index of the first source segment to ship from.
@@ -104,12 +119,21 @@ func (sh *shipper) runOnce() (shipProgress, error) {
 
 	for _, seg := range segs[start:] {
 		mirrored, have := sh.m.sizeOf(seg.Index)
+		// Fencing: new frames from an epoch below the follower's are the
+		// old timeline still being written by a deposed primary. Already
+		// fully mirrored old-epoch segments are fine — that is history.
+		if seg.Epoch < sh.epoch && (!have || seg.Size > mirrored) {
+			return prog, fmt.Errorf("%w: segment %d epoch %d below follower epoch %d", ErrFenced, seg.Index, seg.Epoch, sh.epoch)
+		}
 		if !have {
-			if err := sh.m.beginSegment(seg.Index, seg.FirstLSN); err != nil {
+			if err := sh.m.beginSegment(seg.HeaderFor()); err != nil {
 				return prog, err
 			}
 			prog.segments++
-			mirrored = storage.SegmentHeaderSize
+			mirrored = seg.HeaderSize
+		}
+		if seg.Epoch > sh.epoch {
+			sh.epoch = seg.Epoch // the new timeline is now in the mirror
 		}
 		off, err := sh.shipSegment(seg, mirrored, &prog)
 		if err != nil {
@@ -137,7 +161,7 @@ func (sh *shipper) runOnce() (shipProgress, error) {
 				prog.lagBytes += d
 			}
 		} else {
-			prog.lagBytes += seg.Size - storage.SegmentHeaderSize
+			prog.lagBytes += seg.Size - seg.HeaderSize
 		}
 	}
 	return prog, nil
@@ -175,7 +199,7 @@ func (sh *shipper) shipSegment(seg storage.WALSegmentInfo, off int64, prog *ship
 		}
 		if sh.apply != nil {
 			for _, p := range payloads {
-				if err := sh.apply(lsn, p); err != nil {
+				if err := sh.apply(seg.Epoch, lsn, p); err != nil {
 					return off, err
 				}
 				lsn++

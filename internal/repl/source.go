@@ -25,7 +25,7 @@ type Source interface {
 	Segments() ([]storage.WALSegmentInfo, error)
 	// ReadAt reads up to max raw bytes of seg starting at byte offset off
 	// (offsets include the segment header; off is always at least
-	// storage.SegmentHeaderSize). Short reads near the frontier are normal.
+	// seg.HeaderSize). Short reads near the frontier are normal.
 	ReadAt(seg storage.WALSegmentInfo, off int64, max int) ([]byte, error)
 	// Schema returns the primary's schema blob (core.EncodeSchema) for
 	// bootstrapping a brand-new replica.
@@ -35,9 +35,24 @@ type Source interface {
 	// timer runs off consecutive false results.
 	Healthy() bool
 	// Ack tells the source the follower has durably mirrored every record
-	// with LSN <= lsn, letting the primary release those segments
-	// (retention floor). Best-effort; implementations may ignore it.
-	Ack(lsn uint64)
+	// with LSN <= info.LSN, letting the primary release those segments
+	// (retention floor) and — under synchronous replication — counting
+	// toward the acknowledgment quorum. info carries the follower's
+	// identity and fencing epoch; a source whose primary discovers from
+	// the epoch that it has been deposed returns ErrFenced. Best-effort
+	// otherwise; implementations may ignore it (DirSource does, which is
+	// why synchronous modes require the in-process or HTTP transport).
+	Ack(info AckInfo) error
+}
+
+// AckInfo is one follower acknowledgment: Follower is a stable identity
+// (the quorum registry key — two followers sharing a name count as one),
+// Epoch is the follower's current fencing epoch, and LSN is the highest
+// record durably mirrored on the follower's disk.
+type AckInfo struct {
+	Follower string
+	Epoch    uint64
+	LSN      uint64
 }
 
 // Tipper is an optional Source extension for transports that know the
@@ -69,8 +84,7 @@ func (s *WALSource) Segments() ([]storage.WALSegmentInfo, error) {
 
 // ReadAt reads segment bytes with the recycling-safe header double-check.
 func (s *WALSource) ReadAt(seg storage.WALSegmentInfo, off int64, max int) ([]byte, error) {
-	want := storage.SegmentHeader{Index: seg.Index, FirstLSN: seg.FirstLSN}
-	return storage.ReadSegmentRange(seg.Path, want, off, max)
+	return storage.ReadSegmentRange(seg.Path, seg.HeaderFor(), off, max)
 }
 
 // Schema returns the primary's schema blob.
@@ -79,11 +93,12 @@ func (s *WALSource) Schema() ([]byte, error) { return s.Tree.EncodeSchema() }
 // Healthy always reports true: the source dies with the primary's process.
 func (s *WALSource) Healthy() bool { return true }
 
-// Ack advances the primary's retention floor to lsn.
-func (s *WALSource) Ack(lsn uint64) {
-	if w := s.Tree.WAL(); w != nil {
-		w.SetRetainLSN(lsn)
-	}
+// Ack folds the follower's confirmation into the primary: the retention
+// floor tracks the slowest follower, synchronous writers waiting on the
+// quorum wake, and an acknowledgment from a higher epoch poisons the
+// primary's write path with ErrFenced (it has been deposed).
+func (s *WALSource) Ack(info AckInfo) error {
+	return s.Tree.ObserveFollowerAck(info.Follower, info.Epoch, info.LSN)
 }
 
 // TipLSN reports the primary's last assigned LSN.
@@ -151,8 +166,7 @@ func (s *DirSource) Segments() ([]storage.WALSegmentInfo, error) {
 
 // ReadAt reads segment bytes with the recycling-safe header double-check.
 func (s *DirSource) ReadAt(seg storage.WALSegmentInfo, off int64, max int) ([]byte, error) {
-	want := storage.SegmentHeader{Index: seg.Index, FirstLSN: seg.FirstLSN}
-	return storage.ReadSegmentRange(seg.Path, want, off, max)
+	return storage.ReadSegmentRange(seg.Path, seg.HeaderFor(), off, max)
 }
 
 // Schema reads the bootstrap blob written by WriteSchema.
@@ -181,5 +195,9 @@ func (s *DirSource) Healthy() bool {
 }
 
 // Ack is a no-op: directory-transport retention is configured on the
-// primary (WALOptions.RetainSegments or an explicit SetRetainLSN).
-func (s *DirSource) Ack(uint64) {}
+// primary (WALOptions.RetainSegments or an explicit SetRetainLSN), and
+// the transport carries no ack channel — synchronous replication modes
+// (Config.SyncReplication) therefore see no acknowledgments from
+// DirSource followers and degrade on every write; use WALSource or the
+// HTTP transport for quorum acknowledgment.
+func (s *DirSource) Ack(AckInfo) error { return nil }

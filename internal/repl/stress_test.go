@@ -79,7 +79,7 @@ func TestShipTailStress(t *testing.T) {
 		m:     m,
 		chunk: 1 << 10, // small chunks: reads constantly land mid-frontier
 		floor: 1,
-		apply: func(lsn uint64, payload []byte) error {
+		apply: func(_, lsn uint64, payload []byte) error {
 			if lsn != got+1 {
 				return fmt.Errorf("lsn %d out of sequence, want %d", lsn, got+1)
 			}

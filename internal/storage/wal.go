@@ -25,8 +25,10 @@ import (
 //	<prefix>.<index>.wal
 //
 // where <index> is a monotonically increasing 8-digit decimal. Each segment
-// starts with a 24-byte header (magic, segment index, LSN of its first
-// record) followed by framed records:
+// starts with a fixed header — 32 bytes in the current v2 format (magic,
+// segment index, LSN of its first record, fencing epoch); 24 bytes in the
+// epoch-less v1 format, which remains readable — followed by framed
+// records:
 //
 //	uint32  payload length
 //	uint32  CRC32 (IEEE) of the payload
@@ -84,6 +86,13 @@ type WAL struct {
 	// resume. MaxUint64 (the initial value) disables the floor.
 	retainLSN uint64
 
+	// epoch is the fencing epoch stamped into the header of every segment
+	// this log creates. It only ever rises (SetEpoch/BumpEpoch); on open it
+	// is recovered as the maximum epoch across the surviving segment
+	// headers, so a promotion's bump survives any crash once the first
+	// post-bump segment header is durable.
+	epoch uint64
+
 	// recycle is the pool of retired segment files awaiting reuse
 	// (non-numeric names, invisible to findSegments); recycleSeq names them
 	// uniquely across the log's lifetime.
@@ -105,6 +114,12 @@ type walSegment struct {
 	// segment of — tracked per segment precisely so a rotation racing a
 	// Sync cannot misattribute one segment's frontier to another.
 	synced int64
+	// epoch and hdrSize mirror the segment's on-disk header: the fencing
+	// epoch it was created under and the header length (v1 segments carry
+	// no epoch and a 24-byte header; both are preserved verbatim so mixed
+	// logs stay byte-stable across reopen).
+	epoch   uint64
+	hdrSize int64
 }
 
 // WALOptions tunes a write-ahead log.
@@ -159,12 +174,14 @@ var (
 var errWALNoHeader = fmt.Errorf("%w: no valid segment header", ErrWALCorrupt)
 
 const (
-	walMagic         = "DCWAL001"
-	walSegHeaderSize = 8 + 8 + 8 // magic, segment index, first LSN
-	walFrameOverhead = 8         // uint32 length + uint32 crc
-	walMaxRecord     = 64 << 20
-	walDefaultSeg    = 4 << 20
-	walDefaultPool   = 4
+	walMagic           = "DCWAL001"
+	walMagicV2         = "DCWAL002"
+	walSegHeaderSize   = 8 + 8 + 8     // v1: magic, segment index, first LSN
+	walSegHeaderV2Size = 8 + 8 + 8 + 8 // v2: v1 fields + fencing epoch
+	walFrameOverhead   = 8             // uint32 length + uint32 crc
+	walMaxRecord       = 64 << 20
+	walDefaultSeg      = 4 << 20
+	walDefaultPool     = 4
 	// walFrameCompressed flags a frame whose payload is walCompress output
 	// in the top bit of the frame's length word (lengths are ≤ 64 MiB, so
 	// the bit is otherwise always clear — including in every v1 log, which
@@ -193,7 +210,7 @@ func OpenWAL(prefix string, opts WALOptions) (*WAL, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = walDefaultSeg
 	}
-	if opts.SegmentBytes < walSegHeaderSize+walFrameOverhead {
+	if opts.SegmentBytes < walSegHeaderV2Size+walFrameOverhead {
 		return nil, fmt.Errorf("%w: segment size %d too small", ErrBadExtent, opts.SegmentBytes)
 	}
 	w := &WAL{prefix: prefix, opts: opts, nextLSN: 1, poolCap: opts.RecyclePool, retainLSN: ^uint64(0)}
@@ -240,12 +257,20 @@ func OpenWAL(prefix string, opts WALOptions) (*WAL, error) {
 			return nil, fmt.Errorf("%w: segment %s starts at lsn %d, want %d",
 				ErrWALCorrupt, segs[i].path, info.firstLSN, w.nextLSN)
 		}
+		if info.epoch < w.epoch {
+			// Epochs only ever rise; a later segment from an earlier epoch
+			// means two logs were interleaved into one directory.
+			return nil, fmt.Errorf("%w: segment %s epoch %d below predecessor epoch %d",
+				ErrWALCorrupt, segs[i].path, info.epoch, w.epoch)
+		}
+		w.epoch = info.epoch
 		if i == 0 {
 			w.nextLSN = info.firstLSN
 		}
 		w.nextLSN += uint64(info.records)
 		w.records += info.records
-		seg := walSegment{index: info.index, path: segs[i].path, firstLSN: info.firstLSN}
+		seg := walSegment{index: info.index, path: segs[i].path, firstLSN: info.firstLSN,
+			epoch: info.epoch, hdrSize: info.hdrSize}
 		if last {
 			f, err := os.OpenFile(segs[i].path, os.O_RDWR, 0o644)
 			if err != nil {
@@ -375,9 +400,29 @@ func (w *WAL) retireLocked(path string) error {
 type segmentInfo struct {
 	index     uint64
 	firstLSN  uint64
+	epoch     uint64 // fencing epoch (0 for v1 headers)
+	hdrSize   int64  // on-disk header length (v1 or v2)
 	records   int64
 	validSize int64 // offset just past the last valid frame
 	fileSize  int64
+}
+
+// parseSegHeader dispatches on the header magic and fills the header
+// fields of info. v1 (24-byte, epoch-less) and v2 (32-byte, carrying the
+// fencing epoch) headers are both accepted; a v1 segment reads as epoch 0.
+func parseSegHeader(data []byte, info *segmentInfo) bool {
+	switch {
+	case len(data) >= walSegHeaderSize && string(data[:8]) == walMagic:
+		info.hdrSize = walSegHeaderSize
+	case len(data) >= walSegHeaderV2Size && string(data[:8]) == walMagicV2:
+		info.hdrSize = walSegHeaderV2Size
+		info.epoch = binary.LittleEndian.Uint64(data[24:])
+	default:
+		return false
+	}
+	info.index = binary.LittleEndian.Uint64(data[8:])
+	info.firstLSN = binary.LittleEndian.Uint64(data[16:])
+	return true
 }
 
 // scanSegment validates a segment's header and frames. When tolerateTail
@@ -389,12 +434,10 @@ func scanSegment(path string, tolerateTail bool) (segmentInfo, error) {
 		return segmentInfo{}, err
 	}
 	info := segmentInfo{fileSize: int64(len(data))}
-	if len(data) < walSegHeaderSize || string(data[:8]) != walMagic {
+	if !parseSegHeader(data, &info) {
 		return segmentInfo{}, fmt.Errorf("%w: segment %s header", errWALNoHeader, path)
 	}
-	info.index = binary.LittleEndian.Uint64(data[8:])
-	info.firstLSN = binary.LittleEndian.Uint64(data[16:])
-	off := int64(walSegHeaderSize)
+	off := info.hdrSize
 	for {
 		n, ok := frameAt(data, off)
 		if !ok {
@@ -457,12 +500,14 @@ func (w *WAL) createSegment(index, firstLSN uint64) error {
 		if err != nil {
 			return err
 		}
-		if err := writeSegHeader(f, index, firstLSN); err != nil {
+		if err := writeSegHeader(f, index, firstLSN, w.epoch); err != nil {
 			f.Close()
 			return err
 		}
 		// The header (and the file's existence) must survive a crash before
 		// the first Sync, or recovery would see a headerless tail segment.
+		// This fsync is also what makes an epoch bump durable: BumpEpoch
+		// returns only after the first new-epoch segment header is on disk.
 		if err := f.Sync(); err != nil {
 			f.Close()
 			return err
@@ -470,19 +515,22 @@ func (w *WAL) createSegment(index, firstLSN uint64) error {
 	}
 	syncDir(filepath.Dir(path))
 	w.f = f
-	w.active = walSegment{index: index, path: path, firstLSN: firstLSN, synced: walSegHeaderSize}
-	w.size = walSegHeaderSize
-	w.flushed = walSegHeaderSize
+	w.active = walSegment{index: index, path: path, firstLSN: firstLSN,
+		epoch: w.epoch, hdrSize: walSegHeaderV2Size, synced: walSegHeaderV2Size}
+	w.size = walSegHeaderV2Size
+	w.flushed = walSegHeaderV2Size
 	w.buf = w.buf[:0]
 	return nil
 }
 
-// writeSegHeader writes and leaves durable-pending a segment header.
-func writeSegHeader(f *os.File, index, firstLSN uint64) error {
-	hdr := make([]byte, walSegHeaderSize)
-	copy(hdr, walMagic)
+// writeSegHeader writes and leaves durable-pending a segment header (always
+// the current v2 format — v1 headers are only ever read, never written).
+func writeSegHeader(f *os.File, index, firstLSN, epoch uint64) error {
+	hdr := make([]byte, walSegHeaderV2Size)
+	copy(hdr, walMagicV2)
 	binary.LittleEndian.PutUint64(hdr[8:], index)
 	binary.LittleEndian.PutUint64(hdr[16:], firstLSN)
+	binary.LittleEndian.PutUint64(hdr[24:], epoch)
 	_, err := f.WriteAt(hdr, 0)
 	return err
 }
@@ -502,8 +550,8 @@ func (w *WAL) reuseRecycledLocked(index, firstLSN uint64, path string) *os.File 
 		if err != nil {
 			continue // pool entry vanished or unreadable; try the next
 		}
-		if err := writeSegHeader(f, index, firstLSN); err == nil {
-			if err = f.Truncate(walSegHeaderSize); err == nil {
+		if err := writeSegHeader(f, index, firstLSN, w.epoch); err == nil {
+			if err = f.Truncate(walSegHeaderV2Size); err == nil {
 				if err = f.Sync(); err == nil {
 					if err = os.Rename(rp, path); err == nil {
 						w.recycled.Add(1)
@@ -695,11 +743,12 @@ func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
 			// snapshot taken above.
 			data = data[:activeSize]
 		}
-		if len(data) < walSegHeaderSize || string(data[:8]) != walMagic {
+		var hdr segmentInfo
+		if !parseSegHeader(data, &hdr) {
 			return fmt.Errorf("%w: segment %s header", ErrWALCorrupt, seg.path)
 		}
-		lsn := binary.LittleEndian.Uint64(data[16:])
-		off := int64(walSegHeaderSize)
+		lsn := hdr.firstLSN
+		off := hdr.hdrSize
 		for {
 			n, ok := frameAt(data, off)
 			if !ok {
@@ -888,6 +937,62 @@ func (w *WAL) SyncedLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.syncedLSN
+}
+
+// Epoch returns the log's current fencing epoch: the epoch stamped into
+// segments created from now on, recovered on open as the maximum across the
+// surviving segment headers (0 for a log of pure v1 segments).
+func (w *WAL) Epoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// SetEpoch raises the fencing epoch (lowering is a no-op: epochs are
+// monotone). Future segments carry the new epoch; if the log is still
+// completely empty — a fresh tree reconciling its initial epoch before the
+// first append — the active segment's header is restamped in place so even
+// the very first segment carries it.
+func (w *WAL) SetEpoch(epoch uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || epoch <= w.epoch {
+		return
+	}
+	w.epoch = epoch
+	if w.records == 0 && len(w.sealed) == 0 && len(w.buf) == 0 && w.flushed == w.active.hdrSize {
+		if err := writeSegHeader(w.f, w.active.index, w.active.firstLSN, epoch); err == nil {
+			// Best-effort durability: the epoch also lives in the tree meta,
+			// which is what a crash before this fsync falls back to.
+			_ = w.f.Sync()
+			w.active.epoch = epoch
+			if w.active.hdrSize != walSegHeaderV2Size {
+				w.active.hdrSize = walSegHeaderV2Size
+				w.active.synced = walSegHeaderV2Size
+				w.size = walSegHeaderV2Size
+				w.flushed = walSegHeaderV2Size
+			}
+		}
+	}
+}
+
+// BumpEpoch increments the fencing epoch and forces a rotation, so every
+// record appended after it returns lives in a segment stamped with the new
+// epoch — and the bump itself is durable (createSegment fsyncs the new
+// header) before any post-bump record can be acknowledged. Promotion calls
+// this exactly once per takeover.
+func (w *WAL) BumpEpoch() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	w.epoch++
+	if err := w.rotateLocked(); err != nil {
+		w.epoch--
+		return 0, err
+	}
+	return w.epoch, nil
 }
 
 // Records returns the number of records currently stored in the log.

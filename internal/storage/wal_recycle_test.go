@@ -121,7 +121,7 @@ func TestWALRecycleHalfRewrittenPoolFileIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSegHeader(f, 2, 99); err != nil {
+	if err := writeSegHeader(f, 2, 99, 0); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()

@@ -23,10 +23,10 @@ import (
 // re-appended) before being renamed back into the log under a new index. A
 // reader holding the file open across that rewrite could observe
 // CRC-valid frames that belong to a different segment. The defense is the
-// header double-check: every read validates the 24-byte header against the
-// expected (index, firstLSN) BOTH before and after reading the byte range,
-// and reuse rewrites the header first — so any read that overlapped a
-// rewrite fails with ErrSegmentGone instead of returning stale frames.
+// header double-check: every read validates the fixed header against the
+// expected (index, firstLSN, epoch) BOTH before and after reading the byte
+// range, and reuse rewrites the header first — so any read that overlapped
+// a rewrite fails with ErrSegmentGone instead of returning stale frames.
 
 // WALSegmentInfo describes one segment of a write-ahead log as visible to
 // a log-shipping reader.
@@ -37,7 +37,15 @@ type WALSegmentInfo struct {
 	Path string
 	// FirstLSN is the LSN of the segment's first record.
 	FirstLSN uint64
-	// Size is the number of readable bytes, including the 24-byte header.
+	// Epoch is the fencing epoch the segment was created under (0 for
+	// epoch-less v1 segments). A follower rejects segments that would
+	// extend its mirror with frames from an epoch below its own.
+	Epoch uint64
+	// HeaderSize is the length of the segment's on-disk header (24 for v1,
+	// 32 for v2) — the offset of its first frame, which mirrors must
+	// preserve to stay byte-identical.
+	HeaderSize int64
+	// Size is the number of readable bytes, including the header.
 	// For a live WAL (WAL.Segments) this is the durable frontier — sealed
 	// segments are durable in full, the active one up to its last fsync.
 	// For a directory scan (ListSegments) it is the file size, which may
@@ -57,10 +65,25 @@ func (s WALSegmentInfo) LastLSN(nextFirstLSN uint64) uint64 { return nextFirstLS
 // from a fresh Segments listing when they see it.
 var ErrSegmentGone = errors.New("storage: wal segment gone or recycled")
 
-// SegmentHeader is the parsed 24-byte header of a WAL segment file.
+// SegmentHeader is the parsed fixed header of a WAL segment file — v1
+// (24 bytes, epoch-less) or v2 (32 bytes, carrying the fencing epoch).
 type SegmentHeader struct {
 	Index    uint64
 	FirstLSN uint64
+	// Epoch is the fencing epoch stamped into a v2 header; 0 for v1.
+	Epoch uint64
+	// HeaderSize is the on-disk header length (SegmentHeaderSize for v1,
+	// SegmentHeaderV2Size for v2), which is also the offset of the
+	// segment's first frame.
+	HeaderSize int64
+}
+
+// HeaderFor returns the parsed-header view of a listed segment — the
+// `want` a reader passes to ReadSegmentRange so the double-check pins the
+// exact segment identity (index, firstLSN, epoch, header format) it read
+// from the listing.
+func (s WALSegmentInfo) HeaderFor() SegmentHeader {
+	return SegmentHeader{Index: s.Index, FirstLSN: s.FirstLSN, Epoch: s.Epoch, HeaderSize: s.HeaderSize}
 }
 
 // Segments enumerates the log's current segments with their durable byte
@@ -75,11 +98,13 @@ func (w *WAL) Segments() []WALSegmentInfo {
 	segs := make([]WALSegmentInfo, 0, len(w.sealed)+1)
 	for _, s := range w.sealed {
 		segs = append(segs, WALSegmentInfo{
-			Index: s.index, Path: s.path, FirstLSN: s.firstLSN, Size: s.synced, Sealed: true,
+			Index: s.index, Path: s.path, FirstLSN: s.firstLSN,
+			Epoch: s.epoch, HeaderSize: s.hdrSize, Size: s.synced, Sealed: true,
 		})
 	}
 	segs = append(segs, WALSegmentInfo{
 		Index: w.active.index, Path: w.active.path, FirstLSN: w.active.firstLSN,
+		Epoch: w.active.epoch, HeaderSize: w.active.hdrSize,
 		Size: w.active.synced, Sealed: false,
 	})
 	return segs
@@ -131,7 +156,8 @@ func ListSegments(prefix string) ([]WALSegmentInfo, error) {
 			continue
 		}
 		segs = append(segs, WALSegmentInfo{
-			Index: hdr.Index, Path: f.path, FirstLSN: hdr.FirstLSN, Size: size,
+			Index: hdr.Index, Path: f.path, FirstLSN: hdr.FirstLSN,
+			Epoch: hdr.Epoch, HeaderSize: hdr.HeaderSize, Size: size,
 		})
 	}
 	for i := range segs {
@@ -163,23 +189,24 @@ func readHeaderAndSize(path string) (SegmentHeader, int64, error) {
 	return hdr, st.Size(), nil
 }
 
-// readHeader reads and validates the 24-byte segment header from an open
-// file. An absent or foreign header is ErrSegmentGone (the file is being
-// created or was recycled), not corruption.
+// readHeader reads and validates the fixed segment header (either format)
+// from an open file. An absent or foreign header is ErrSegmentGone (the
+// file is being created or was recycled), not corruption.
 func readHeader(f *os.File) (SegmentHeader, error) {
-	var buf [walSegHeaderSize]byte
-	if _, err := f.ReadAt(buf[:], 0); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return SegmentHeader{}, ErrSegmentGone
-		}
+	var buf [walSegHeaderV2Size]byte
+	n, err := f.ReadAt(buf[:], 0)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		return SegmentHeader{}, err
 	}
-	if string(buf[:8]) != walMagic {
+	var info segmentInfo
+	if !parseSegHeader(buf[:n], &info) {
 		return SegmentHeader{}, ErrSegmentGone
 	}
 	return SegmentHeader{
-		Index:    binary.LittleEndian.Uint64(buf[8:]),
-		FirstLSN: binary.LittleEndian.Uint64(buf[16:]),
+		Index:      info.index,
+		FirstLSN:   info.firstLSN,
+		Epoch:      info.epoch,
+		HeaderSize: info.hdrSize,
 	}, nil
 }
 
@@ -233,19 +260,35 @@ func ReadSegmentRange(path string, want SegmentHeader, off int64, max int) ([]by
 	return buf[:n], nil
 }
 
-// EncodeSegmentHeader renders a 24-byte segment header — the bytes a
-// follower writes at the start of a mirrored segment file so its mirror
-// reopens as a valid WAL.
+// EncodeSegmentHeader renders a segment header in the format hdr.HeaderSize
+// selects (v2 when unset) — the bytes a follower writes at the start of a
+// mirrored segment file so its mirror stays byte-identical to the source
+// and reopens as a valid WAL.
 func EncodeSegmentHeader(hdr SegmentHeader) []byte {
-	buf := make([]byte, walSegHeaderSize)
-	copy(buf, walMagic)
+	if hdr.HeaderSize == walSegHeaderSize {
+		buf := make([]byte, walSegHeaderSize)
+		copy(buf, walMagic)
+		binary.LittleEndian.PutUint64(buf[8:], hdr.Index)
+		binary.LittleEndian.PutUint64(buf[16:], hdr.FirstLSN)
+		return buf
+	}
+	buf := make([]byte, walSegHeaderV2Size)
+	copy(buf, walMagicV2)
 	binary.LittleEndian.PutUint64(buf[8:], hdr.Index)
 	binary.LittleEndian.PutUint64(buf[16:], hdr.FirstLSN)
+	binary.LittleEndian.PutUint64(buf[24:], hdr.Epoch)
 	return buf
 }
 
-// SegmentHeaderSize is the length of the fixed segment file header.
+// SegmentHeaderSize is the length of the v1 segment file header — the
+// minimum any segment carries. Readers must use a segment's own
+// WALSegmentInfo.HeaderSize for frame offsets; this constant survives as
+// the lower bound (and the header length of pre-epoch logs).
 const SegmentHeaderSize = walSegHeaderSize
+
+// SegmentHeaderV2Size is the length of the v2 (epoch-carrying) segment
+// file header, the format every newly created segment uses.
+const SegmentHeaderV2Size = walSegHeaderV2Size
 
 // SegmentPath returns the file path of the segment with the given index
 // under a WAL prefix — the naming a mirrored log must reproduce for
