@@ -533,20 +533,20 @@ func runRecover(args []string) error {
 	return tree.Close()
 }
 
-// runVersions lists MVCC versions and optionally prunes them. Versions are
-// in-process handles, so a plain open shows only the persisted stamps; with
-// -wal, replaying the log tail reconstructs every version whose record the
-// last checkpoint has not superseded, and those can then be pruned (released
-// so their pinned extents return to the freelist).
+// runVersions lists MVCC versions and optionally prunes them. Versions
+// persisted by a checkpoint (meta v8) rehydrate on a plain open; pass -wal
+// as well to additionally reconstruct versions whose records are still in
+// the log tail. Pruning works either way: -prune releases by ID (or 'all'),
+// -keep-last/-max-age apply a retention policy, and a checkpoint is written
+// afterwards so the released extents land on the durable freelist.
 func runVersions(args []string) error {
 	fs := flag.NewFlagSet("versions", flag.ExitOnError)
 	indexPath := fs.String("index", "index.dc", "index file")
-	walPrefix := fs.String("wal", "", "write-ahead log file prefix; replays the tail to reconstruct versions")
-	prune := fs.String("prune", "", "release version by ID, or 'all'; requires -wal")
+	walPrefix := fs.String("wal", "", "write-ahead log file prefix; also replays the tail to reconstruct versions")
+	prune := fs.String("prune", "", "release version by ID, or 'all'")
+	keepLast := fs.Int("keep-last", 0, "retention: keep only the newest N versions")
+	maxAge := fs.Duration("max-age", 0, "retention: release versions older than this (e.g. 72h)")
 	fs.Parse(args)
-	if *prune != "" && *walPrefix == "" {
-		return fmt.Errorf("-prune requires -wal (versions are reconstructed from the log tail)")
-	}
 
 	var tree *dctree.Tree
 	if *walPrefix != "" {
@@ -581,13 +581,17 @@ func runVersions(args []string) error {
 		fmt.Println("0 live versions")
 	}
 	for _, vi := range infos {
-		fmt.Printf("version %d: lsn=%d records=%d overlay-nodes=%d pinned-extents=%d created=%s\n",
-			vi.ID, vi.LSN, vi.Records, vi.Overlay, vi.Pinned,
+		durable := "volatile"
+		if vi.Persisted {
+			durable = "durable"
+		}
+		fmt.Printf("version %d: lsn=%d records=%d overlay-nodes=%d pinned-extents=%d %s created=%s\n",
+			vi.ID, vi.LSN, vi.Records, vi.Overlay, vi.Pinned, durable,
 			vi.CreatedAt.Format("2006-01-02T15:04:05Z07:00"))
 	}
 
+	pruned := 0
 	if *prune != "" {
-		pruned := 0
 		if *prune == "all" {
 			for _, vi := range infos {
 				if err := tree.ReleaseVersion(vi.ID); err != nil {
@@ -605,8 +609,16 @@ func runVersions(args []string) error {
 			}
 			pruned++
 		}
-		// Checkpoint so the freed extents land on the durable freelist and
-		// the log truncates past the released version records.
+	}
+	if *keepLast > 0 || *maxAge > 0 {
+		pruned += len(tree.PruneVersionsPolicy(dctree.VersionRetention{
+			KeepLast: *keepLast, MaxAge: *maxAge,
+		}))
+	}
+	if pruned > 0 {
+		// Checkpoint so the freed extents land on the durable freelist, the
+		// released versions drop out of the meta manifests, and the log
+		// truncates past the released version records.
 		if err := tree.Flush(); err != nil {
 			return fmt.Errorf("checkpoint after prune: %w", err)
 		}

@@ -124,6 +124,10 @@ type (
 	Version = core.Version
 	// VersionInfo describes one live version (Tree.Versions).
 	VersionInfo = core.VersionInfo
+	// VersionRetention is the automatic version-pruning policy
+	// (Config.VersionRetention): keep the newest KeepLast versions and/or
+	// release versions older than MaxAge.
+	VersionRetention = core.VersionRetention
 
 	// Schema declares a data cube: dimensions with concept hierarchies
 	// plus measure names.

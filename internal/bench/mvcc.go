@@ -35,12 +35,25 @@ type MVCCVariant struct {
 	Scans          int64 `json:"scans"`
 	RecordsScanned int64 `json:"records_scanned"`
 	Snapshots      int64 `json:"snapshots"`
+	// Durable-version accounting (format v2, snapshot mode only): versions
+	// released by the KeepLast retention policy the variant runs under,
+	// overlay extents/bytes the background checkpoints persisted for live
+	// versions, and checkpoint frees parked behind version pins.
+	VersionsPruned  int64 `json:"versions_pruned"`
+	OverlayExtents  int64 `json:"overlay_extents_persisted"`
+	OverlayBytes    int64 `json:"overlay_bytes_persisted"`
+	ScanFreesParked int64 `json:"frees_parked"`
 }
 
 // MVCCBenchResult is the JSON shape dcbench -snapshot-scan emits.
+// Format v2: the snapshot variant holds versions live under a KeepLast
+// retention policy instead of releasing each scan's version inline, so the
+// background checkpoints exercise the durable-overlay write path (meta v8)
+// and retention does the pruning.
 type MVCCBenchResult struct {
-	Records  int           `json:"records"`
-	Variants []MVCCVariant `json:"variants"`
+	FormatVersion int           `json:"format_version"`
+	Records       int           `json:"records"`
+	Variants      []MVCCVariant `json:"variants"`
 	// P99 insert latency of each scanning mode relative to the no-scan
 	// baseline. The snapshot ratio is the headline: it stays near 1 while
 	// the locked ratio grows with scan length.
@@ -61,7 +74,7 @@ const mvccCheckpointEvery = 50 * time.Millisecond
 // run the identical insert workload of n pre-interned records on an
 // in-memory store with fuzzy checkpoints ticking in the background.
 func MVCCBench(opt Options, n int) (*MVCCBenchResult, error) {
-	res := &MVCCBenchResult{Records: n}
+	res := &MVCCBenchResult{FormatVersion: 2, Records: n}
 	for _, mode := range []string{"no_scan", "locked_scan", "snapshot_scan"} {
 		v, err := runMVCCVariant(opt, mode, n)
 		if err != nil {
@@ -84,6 +97,12 @@ func runMVCCVariant(opt Options, mode string, n int) (MVCCVariant, error) {
 		return v, err
 	}
 	cfg := opt.DCConfig
+	if mode == "snapshot_scan" {
+		// Format v2: versions stay live until retention prunes them, so the
+		// background checkpoints persist their overlays (meta v8) — the
+		// durable-version write path is part of what this variant measures.
+		cfg.VersionRetention = core.VersionRetention{KeepLast: 2}
+	}
 	tree, err := core.New(storage.NewMemStore(cfg.BlockSize), schema, cfg)
 	if err != nil {
 		return v, err
@@ -143,11 +162,10 @@ func runMVCCVariant(opt Options, mode string, n int) (MVCCVariant, error) {
 						return
 					}
 					captured.Add(1)
-					err = snap.Scan(count)
-					if rerr := snap.Release(); err == nil {
-						err = rerr
-					}
-					if err != nil {
+					// No inline Release: the snapshot stays live until the
+					// KeepLast retention policy (applied by later Snapshot
+					// calls and checkpoint starts) prunes it.
+					if err := snap.Scan(count); err != nil {
 						scanErr = err
 						return
 					}
@@ -183,17 +201,22 @@ func runMVCCVariant(opt Options, mode string, n int) (MVCCVariant, error) {
 		idx := int(p * float64(len(lat)-1))
 		return float64(lat[idx]) / float64(time.Microsecond)
 	}
+	m := tree.Metrics()
 	v = MVCCVariant{
-		Mode:           mode,
-		Records:        len(lat),
-		Seconds:        elapsed.Seconds(),
-		InsertsPerSec:  float64(len(lat)) / elapsed.Seconds(),
-		P50InsertUS:    pct(0.50),
-		P99InsertUS:    pct(0.99),
-		MaxInsertUS:    float64(lat[len(lat)-1]) / float64(time.Microsecond),
-		Scans:          scans.Load(),
-		RecordsScanned: scanned.Load(),
-		Snapshots:      captured.Load(),
+		Mode:            mode,
+		Records:         len(lat),
+		Seconds:         elapsed.Seconds(),
+		InsertsPerSec:   float64(len(lat)) / elapsed.Seconds(),
+		P50InsertUS:     pct(0.50),
+		P99InsertUS:     pct(0.99),
+		MaxInsertUS:     float64(lat[len(lat)-1]) / float64(time.Microsecond),
+		Scans:           scans.Load(),
+		RecordsScanned:  scanned.Load(),
+		Snapshots:       captured.Load(),
+		VersionsPruned:  m.VersionsPruned,
+		OverlayExtents:  m.VersionOverlayExtents,
+		OverlayBytes:    m.VersionOverlayBytes,
+		ScanFreesParked: m.SnapshotFreesParked,
 	}
 	return v, nil
 }

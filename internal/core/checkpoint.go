@@ -50,13 +50,28 @@ type ckptNode struct {
 	fresh   extentRef // assigned by the background write phase
 }
 
+// ckptVersion is one live MVCC version captured for a checkpoint: the
+// manifest to persist in meta v8, and — for versions no earlier checkpoint
+// persisted — the overlay payloads the background phase writes to fresh
+// extents (reusing ckptNode: id, payload, need, fresh; seq/old unused).
+type ckptVersion struct {
+	v       *Version
+	m       versionManifest
+	pending []ckptNode
+}
+
 // ckptCapture is the consistent image one checkpoint persists.
 type ckptCapture struct {
 	lsn     uint64
-	skip    bool // nothing dirty, nothing to free, LSN unchanged
+	skip    bool // nothing dirty, nothing to free, LSN and versions unchanged
 	nodes   []ckptNode
 	meta    metaSnapshot
 	freeNow []extentRef // pending frees detached at capture, released after the swap
+	// versions are the live versions at capture; versionGen is the registry
+	// generation they represent, stamped into versionGenPersisted when the
+	// swap lands so later no-op checkpoints may skip.
+	versions   []ckptVersion
+	versionGen uint64
 }
 
 // captureLocked snapshots the checkpoint image. Caller holds t.mu.
@@ -114,8 +129,64 @@ func (t *Tree) captureLocked() (*ckptCapture, error) {
 	t.pendingFree = nil
 	c.meta = t.metaSnapshotLocked()
 	c.meta.checkpointLSN = c.lsn
-	c.skip = len(c.nodes) == 0 && len(c.freeNow) == 0 && c.lsn == t.checkpointLSN
+	c.versions = t.captureVersionsLocked()
+	c.versionGen = t.versionGen
+	c.skip = len(c.nodes) == 0 && len(c.freeNow) == 0 && c.lsn == t.checkpointLSN &&
+		c.versionGen == t.versionGenPersisted
 	return c, nil
+}
+
+// captureVersionsLocked snapshots every live version for the checkpoint's
+// meta v8 manifests. Already-persisted versions only need their manifest
+// re-encoded (table merged with the overlay extents an earlier checkpoint
+// wrote); unpersisted ones additionally hand their overlay payloads to the
+// background phase for extent writes. Caller holds t.mu, which also
+// guards v.ovExtents and the persisted latch.
+func (t *Tree) captureVersionsLocked() []ckptVersion {
+	t.vmu.Lock()
+	live := make([]*Version, 0, len(t.versions))
+	for _, v := range t.versions {
+		if !v.released.Load() {
+			live = append(live, v)
+		}
+	}
+	t.vmu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+
+	out := make([]ckptVersion, 0, len(live))
+	for _, v := range live {
+		cv := ckptVersion{v: v, m: versionManifest{
+			id:      v.id,
+			lsn:     v.lsn,
+			created: v.created.UnixNano(),
+			root:    v.root,
+			rootMDS: v.rootMDS,
+			height:  v.height,
+			count:   v.count,
+		}}
+		table := make(map[nodeID]extentRef, len(v.table)+len(v.overlay))
+		for id, ref := range v.table {
+			table[id] = ref
+		}
+		if v.persisted.Load() {
+			for id, ref := range v.ovExtents {
+				table[id] = ref
+			}
+		} else {
+			for id, payload := range v.overlay {
+				cv.pending = append(cv.pending, ckptNode{
+					id:      id,
+					payload: payload,
+					layout:  layoutV2, // overlays are captured with appendEncode
+					need:    storage.BlocksFor(t.cfg.BlockSize, len(payload)),
+				})
+			}
+			sort.Slice(cv.pending, func(i, j int) bool { return cv.pending[i].id < cv.pending[j].id })
+		}
+		cv.m.table = table
+		out = append(out, cv)
+	}
+	return out
 }
 
 // writeExtents is the background phase: write every captured payload to a
@@ -137,6 +208,26 @@ func (t *Tree) writeExtents(ctx context.Context, c *ckptCapture) error {
 		}
 		c.meta.table[cn.id] = cn.fresh
 	}
+	for vi := range c.versions {
+		cv := &c.versions[vi]
+		for i := range cv.pending {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cn := &cv.pending[i]
+			page, err := t.store.Alloc(cn.need)
+			if err != nil {
+				return err
+			}
+			cn.fresh = extentRef{page: page, blocks: cn.need, layout: cn.layout}
+			if err := t.store.Write(page, cn.need, cn.payload); err != nil {
+				return err
+			}
+			// The manifest table is this version's durable translation: its
+			// overlay entries now point at the fresh extents just written.
+			cv.m.table[cn.id] = cn.fresh
+		}
+	}
 	return nil
 }
 
@@ -146,7 +237,82 @@ func (t *Tree) writeExtents(ctx context.Context, c *ckptCapture) error {
 // can roll back; once the swap is durable the install cannot fail — frees
 // are retried at the next checkpoint instead of unwinding a committed
 // state. Caller holds t.mu.
+//
+// Because the whole install runs under one continuous hold of t.mu (and
+// every pin-ledger mutation happens under t.mu), the pre-swap analysis —
+// which captured nodes are still live, which superseded extents will be
+// parked behind a version pin versus freed, which captured versions were
+// released meanwhile — exactly matches the post-swap execution, so the
+// parked-free list persisted in the meta blob is the ledger state a
+// reopening process must restore.
 func (t *Tree) installLocked(c *ckptCapture) error {
+	// Pre-swap analysis: nothing in-memory is mutated here, only the
+	// capture's meta snapshot is completed.
+	live := make([]bool, len(c.nodes))
+	var toPark, toFree []extentRef
+	classify := func(ref extentRef) {
+		// A live MVCC version may still be reading this extent through its
+		// captured table: park the free in the pin ledger instead, to be
+		// executed when the last version pinning it is released.
+		if t.pins.Pinned(ref.page) {
+			toPark = append(toPark, ref)
+		} else {
+			toFree = append(toFree, ref)
+		}
+	}
+	for i := range c.nodes {
+		cn := &c.nodes[i]
+		// A captured node is still live if it has an extent or is resident:
+		// fresh nodes reach their first checkpoint with no table entry yet,
+		// and only dropNode removes a dirty node from both places.
+		_, inTable := t.table[cn.id]
+		if inTable || t.nc.get(cn.id) != nil {
+			live[i] = true
+			if cn.hasOld {
+				classify(cn.old)
+			}
+		}
+	}
+	for _, ref := range c.freeNow {
+		classify(ref)
+	}
+	// Versions released between capture and install drop out of the meta
+	// manifests; their freshly written overlay extents are unreferenced and
+	// freed outright. (A crash between their WAL release record and the
+	// next swap degrades to the accepted pendingFree-leak class.)
+	surviving := make([]ckptVersion, 0, len(c.versions))
+	for i := range c.versions {
+		cv := &c.versions[i]
+		if cv.v.released.Load() {
+			for j := range cv.pending {
+				if f := cv.pending[j].fresh; f.page != storage.NilPage {
+					toFree = append(toFree, f)
+				}
+			}
+			continue
+		}
+		surviving = append(surviving, *cv)
+	}
+	c.meta.versions = c.meta.versions[:0]
+	for i := range surviving {
+		c.meta.versions = append(c.meta.versions, surviving[i].m)
+	}
+	// The persisted parked-free list = the ledger now + what this install
+	// will park + the surviving overlay extents this install will park
+	// behind their version's pin (disjoint sets: fresh allocations cannot
+	// collide with already-parked or about-to-park superseded extents).
+	def := t.pins.Deferred()
+	for _, ref := range toPark {
+		def = append(def, storage.Extent{Page: ref.page, Blocks: ref.blocks})
+	}
+	for i := range surviving {
+		for j := range surviving[i].pending {
+			f := surviving[i].pending[j].fresh
+			def = append(def, storage.Extent{Page: f.page, Blocks: f.blocks})
+		}
+	}
+	c.meta.deferred = def
+
 	meta, err := t.encodeMeta(c.meta)
 	if err != nil {
 		return err
@@ -162,34 +328,15 @@ func (t *Tree) installLocked(c *ckptCapture) error {
 	t.checkpointLSN = c.lsn
 	var deferred []extentRef
 	var parked int64
-	free := func(ref extentRef) {
-		// A live MVCC version may still be reading this extent through its
-		// captured table: park the free in the pin ledger instead, to be
-		// executed when the last version pinning it is released.
-		if t.pins.FreeOrDefer(ref.page, ref.blocks) {
-			parked++
-			return
-		}
-		if err := t.store.Free(ref.page, ref.blocks); err != nil {
-			deferred = append(deferred, ref)
-		}
-	}
 	for i := range c.nodes {
 		cn := &c.nodes[i]
-		// A captured node is still live if it has an extent or is resident:
-		// fresh nodes reach their first checkpoint with no table entry yet,
-		// and only dropNode removes a dirty node from both places.
-		_, inTable := t.table[cn.id]
-		if inTable || t.nc.get(cn.id) != nil {
+		if live[i] {
 			t.table[cn.id] = cn.fresh
 			if !t.nc.clearDirtyIf(cn.id, cn.seq) {
 				// Re-dirtied during the background write: the fresh extent
 				// holds the captured (consistent, WAL-covered) version and
 				// the node stays queued for the next checkpoint.
 				t.metrics.checkpointRequeued.Inc()
-			}
-			if cn.hasOld {
-				free(cn.old)
 			}
 		} else {
 			// Dropped during the background write. The metadata just made
@@ -199,8 +346,21 @@ func (t *Tree) installLocked(c *ckptCapture) error {
 			t.pendingFree = append(t.pendingFree, cn.fresh)
 		}
 	}
-	for _, ref := range c.freeNow {
-		free(ref)
+	for _, ref := range toPark {
+		if t.pins.FreeOrDefer(ref.page, ref.blocks) {
+			parked++
+			continue
+		}
+		// Unreachable under the continuous lock hold (the pin observed by
+		// the classification cannot have vanished), but degrade safely.
+		if err := t.store.Free(ref.page, ref.blocks); err != nil {
+			deferred = append(deferred, ref)
+		}
+	}
+	for _, ref := range toFree {
+		if err := t.store.Free(ref.page, ref.blocks); err != nil {
+			deferred = append(deferred, ref)
+		}
 	}
 	if len(deferred) > 0 {
 		// A failed Free after a durable swap is not a checkpoint failure:
@@ -212,6 +372,35 @@ func (t *Tree) installLocked(c *ckptCapture) error {
 	if parked > 0 {
 		t.metrics.snapshotFreesParked.Add(parked)
 	}
+
+	// Persist the surviving versions' overlay state: the fresh overlay
+	// extents become the version's durable overlay, pinned by the version
+	// and parked in the ledger so releasing the version (now or after a
+	// reopen) returns them due for freeing.
+	for i := range surviving {
+		cv := &surviving[i]
+		v := cv.v
+		if len(cv.pending) > 0 {
+			if v.ovExtents == nil {
+				v.ovExtents = make(map[nodeID]extentRef, len(cv.pending))
+			}
+			var ovBytes int64
+			for j := range cv.pending {
+				cn := &cv.pending[j]
+				v.ovExtents[cn.id] = cn.fresh
+				ovBytes += int64(len(cn.payload))
+				if t.pins.Pin(cn.fresh.page) {
+					v.ovPinned = append(v.ovPinned, cn.fresh.page)
+				}
+				_ = t.pins.FreeOrDefer(cn.fresh.page, cn.fresh.blocks)
+			}
+			v.pinCount.Store(int64(len(v.pinned) + len(v.ovPinned)))
+			t.metrics.versionOverlayExtents.Add(int64(len(cv.pending)))
+			t.metrics.versionOverlayBytes.Add(ovBytes)
+		}
+		v.persisted.Store(true)
+	}
+	t.versionGenPersisted = c.versionGen
 
 	if t.wal != nil {
 		// Drop log segments wholly superseded by this checkpoint. Failure
@@ -234,6 +423,13 @@ func (t *Tree) rollbackLocked(c *ckptCapture) {
 	for i := range c.nodes {
 		if fresh := c.nodes[i].fresh; fresh.page != storage.NilPage {
 			_ = t.store.Free(fresh.page, fresh.blocks)
+		}
+	}
+	for i := range c.versions {
+		for j := range c.versions[i].pending {
+			if fresh := c.versions[i].pending[j].fresh; fresh.page != storage.NilPage {
+				_ = t.store.Free(fresh.page, fresh.blocks)
+			}
 		}
 	}
 	t.pendingFree = append(c.freeNow, t.pendingFree...)
@@ -273,6 +469,11 @@ func (t *Tree) FlushSync() error {
 func (t *Tree) checkpoint(ctx context.Context, sync bool) error {
 	t.ckptMu.Lock()
 	defer t.ckptMu.Unlock()
+	// Retention runs at the start of every checkpoint (after serializing on
+	// ckptMu, before any lock on t.mu — the ckptMu→t.mu order holds): aged
+	// versions are released first so this checkpoint neither persists their
+	// manifests nor rewrites their overlays.
+	t.PruneVersions()
 	start := time.Now()
 
 	var (

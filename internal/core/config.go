@@ -142,6 +142,15 @@ type Config struct {
 	// ignored by trees without a WAL.
 	SyncReplication int
 
+	// VersionRetention bounds how many MVCC versions the tree keeps live.
+	// Versions are durable (checkpoints persist their overlays, recovery
+	// rehydrates them), so without a retention policy history grows until
+	// explicitly released. The policy is applied automatically after every
+	// Snapshot and at the start of every checkpoint, and on demand through
+	// PruneVersions. The zero value disables automatic pruning. Persisted
+	// in the metadata blob (v8).
+	VersionRetention VersionRetention
+
 	// SyncReplicationTimeout bounds how long a synchronous write waits for
 	// follower confirmation. On expiry the write is acknowledged on local
 	// durability alone and the dctree_repl_sync_degraded_total counter is
@@ -150,6 +159,26 @@ type Config struct {
 	// when SyncReplication is 0.
 	SyncReplicationTimeout time.Duration
 }
+
+// VersionRetention is the automatic pruning policy for durable MVCC
+// versions (Config.VersionRetention). A version is pruned — released
+// exactly as Version.Release would, with a durable release record on
+// WAL-backed trees — once it violates either bound. Zero fields impose no
+// bound; the zero value keeps every version until explicitly released.
+type VersionRetention struct {
+	// KeepLast, when positive, retains only the newest KeepLast versions;
+	// older ones are pruned.
+	KeepLast int
+
+	// MaxAge, when positive, prunes versions whose capture time is further
+	// than MaxAge in the past. Recovered versions keep their original
+	// capture time when rehydrated from a checkpoint; versions re-captured
+	// from the log tail restart the clock at replay time.
+	MaxAge time.Duration
+}
+
+// active reports whether the policy imposes any bound.
+func (r VersionRetention) active() bool { return r.KeepLast > 0 || r.MaxAge > 0 }
 
 // DefaultConfig returns the configuration used by the paper reproduction.
 func DefaultConfig() Config {
@@ -245,6 +274,10 @@ func (c *Config) Normalize() error {
 		return fmt.Errorf("%w: node layout %d (want 2 or 3)", ErrBadConfig, c.NodeLayout)
 	case c.SyncReplication < 0:
 		return fmt.Errorf("%w: negative sync replication ack count", ErrBadConfig)
+	case c.VersionRetention.KeepLast < 0:
+		return fmt.Errorf("%w: negative version retention keep-last", ErrBadConfig)
+	case c.VersionRetention.MaxAge < 0:
+		return fmt.Errorf("%w: negative version retention max-age", ErrBadConfig)
 	case c.SyncReplicationTimeout < 0:
 		return fmt.Errorf("%w: negative sync replication timeout", ErrBadConfig)
 	}

@@ -17,7 +17,7 @@ import (
 // (the index is meaningless without them), the root pointer, and the
 // logical-node translation table.
 
-// Seven format versions are in play: v2 ("DCMETA02") extends v1 with the
+// Eight format versions are in play: v2 ("DCMETA02") extends v1 with the
 // group-commit knobs (after the config flags byte) and the WAL checkpoint
 // LSN (after nextID); v3 ("DCMETA03") appends the checkpoint auto-trigger
 // knobs after CommitBytes; v4 ("DCMETA04") appends the WAL record format
@@ -27,14 +27,21 @@ import (
 // translation-table entry, so reads know which extents hold the flat v3
 // encoding; v7 ("DCMETA07") appends the replication fencing epoch after
 // the version stamps, so a promoted follower's authority survives
-// restarts even if its WAL is later truncated away. Writing always
-// produces v7; reading accepts all seven, with newer fields defaulting to
-// zero on older blobs (a zero record format normalizes to the current
-// default; zero version stamps mean no snapshot was ever taken; a zero
-// layout tag means the legacy varint encoding; a zero epoch means the
-// tree predates fencing and accepts any source).
+// restarts even if its WAL is later truncated away; v8 ("DCMETA08")
+// appends the version-retention knobs after the WAL record format and,
+// after the translation table, one manifest per live MVCC version
+// (identity, shape, and a table whose overlay entries point at extents
+// the checkpoint wrote) plus the pin ledger's parked-free list — so
+// versions survive checkpoints and restarts, rehydrated before the log
+// tail replays. Writing always produces v8; reading accepts all eight,
+// with newer fields defaulting to zero on older blobs (a zero record
+// format normalizes to the current default; zero version stamps mean no
+// snapshot was ever taken; a zero layout tag means the legacy varint
+// encoding; a zero epoch means the tree predates fencing and accepts any
+// source; a pre-v8 blob simply has no durable versions).
 const (
-	metaMagic   = "DCMETA07"
+	metaMagic   = "DCMETA08"
+	metaMagicV7 = "DCMETA07"
 	metaMagicV6 = "DCMETA06"
 	metaMagicV5 = "DCMETA05"
 	metaMagicV4 = "DCMETA04"
@@ -42,6 +49,23 @@ const (
 	metaMagicV2 = "DCMETA02"
 	metaMagicV1 = "DCMETA01"
 )
+
+// versionManifest is the durable image of one live MVCC version (meta v8):
+// everything rehydration needs to rebuild the Version handle without the
+// WAL — identity and snapshot point, capture time, tree shape at capture,
+// and a translation table in which nodes that were dirty at capture point
+// at the overlay extents the checkpoint wrote (layout v2) instead of the
+// live table's extents.
+type versionManifest struct {
+	id      uint64
+	lsn     uint64
+	created int64 // capture time, Unix nanoseconds
+	root    nodeID
+	rootMDS mds.MDS
+	height  int
+	count   int64
+	table   map[nodeID]extentRef
+}
 
 // metaSnapshot is the tree-shape half of the metadata blob, captured under
 // the tree lock so a fuzzy checkpoint can encode and swap it while the
@@ -68,6 +92,13 @@ type metaSnapshot struct {
 	// primary's stale log can never be folded back in.
 	epoch uint64
 	table map[nodeID]extentRef
+	// versions and deferred are the durable MVCC state (meta v8): one
+	// manifest per live version, and the pin ledger's parked frees as they
+	// will stand the instant the swap lands. Both are assembled by the
+	// checkpoint install (capture provides the manifests, install finalizes
+	// them and computes the parked-free list), not by metaSnapshotLocked.
+	versions []versionManifest
+	deferred []storage.Extent
 }
 
 // metaSnapshotLocked copies the mutable metadata fields. Caller holds t.mu.
@@ -121,6 +152,8 @@ func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 	buf = binary.AppendVarint(buf, int64(t.cfg.CheckpointInterval))
 	buf = binary.AppendUvarint(buf, uint64(t.cfg.CheckpointDirtyBytes))
 	buf = binary.AppendUvarint(buf, uint64(t.cfg.WALRecordFormat))
+	buf = binary.AppendVarint(buf, int64(t.cfg.VersionRetention.KeepLast))
+	buf = binary.AppendVarint(buf, int64(t.cfg.VersionRetention.MaxAge))
 
 	// Tree shape.
 	buf = binary.AppendUvarint(buf, uint64(snap.root))
@@ -161,6 +194,34 @@ func (t *Tree) encodeMeta(snap metaSnapshot) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(ref.blocks))
 		buf = binary.AppendUvarint(buf, uint64(ref.layout))
 	}
+
+	// Durable MVCC versions (v8): one manifest per live version, then the
+	// pin ledger's parked frees. Rehydration pins every manifest-table
+	// extent first and re-parks the frees behind those pins second, so the
+	// reopened ledger matches the one this blob was written under.
+	buf = binary.AppendUvarint(buf, uint64(len(snap.versions)))
+	for i := range snap.versions {
+		m := &snap.versions[i]
+		buf = binary.AppendUvarint(buf, m.id)
+		buf = binary.AppendUvarint(buf, m.lsn)
+		buf = binary.AppendVarint(buf, m.created)
+		buf = binary.AppendUvarint(buf, uint64(m.root))
+		buf = binary.AppendUvarint(buf, uint64(m.height))
+		buf = binary.AppendVarint(buf, m.count)
+		buf = m.rootMDS.AppendEncode(buf)
+		buf = binary.AppendUvarint(buf, uint64(len(m.table)))
+		for id, ref := range m.table {
+			buf = binary.AppendUvarint(buf, uint64(id))
+			buf = binary.AppendUvarint(buf, uint64(ref.page))
+			buf = binary.AppendUvarint(buf, uint64(ref.blocks))
+			buf = binary.AppendUvarint(buf, uint64(ref.layout))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(snap.deferred)))
+	for _, e := range snap.deferred {
+		buf = binary.AppendUvarint(buf, uint64(e.Page))
+		buf = binary.AppendUvarint(buf, uint64(e.Blocks))
+	}
 	return buf, nil
 }
 
@@ -193,6 +254,8 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	var ver int
 	switch string(meta[:len(metaMagic)]) {
 	case metaMagic:
+		ver = 8
+	case metaMagicV7:
 		ver = 7
 	case metaMagicV6:
 		ver = 6
@@ -233,6 +296,10 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	}
 	if ver >= 4 {
 		cfg.WALRecordFormat = int(r.uvarint())
+	}
+	if ver >= 8 {
+		cfg.VersionRetention.KeepLast = int(r.varint())
+		cfg.VersionRetention.MaxAge = time.Duration(r.varint())
 	}
 
 	root := nodeID(r.uvarint())
@@ -288,31 +355,60 @@ func decodeMeta(meta []byte) (*Tree, error) {
 		return nil, err
 	}
 
-	tableLen64 := r.uvarint()
-	// Every table entry takes at least 3 bytes, so a count beyond the
-	// remaining bytes is corrupt — checked BEFORE it sizes the map, so a
-	// hostile count can neither overflow int nor drive a huge allocation.
-	if r.err == nil && tableLen64 > uint64(len(r.buf)-r.off) {
-		return nil, fmt.Errorf("%w: translation table length %d", ErrCorrupt, tableLen64)
+	table, err := decodeExtentTable(&r, ver)
+	if err != nil {
+		return nil, fmt.Errorf("translation %w", err)
 	}
-	tableLen := int(tableLen64)
-	table := make(map[nodeID]extentRef, tableLen)
-	for i := 0; i < tableLen; i++ {
-		id := nodeID(r.uvarint())
-		page := storage.PageID(r.uvarint())
-		blocks := int(r.uvarint())
-		var layout uint8
-		if ver >= 6 {
-			l := r.uvarint()
-			// Fail closed on unknown layouts: serving an extent through the
-			// wrong decoder would misread data silently. Zero (pre-v6 blob
-			// rewritten by a v6 build) means the legacy varint encoding.
-			if r.err == nil && l != 0 && l != uint64(layoutV2) && l != uint64(layoutV3) {
-				return nil, fmt.Errorf("%w: node %d layout %d", ErrCorrupt, id, l)
-			}
-			layout = uint8(l)
+
+	// Durable MVCC version manifests and the parked-free list (v8).
+	var manifests []versionManifest
+	var deferred []storage.Extent
+	if ver >= 8 {
+		nVersions := r.uvarint()
+		// A manifest takes at least a handful of bytes; a count beyond the
+		// remaining input is corrupt, checked before it sizes anything.
+		if r.err == nil && nVersions > uint64(len(r.buf)-r.off) {
+			return nil, fmt.Errorf("%w: version manifest count %d", ErrCorrupt, nVersions)
 		}
-		table[id] = extentRef{page: page, blocks: blocks, layout: layout}
+		manifests = make([]versionManifest, 0, int(nVersions))
+		for i := uint64(0); i < nVersions; i++ {
+			var m versionManifest
+			m.id = r.uvarint()
+			m.lsn = r.uvarint()
+			m.created = r.varint()
+			m.root = nodeID(r.uvarint())
+			m.height = int(r.uvarint())
+			m.count = r.varint()
+			if r.err != nil {
+				return nil, fmt.Errorf("%w: version manifest %d: %v", ErrCorrupt, i, r.err)
+			}
+			if m.id == 0 {
+				return nil, fmt.Errorf("%w: version manifest %d has id 0", ErrCorrupt, i)
+			}
+			vm, n, err := mds.Decode(r.buf[r.off:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: version %d root mds: %v", ErrCorrupt, m.id, err)
+			}
+			m.rootMDS = vm
+			r.off += n
+			m.table, err = decodeExtentTable(&r, ver)
+			if err != nil {
+				return nil, fmt.Errorf("version %d %w", m.id, err)
+			}
+			if _, ok := m.table[m.root]; !ok {
+				return nil, fmt.Errorf("%w: version %d root node %d missing from manifest", ErrCorrupt, m.id, m.root)
+			}
+			manifests = append(manifests, m)
+		}
+		nDeferred := r.uvarint()
+		if r.err == nil && nDeferred > uint64(len(r.buf)-r.off) {
+			return nil, fmt.Errorf("%w: deferred free count %d", ErrCorrupt, nDeferred)
+		}
+		for i := uint64(0); i < nDeferred; i++ {
+			page := storage.PageID(r.uvarint())
+			blocks := int(r.uvarint())
+			deferred = append(deferred, storage.Extent{Page: page, Blocks: blocks})
+		}
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: metadata body: %v", ErrCorrupt, r.err)
@@ -342,7 +438,91 @@ func decodeMeta(meta []byte) (*Tree, error) {
 	if _, ok := t.table[root]; !ok {
 		return nil, fmt.Errorf("%w: root node %d missing from table", ErrCorrupt, root)
 	}
+	t.rehydrateVersions(manifests, deferred)
 	return t, nil
+}
+
+// decodeExtentTable parses one node→extent table (the main translation
+// table or a version manifest's). The entry count is validated against the
+// remaining input before it sizes the map, and unknown layout tags fail
+// closed — serving an extent through the wrong decoder would misread data
+// silently. A zero layout (pre-v6 blob rewritten by a v6 build) means the
+// legacy varint encoding.
+func decodeExtentTable(r *metaReader, ver int) (map[nodeID]extentRef, error) {
+	tableLen64 := r.uvarint()
+	if r.err == nil && tableLen64 > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("%w: table length %d", ErrCorrupt, tableLen64)
+	}
+	tableLen := int(tableLen64)
+	table := make(map[nodeID]extentRef, tableLen)
+	for i := 0; i < tableLen; i++ {
+		id := nodeID(r.uvarint())
+		page := storage.PageID(r.uvarint())
+		blocks := int(r.uvarint())
+		var layout uint8
+		if ver >= 6 {
+			l := r.uvarint()
+			if r.err == nil && l != 0 && l != uint64(layoutV2) && l != uint64(layoutV3) {
+				return nil, fmt.Errorf("%w: node %d layout %d", ErrCorrupt, id, l)
+			}
+			layout = uint8(l)
+		}
+		table[id] = extentRef{page: page, blocks: blocks, layout: layout}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: table body: %v", ErrCorrupt, r.err)
+	}
+	return table, nil
+}
+
+// rehydrateVersions rebuilds the live Version handles from the metadata's
+// manifests (v8) and restores the pin ledger: every manifest-table extent
+// is pinned FIRST, then the persisted parked frees re-park behind those
+// pins (Pin refuses a page whose free is already deferred, so the order
+// matters). A parked free whose extent no pinned table references any
+// longer goes straight to the pending-free list and is returned to the
+// allocator by the next durable swap. Runs during Open, before any WAL
+// replay — recovery's version records all carry LSNs past the checkpoint,
+// so the two sources never overlap.
+func (t *Tree) rehydrateVersions(manifests []versionManifest, deferred []storage.Extent) {
+	for i := range manifests {
+		m := &manifests[i]
+		v := &Version{
+			t:       t,
+			id:      m.id,
+			lsn:     m.lsn,
+			created: time.Unix(0, m.created),
+			root:    m.root,
+			rootMDS: m.rootMDS,
+			height:  m.height,
+			count:   m.count,
+			table:   m.table,
+			overlay: make(map[nodeID][]byte),
+			nc:      newNodeCache(),
+		}
+		v.refs.Store(1)
+		// The manifest table already merges the overlay extents, so the
+		// rehydrated version reads everything from storage; persisted is
+		// latched so the next checkpoint only re-encodes the manifest.
+		v.persisted.Store(true)
+		v.pinned = make([]storage.PageID, 0, len(m.table))
+		for _, ref := range m.table {
+			if t.pins.Pin(ref.page) {
+				v.pinned = append(v.pinned, ref.page)
+			}
+		}
+		v.pinCount.Store(int64(len(v.pinned)))
+		t.versions[m.id] = v
+		if m.id > t.versionSeq {
+			t.versionSeq = m.id
+		}
+		t.metrics.versionsRehydrated.Inc()
+	}
+	for _, e := range deferred {
+		if !t.pins.FreeOrDefer(e.Page, e.Blocks) {
+			t.pendingFree = append(t.pendingFree, extentRef{page: e.Page, blocks: e.Blocks})
+		}
+	}
 }
 
 // metaReader is a cursor over the metadata blob with sticky errors.

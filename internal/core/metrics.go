@@ -103,6 +103,14 @@ type treeMetrics struct {
 	snapshotOverlayNodes obs.Counter
 	snapshotFreesParked  obs.Counter
 	asOfQueries          obs.Counter
+
+	// Durable versions (meta v8): versions released by retention pruning,
+	// versions rehydrated from meta manifests at open, and overlay extents
+	// (count and payload bytes) written to storage by checkpoint installs.
+	versionsPruned        obs.Counter
+	versionsRehydrated    obs.Counter
+	versionOverlayExtents obs.Counter
+	versionOverlayBytes   obs.Counter
 }
 
 // Metrics is a point-in-time snapshot of a tree's operational counters,
@@ -230,6 +238,15 @@ type Metrics struct {
 	LiveVersions         int
 	PinnedExtents        int
 	DeferredExtentBlocks int
+	// Durable versions (meta v8). VersionsPruned counts versions released
+	// by retention policy (Config.VersionRetention or dctool -prune);
+	// VersionsRehydrated counts versions restored from meta manifests at
+	// open; the overlay counters account the version overlay payloads
+	// checkpoints wrote to their own storage extents.
+	VersionsPruned        int64
+	VersionsRehydrated    int64
+	VersionOverlayExtents int64
+	VersionOverlayBytes   int64
 
 	// MaterializedHitRatio is QueryMaterializedHits / QueryEntriesScanned:
 	// the fraction of examined entries answered from a materialized
@@ -319,6 +336,11 @@ func (t *Tree) Metrics() Metrics {
 		SnapshotOverlayNodes: m.snapshotOverlayNodes.Load(),
 		SnapshotFreesParked:  m.snapshotFreesParked.Load(),
 		AsOfQueries:          m.asOfQueries.Load(),
+
+		VersionsPruned:        m.versionsPruned.Load(),
+		VersionsRehydrated:    m.versionsRehydrated.Load(),
+		VersionOverlayExtents: m.versionOverlayExtents.Load(),
+		VersionOverlayBytes:   m.versionOverlayBytes.Load(),
 
 		InsertLatency:     m.insertLatency.Snapshot(),
 		QueryLatency:      m.queryLatency.Snapshot(),
@@ -450,6 +472,10 @@ func (m Metrics) Families() []obs.Family {
 		obs.CounterFamily("dctree_snapshot_overlay_nodes_total", "Dirty nodes captured by value into snapshot overlays.", m.SnapshotOverlayNodes),
 		obs.CounterFamily("dctree_snapshot_frees_parked_total", "Checkpoint extent frees parked behind a live version's pin.", m.SnapshotFreesParked),
 		obs.CounterFamily("dctree_asof_queries_total", "Queries answered from an MVCC version without the tree lock.", m.AsOfQueries),
+		obs.CounterFamily("dctree_versions_pruned_total", "MVCC versions released by the retention policy.", m.VersionsPruned),
+		obs.CounterFamily("dctree_versions_rehydrated_total", "MVCC versions restored from meta manifests at open.", m.VersionsRehydrated),
+		obs.CounterFamily("dctree_version_overlay_extents_total", "Version overlay extents written to storage by checkpoints.", m.VersionOverlayExtents),
+		obs.CounterFamily("dctree_version_overlay_bytes_total", "Version overlay payload bytes written to storage by checkpoints.", m.VersionOverlayBytes),
 		obs.GaugeFamily("dctree_live_versions", "MVCC versions currently live.", float64(m.LiveVersions)),
 		obs.GaugeFamily("dctree_pinned_extents", "Storage extents pinned by live versions.", float64(m.PinnedExtents)),
 		obs.GaugeFamily("dctree_deferred_extent_blocks", "Allocator blocks held back by frees parked behind version pins.", float64(m.DeferredExtentBlocks)),

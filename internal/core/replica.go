@@ -129,6 +129,17 @@ func (t *Tree) ApplyReplicated(epoch, lsn uint64, payload []byte) error {
 		t.markApplied(lsn)
 		return nil
 	}
+	if len(payload) > 0 && payload[0] == walOpVersionRelease {
+		id, err := decodeVersionReleaseRecord(payload)
+		if err != nil {
+			return fmt.Errorf("dctree: applying version release lsn %d: %w", lsn, err)
+		}
+		// Tolerates versions that are not live on the follower (e.g. a
+		// mirror shipped from past the version's own record).
+		t.releaseVersionReplayLocked(id)
+		t.markApplied(lsn)
+		return nil
+	}
 	op, rec, err := decodeWALRecord(t.schema, payload)
 	if err != nil {
 		return err

@@ -105,6 +105,14 @@ type Tree struct {
 	vmu              sync.Mutex
 	versions         map[uint64]*Version
 	pins             *storage.Pins
+	// versionGen counts version-registry changes (snapshot, release) and
+	// versionGenPersisted records the generation the last durable metadata
+	// swap captured; both guarded by t.mu. A checkpoint may be skipped as a
+	// no-op only when they are equal — otherwise the meta blob's version
+	// manifests (v8) would go stale and a released version could resurrect
+	// (or an unreleased one vanish) on reopen.
+	versionGen          uint64
+	versionGenPersisted uint64
 
 	// qcPool recycles queryCtx mask arenas so steady-state queries build
 	// their membership masks without allocating.

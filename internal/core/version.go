@@ -29,16 +29,25 @@ import (
 // therefore run concurrently with inserts, deletes and checkpoints, which
 // is the paper's motivating warehouse scenario taken one step further.
 //
-// Durability: on a WAL-backed tree every Snapshot appends a version record
-// (walOpVersion) whose LSN defines the snapshot point, and the record is
-// group-committed before Snapshot returns. Crash recovery replays the log
-// tail in LSN order and re-captures a snapshot at each version record it
-// passes, so the versions taken after the last checkpoint are reconstructed
-// with exactly their original contents. Versions whose record the last
-// checkpoint superseded are not reconstructible (their overlays died with
-// the process) and silently age out. The version-number mint is persisted
-// in the metadata blob (v5), so numbers stay unique across restarts either
-// way.
+// Durability: live versions survive checkpoints, crashes and clean
+// restarts. On a WAL-backed tree every Snapshot appends a version record
+// (walOpVersion) whose LSN defines the snapshot point, group-committed
+// before Snapshot returns; crash recovery re-captures versions whose
+// records are still in the log tail. Versions older than the last
+// checkpoint are not lost when the log truncates: every checkpoint writes
+// each live version's overlay payloads into checksummed storage extents
+// and records a per-version manifest (table, pins, identity) in the
+// metadata blob (v8), and recovery rehydrates those versions from the
+// manifest BEFORE replaying the log tail. Release is durable too — it
+// appends a walOpVersionRelease record, so a released version cannot
+// resurrect from a stale manifest after a crash.
+//
+// A version therefore disappears only through explicit Release or the
+// retention policy (Config.VersionRetention: keep-last-N and/or max-age,
+// applied after snapshots and at checkpoint start, or on demand through
+// PruneVersions) — never through WAL truncation. The version-number mint
+// is persisted in the metadata blob (since v5), so numbers stay unique
+// across restarts.
 
 // ErrVersionReleased reports a query against a version handle whose
 // Release has already run (or whose tree no longer knows it).
@@ -51,7 +60,8 @@ var ErrVersionForeign = errors.New("dctree: version belongs to a different tree"
 // Version is one pinned MVCC snapshot. Handles are safe for concurrent
 // use; queries against a version run without the tree lock. Release the
 // handle when done — a live version pins the storage extents it reads,
-// keeping them out of the allocator.
+// keeping them out of the allocator — or configure VersionRetention to
+// prune automatically.
 type Version struct {
 	t       *Tree
 	id      uint64
@@ -64,7 +74,24 @@ type Version struct {
 	count   int64
 	table   map[nodeID]extentRef // immutable after capture
 	overlay map[nodeID][]byte    // encoded payloads of nodes dirty at capture
-	pinned  []storage.PageID     // extents pinned in t.pins
+	// pinned holds the extents of the captured table, pinned in t.pins. It
+	// is immutable after capture: release unpins the pages but never
+	// mutates the slice, so lock-free readers (Versions) stay race-free.
+	pinned []storage.PageID
+
+	// Durable-overlay state, written by checkpoint installs under t.mu:
+	// once a checkpoint has persisted the version's overlay payloads into
+	// extents, ovExtents maps each overlay node to its extent (merged over
+	// table in the persisted manifest), ovPinned holds those extents' pins,
+	// and persisted latches so later checkpoints only re-encode the
+	// manifest instead of rewriting payloads (atomic so tooling can read it
+	// lock-free).
+	ovExtents map[nodeID]extentRef
+	ovPinned  []storage.PageID
+	persisted atomic.Bool
+
+	// pinCount mirrors len(pinned)+len(ovPinned) for lock-free reporting.
+	pinCount atomic.Int64
 
 	// nc caches nodes decoded from the overlay or the pinned extents. It is
 	// private to the version: the tree's own cache holds live nodes that
@@ -88,8 +115,9 @@ func (v *Version) LSN() uint64 { return v.lsn }
 // Count returns the number of live data records the version captured.
 func (v *Version) Count() int64 { return v.count }
 
-// CreatedAt returns when the snapshot was captured (for recovered versions,
-// when recovery re-captured them).
+// CreatedAt returns when the snapshot was captured. Versions rehydrated
+// from a checkpoint manifest keep their original capture time; versions
+// re-captured from the log tail report the replay time.
 func (v *Version) CreatedAt() time.Time { return v.created }
 
 // Released reports whether the handle has been released.
@@ -117,25 +145,77 @@ func (v *Version) acquire() error {
 // unref drops one reference; the last drop returns the pinned extents.
 func (v *Version) unref() {
 	if v.refs.Add(-1) == 0 {
-		v.t.releaseVersionExtents(v)
+		v.t.mu.Lock()
+		v.t.releaseVersionExtentsLocked(v)
+		v.t.mu.Unlock()
 	}
 }
 
-// Release ends the version's life: the handle is removed from the tree's
-// registry and, once any in-flight queries drain, its extent pins are
-// dropped — parked frees from checkpoints that superseded the version's
-// extents execute then. Releasing twice returns ErrVersionReleased.
+// Release ends the version's life: a release record is appended to the WAL
+// (so the version cannot rehydrate from an older checkpoint manifest after
+// a crash), the handle is removed from the tree's registry and, once any
+// in-flight queries drain, its extent pins are dropped — frees that
+// checkpoints parked behind them are queued and execute after the next
+// durable metadata swap. Releasing twice returns ErrVersionReleased.
 func (v *Version) Release() error {
+	lsn, err := v.release()
+	if err != nil {
+		return err
+	}
+	return v.t.waitDurable(lsn)
+}
+
+// release latches the version released and performs the in-memory release
+// under t.mu, returning the LSN of the release record to wait on (0 when
+// the tree has no WAL, or when the log is already poisoned — the in-memory
+// release proceeds regardless; a resurrected version after a crash is
+// re-releasable).
+func (v *Version) release() (uint64, error) {
 	if v.released.Swap(true) {
-		return ErrVersionReleased
+		return 0, ErrVersionReleased
 	}
-	v.t.vmu.Lock()
-	if cur, ok := v.t.versions[v.id]; ok && cur == v {
-		delete(v.t.versions, v.id)
+	t := v.t
+	t.mu.Lock()
+	var lsn uint64
+	if t.wal != nil {
+		if l, err := t.wal.append(encodeVersionReleaseRecord(v.id)); err == nil {
+			lsn = l
+		}
 	}
-	v.t.vmu.Unlock()
-	v.unref()
-	return nil
+	t.versionGen++
+	t.finishReleaseLocked(v)
+	t.mu.Unlock()
+	return lsn, nil
+}
+
+// finishReleaseLocked completes a release whose released latch is already
+// set: the registry entry goes, the handle's reference is dropped, and if
+// no query is in flight the pins are returned. Caller holds t.mu.
+func (t *Tree) finishReleaseLocked(v *Version) {
+	t.vmu.Lock()
+	if cur, ok := t.versions[v.id]; ok && cur == v {
+		delete(t.versions, v.id)
+	}
+	t.vmu.Unlock()
+	if v.refs.Add(-1) == 0 {
+		t.releaseVersionExtentsLocked(v)
+	}
+}
+
+// releaseVersionReplayLocked releases the version named by a replayed
+// walOpVersionRelease record, tolerating versions that are not live (the
+// release may shadow a version whose snapshot record the same replay never
+// saw, or one already released). Called by ApplyReplicated under t.mu and
+// by single-threaded crash recovery.
+func (t *Tree) releaseVersionReplayLocked(id uint64) {
+	t.vmu.Lock()
+	v := t.versions[id]
+	t.vmu.Unlock()
+	if v == nil || v.released.Swap(true) {
+		return
+	}
+	t.versionGen++
+	t.finishReleaseLocked(v)
 }
 
 // getNode resolves a node as of the version: overlay payloads win over the
@@ -230,8 +310,10 @@ func (v *Version) EvictCache() {
 // write lock: the translation table is copied, dirty nodes are encoded into
 // the overlay, and every table extent is pinned against later checkpoint
 // frees. On a WAL-backed tree the version record is group-committed before
-// Snapshot returns, so the version survives a crash (recovery re-captures
-// it from the log tail) until a checkpoint supersedes its record.
+// Snapshot returns. The version is durable: checkpoints persist its
+// overlay into storage extents and its manifest into the metadata blob, so
+// it survives crashes and restarts until released or pruned by the
+// retention policy (which is applied before returning).
 func (t *Tree) Snapshot() (*Version, error) {
 	// Replicas reconstruct the primary's versions from replicated version
 	// records; minting local version numbers would collide with them.
@@ -248,6 +330,7 @@ func (t *Tree) Snapshot() (*Version, error) {
 		_ = v.Release()
 		return nil, err
 	}
+	t.PruneVersions()
 	return v, nil
 }
 
@@ -255,19 +338,16 @@ func (t *Tree) Snapshot() (*Version, error) {
 // mints the next number and (on a WAL-backed tree) appends a version record
 // whose LSN becomes the snapshot point; a nonzero versionID re-captures a
 // recovered version at the given replay LSN without logging.
+//
+// The overlay is captured BEFORE the version record is appended: a capture
+// failure (e.g. a dirty node that lost residency) must not leave an orphan
+// record in the log for recovery to trip over. Both happen under the same
+// t.mu hold, so the record's LSN still identifies exactly the captured
+// state.
 func (t *Tree) snapshotLocked(versionID, lsn uint64) (*Version, error) {
-	if versionID == 0 {
+	mint := versionID == 0
+	if mint {
 		versionID = t.versionSeq + 1
-		if t.wal != nil {
-			recLSN, err := t.wal.append(encodeVersionRecord(versionID))
-			if err != nil {
-				return nil, err
-			}
-			lsn = recLSN
-		}
-	}
-	if versionID > t.versionSeq {
-		t.versionSeq = versionID
 	}
 
 	v := &Version{
@@ -299,6 +379,32 @@ func (t *Tree) snapshotLocked(versionID, lsn uint64) (*Version, error) {
 		v.overlay[e.id] = n.appendEncode(nil, t.schema.Dims(), t.schema.Measures())
 	}
 
+	// The capture succeeded; only now does the version record enter the
+	// log. An append failure leaves no side effects behind (no pins, no
+	// registry entry, no record).
+	if mint && t.wal != nil {
+		recLSN, err := t.wal.append(encodeVersionRecord(versionID))
+		if err != nil {
+			return nil, err
+		}
+		v.lsn = recLSN
+	}
+	if versionID > t.versionSeq {
+		t.versionSeq = versionID
+	}
+
+	// Registry collision: a live version with the same number is possible
+	// on the replica re-capture path (a restarted follower replaying a
+	// mirror range that overlaps versions restored from its checkpoint).
+	// Displacing it silently would leak its extent pins forever — release
+	// it properly first.
+	t.vmu.Lock()
+	displaced := t.versions[versionID]
+	t.vmu.Unlock()
+	if displaced != nil && !displaced.released.Swap(true) {
+		t.finishReleaseLocked(displaced)
+	}
+
 	// Pin the captured table's extents so checkpoint installs park their
 	// frees while this version is live. Nodes covered by the overlay do not
 	// need their extents, but pinning uniformly keeps the invariant simple:
@@ -310,9 +416,11 @@ func (t *Tree) snapshotLocked(versionID, lsn uint64) (*Version, error) {
 			v.pinned = append(v.pinned, ref.page)
 		}
 	}
+	v.pinCount.Store(int64(len(v.pinned)))
 
 	t.latestVersionID = versionID
-	t.latestVersionLSN = lsn
+	t.latestVersionLSN = v.lsn
+	t.versionGen++
 
 	t.vmu.Lock()
 	t.versions[versionID] = v
@@ -323,24 +431,80 @@ func (t *Tree) snapshotLocked(versionID, lsn uint64) (*Version, error) {
 	return v, nil
 }
 
-// releaseVersionExtents drops the version's extent pins and executes the
-// frees that checkpoints parked behind them. Failed frees are queued on the
-// pending-free list and retried by the next checkpoint install.
-func (t *Tree) releaseVersionExtents(v *Version) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, page := range v.pinned {
-		ext, due := t.pins.Unpin(page)
-		if !due {
-			continue
-		}
-		if err := t.store.Free(ext.Page, ext.Blocks); err != nil {
+// releaseVersionExtentsLocked drops the version's extent pins. Frees that
+// checkpoints parked behind the pins come due here, but are NOT executed
+// immediately: the last durable metadata blob may still reference the
+// extents through the version's manifest, so they join the pending-free
+// list and are returned to the allocator only after the next durable swap
+// (ordinary shadow-paging discipline). Caller holds t.mu.
+func (t *Tree) releaseVersionExtentsLocked(v *Version) {
+	for _, pages := range [2][]storage.PageID{v.pinned, v.ovPinned} {
+		for _, page := range pages {
+			ext, due := t.pins.Unpin(page)
+			if !due {
+				continue
+			}
 			t.pendingFree = append(t.pendingFree, extentRef{page: ext.Page, blocks: ext.Blocks})
-			t.metrics.checkpointFreeDeferred.Inc()
 		}
 	}
-	v.pinned = nil
 	t.metrics.snapshotReleases.Inc()
+}
+
+// PruneVersions applies the tree's configured retention policy
+// (Config.VersionRetention), releasing every version beyond it, and
+// returns the pruned version numbers. A nil/zero policy prunes nothing.
+func (t *Tree) PruneVersions() []uint64 {
+	return t.PruneVersionsPolicy(t.cfg.VersionRetention)
+}
+
+// PruneVersionsPolicy applies an explicit retention policy: versions older
+// than the newest KeepLast, or captured more than MaxAge ago, are released
+// exactly as Version.Release would release them (durable release records
+// on WAL-backed trees; one combined durability wait covers them all).
+// Returns the pruned version numbers, oldest first.
+func (t *Tree) PruneVersionsPolicy(r VersionRetention) []uint64 {
+	if !r.active() {
+		return nil
+	}
+	infos := t.Versions()
+	cut := make(map[uint64]bool)
+	if r.KeepLast > 0 && len(infos) > r.KeepLast {
+		for _, vi := range infos[:len(infos)-r.KeepLast] {
+			cut[vi.ID] = true
+		}
+	}
+	if r.MaxAge > 0 {
+		dead := time.Now().Add(-r.MaxAge)
+		for _, vi := range infos {
+			if vi.CreatedAt.Before(dead) {
+				cut[vi.ID] = true
+			}
+		}
+	}
+	var pruned []uint64
+	var maxLSN uint64
+	for _, vi := range infos {
+		if !cut[vi.ID] {
+			continue
+		}
+		v, ok := t.VersionByID(vi.ID)
+		if !ok {
+			continue
+		}
+		lsn, err := v.release()
+		if err != nil {
+			continue // raced with an explicit Release; nothing to do
+		}
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+		pruned = append(pruned, vi.ID)
+	}
+	if len(pruned) > 0 {
+		t.metrics.versionsPruned.Add(int64(len(pruned)))
+		_ = t.waitDurable(maxLSN)
+	}
+	return pruned
 }
 
 // VersionInfo describes one live version for tooling.
@@ -350,14 +514,14 @@ type VersionInfo struct {
 	Records   int64     // live data records at capture
 	Overlay   int       // nodes captured by value (dirty at snapshot time)
 	Pinned    int       // storage extents the version pins
+	Persisted bool      // overlay persisted into extents by a checkpoint
 	CreatedAt time.Time // capture (or recovery re-capture) time
 }
 
 // LatestVersion reports the most recent snapshot's stamps as persisted in
-// the metadata (v5): its version number and the WAL LSN of its record.
-// Zero values mean no snapshot was ever taken. The stamped version is not
-// necessarily live — non-WAL versions die with the process, and a
-// checkpoint can supersede a WAL version's record.
+// the metadata (since v5): its version number and the WAL LSN of its
+// record. Zero values mean no snapshot was ever taken. The stamped version
+// is not necessarily live — it may have been released or pruned.
 func (t *Tree) LatestVersion() (id, lsn uint64) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -374,7 +538,8 @@ func (t *Tree) Versions() []VersionInfo {
 			LSN:       v.lsn,
 			Records:   v.count,
 			Overlay:   len(v.overlay),
-			Pinned:    len(v.pinned),
+			Pinned:    int(v.pinCount.Load()),
+			Persisted: v.persisted.Load(),
 			CreatedAt: v.created,
 		})
 	}
@@ -399,18 +564,4 @@ func (t *Tree) ReleaseVersion(id uint64) error {
 		return fmt.Errorf("%w: version %d", ErrVersionReleased, id)
 	}
 	return v.Release()
-}
-
-// releaseAllVersions releases every live version; Close uses it so parked
-// extent frees execute before the final checkpoint persists the freelist.
-func (t *Tree) releaseAllVersions() {
-	t.vmu.Lock()
-	live := make([]*Version, 0, len(t.versions))
-	for _, v := range t.versions {
-		live = append(live, v)
-	}
-	t.vmu.Unlock()
-	for _, v := range live {
-		_ = v.Release()
-	}
 }

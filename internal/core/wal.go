@@ -63,6 +63,11 @@ const (
 	walOpInsertV2  byte = 4 // v2 insert: interned leaf IDs
 	walOpDeleteV2  byte = 5 // v2 delete: interned leaf IDs
 	walOpVersion   byte = 6 // MVCC snapshot marker: version ID at this LSN
+	// walOpVersionRelease marks a version's release at this LSN. Recovery
+	// and replicas release the named version if it is live; without the
+	// record, a version released after the last checkpoint would rehydrate
+	// from the checkpoint's manifest (meta v8) and resurrect on reopen.
+	walOpVersionRelease byte = 7
 )
 
 // Config.WALRecordFormat values.
@@ -699,6 +704,26 @@ func decodeVersionRecord(payload []byte) (uint64, error) {
 	return id, nil
 }
 
+// encodeVersionReleaseRecord serializes an MVCC release marker: the named
+// version is no longer live from this LSN on.
+func encodeVersionReleaseRecord(versionID uint64) []byte {
+	buf := []byte{walOpVersionRelease}
+	return binary.AppendUvarint(buf, versionID)
+}
+
+// decodeVersionReleaseRecord parses a walOpVersionRelease payload.
+func decodeVersionReleaseRecord(payload []byte) (uint64, error) {
+	r := metaReader{buf: payload}
+	if r.byte() != walOpVersionRelease {
+		return 0, fmt.Errorf("%w: not a version release record", ErrCorrupt)
+	}
+	id := r.uvarint()
+	if r.err != nil || id == 0 || r.off != len(payload) {
+		return 0, fmt.Errorf("%w: version release record", ErrCorrupt)
+	}
+	return id, nil
+}
+
 // installDictHooks arms the per-dimension registration hooks that feed
 // dictionary deltas into dictPending. Called once a durable tree's record
 // format is known to be v2 — AFTER the initial checkpoint (NewDurable) or
@@ -874,7 +899,9 @@ func (t *Tree) recoverFrom(w *storage.WAL) error {
 			// The tree right now is exactly the state at this record's LSN
 			// (checkpoint plus the replayed prefix), so re-capturing here
 			// reconstructs the version with its original contents. Versions
-			// whose record the checkpoint superseded died with the process.
+			// whose record the checkpoint superseded were rehydrated from the
+			// checkpoint's manifests (meta v8) before replay started — the
+			// LSN filter above keeps the two sources disjoint.
 			id, err := decodeVersionRecord(payload)
 			if err != nil {
 				return fmt.Errorf("dctree: replaying version record lsn %d: %w", lsn, err)
@@ -883,6 +910,18 @@ func (t *Tree) recoverFrom(w *storage.WAL) error {
 				return fmt.Errorf("dctree: reconstructing version %d lsn %d: %w", id, lsn, err)
 			}
 			t.metrics.snapshotsRecovered.Inc()
+			return nil
+		}
+		if len(payload) > 0 && payload[0] == walOpVersionRelease {
+			// A release past the checkpoint: the version may have been
+			// rehydrated from the checkpoint's manifest or re-captured from
+			// an earlier record in this replay — either way it must not
+			// survive the restart its owner released it before.
+			id, err := decodeVersionReleaseRecord(payload)
+			if err != nil {
+				return fmt.Errorf("dctree: replaying version release lsn %d: %w", lsn, err)
+			}
+			t.releaseVersionReplayLocked(id)
 			return nil
 		}
 		op, rec, err := decodeWALRecord(t.schema, payload)
@@ -913,10 +952,10 @@ func (t *Tree) Close() error {
 		t.cp.shutdown()
 		t.cp = nil
 	}
-	// Release live versions first: their parked extent frees must execute
-	// before the final checkpoint persists the freelist, or the extents
-	// would leak on disk until the next fsck.
-	t.releaseAllVersions()
+	// Live versions are NOT released here: the final checkpoint persists
+	// their overlays and manifests (meta v8), so they survive the restart
+	// and rehydrate on the next open. Release or prune explicitly to let
+	// their extents go.
 	err := t.Flush()
 	if t.wal != nil {
 		if werr := t.wal.shutdown(); err == nil {

@@ -1,6 +1,9 @@
 package storage
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Extent pinning for snapshot readers.
 //
@@ -92,6 +95,22 @@ func (p *Pins) Unpin(page PageID) (ext Extent, due bool) {
 	}
 	delete(p.deferred, page)
 	return Extent{Page: page, Blocks: blocks}, true
+}
+
+// Deferred returns the parked frees currently waiting behind pins, sorted
+// by page. Checkpoint installs persist this list in the metadata blob so a
+// reopening process can restore the ledger exactly: re-pin the extents the
+// durable version manifests reference, then re-park these frees behind
+// them.
+func (p *Pins) Deferred() []Extent {
+	p.mu.Lock()
+	out := make([]Extent, 0, len(p.deferred))
+	for page, blocks := range p.deferred {
+		out = append(out, Extent{Page: page, Blocks: blocks})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
 }
 
 // Pinned reports whether the extent currently holds any reference.
